@@ -1,0 +1,75 @@
+"""Extension experiment: end-to-end quality of private vicinity search.
+
+Not a numbered figure in the paper, but the direct consequence of its
+Sec. III-D design: how faithfully does lattice-overlap matching track true
+physical proximity as users move, and how does the threshold Θ trade
+precision against recall?  (The paper asserts the mechanism works; this
+bench quantifies it.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_series
+from repro.network.scenario import MobileScenario
+
+
+def test_vicinity_quality_over_time(benchmark):
+    """Precision/recall of a 15-phone, 3-minute walking scenario."""
+
+    def run():
+        scenario = MobileScenario(
+            n_nodes=15, area_m=250.0, cell_m=10.0, search_range_m=50.0,
+            theta=0.45, seed=11,
+        )
+        return scenario.run(duration_s=180.0, search_interval_s=30.0)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Vicinity search quality over a mobile scenario",
+        "search #",
+        list(range(1, summary.searches + 1)),
+        {
+            "precision": [round(r.precision, 3) for r in summary.reports],
+            "recall": [round(r.recall, 3) for r in summary.reports],
+            "nearby": [len(r.truly_nearby) for r in summary.reports],
+            "matched": [len(r.matched) for r in summary.reports],
+        },
+    ))
+    assert summary.searches >= 6
+    assert summary.mean_precision >= 0.6
+    assert summary.mean_recall >= 0.5
+
+
+def test_theta_precision_recall_tradeoff(benchmark):
+    """Sweeping Θ: stricter overlap raises precision, costs recall."""
+
+    def sweep():
+        results = {}
+        for theta in (0.25, 0.45, 0.65, 0.85):
+            scenario = MobileScenario(
+                n_nodes=15, area_m=250.0, cell_m=10.0, search_range_m=50.0,
+                theta=theta, seed=13,
+            )
+            summary = scenario.run(duration_s=120.0, search_interval_s=30.0)
+            results[theta] = (summary.mean_precision, summary.mean_recall)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    thetas = sorted(results)
+    print()
+    print(render_series(
+        "Θ sweep -- precision/recall trade-off",
+        "theta",
+        thetas,
+        {
+            "precision": [round(results[t][0], 3) for t in thetas],
+            "recall": [round(results[t][1], 3) for t in thetas],
+        },
+    ))
+    # Shape: precision does not *decrease* as Θ tightens; recall does not
+    # *increase*.
+    precisions = [results[t][0] for t in thetas]
+    recalls = [results[t][1] for t in thetas]
+    assert precisions[-1] >= precisions[0] - 0.05
+    assert recalls[-1] <= recalls[0] + 0.05

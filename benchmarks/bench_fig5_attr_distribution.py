@@ -1,0 +1,32 @@
+"""Figure 5: users' attribute-number distribution.
+
+Paper: tag counts range 2..20 with a mode near the mean of 6 and user
+counts falling off over orders of magnitude (the y axis is log scale).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_series
+from repro.dataset.stats import attribute_count_distribution
+
+
+def test_fig5_attribute_distribution(benchmark, weibo_population):
+    histogram = benchmark(attribute_count_distribution, weibo_population)
+
+    xs = sorted(histogram)
+    print()
+    print(render_series(
+        "Figure 5 -- users' attribute (tag) count distribution",
+        "tag count",
+        xs,
+        {"users": [histogram[x] for x in xs]},
+    ))
+
+    total = sum(histogram.values())
+    mean = sum(k * v for k, v in histogram.items()) / total
+    assert 5.0 <= mean <= 7.0, "mean tag count must stay near the paper's 6"
+    assert max(histogram) <= 20, "max tag count bounded at 20"
+    # Log-scale falloff: the mode dominates the tail by >= 2 orders.
+    mode_count = max(histogram.values())
+    tail_count = histogram[max(histogram)]
+    assert mode_count / max(tail_count, 1) >= 10

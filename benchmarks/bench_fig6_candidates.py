@@ -1,0 +1,101 @@
+"""Figure 6: candidate-user proportion vs similarity threshold and prime p.
+
+Paper result: the remainder-vector fast check admits a candidate set that
+(i) always contains every truly similar user, (ii) shrinks towards the true
+similar-user proportion as p grows (p = 23 tighter than p = 11), and
+(iii) is already small for p = 11.  Regenerated for (a) the 6-attribute
+cohort and (b) a diverse sample, like the paper's two subplots.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import render_series
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.matching import build_request
+from repro.core.profile_vector import ParticipantVector
+from repro.core.remainder import is_candidate
+
+N_INITIATORS = 5
+
+
+def _sweep(cohort, population, max_similarity):
+    """For each similarity s and prime p: mean candidate/truth proportions."""
+    rng = random.Random(17)
+    initiators = rng.sample(cohort, N_INITIATORS)
+    vectors = [
+        (set(u.tags), ParticipantVector.from_profile(u.profile()))
+        for u in population
+    ]
+    truth = {s: 0.0 for s in range(1, max_similarity + 1)}
+    candidates = {(s, p): 0.0 for s in range(1, max_similarity + 1) for p in (11, 23)}
+    for initiator in initiators:
+        tags = list(initiator.tags)[:max_similarity]
+        request_attrs = [f"tag:{t}" for t in tags]
+        tag_set = set(tags)
+        shared = [len(tag_set & user_tags) for user_tags, _ in vectors]
+        for s in range(1, max_similarity + 1):
+            request = RequestProfile(
+                necessary=(), optional=request_attrs, beta=s, normalized=True
+            )
+            truth[s] += sum(1 for c in shared if c >= s) / len(vectors)
+            for p in (11, 23):
+                package, _ = build_request(request, protocol=2, p=p, rng=random.Random(3))
+                hits = sum(
+                    1
+                    for _, vector in vectors
+                    if is_candidate(
+                        package.remainders, package.necessary_mask, package.gamma,
+                        vector.values, p,
+                    )
+                )
+                candidates[(s, p)] += hits / len(vectors)
+    truth = {s: v / N_INITIATORS for s, v in truth.items()}
+    candidates = {k: v / N_INITIATORS for k, v in candidates.items()}
+    return truth, candidates
+
+
+def _report(title, truth, candidates, max_similarity):
+    xs = list(range(1, max_similarity + 1))
+    print()
+    print(render_series(
+        title,
+        "shared attrs (similarity)",
+        xs,
+        {
+            "truth": [round(truth[s], 5) for s in xs],
+            "candidates p=11": [round(candidates[(s, 11)], 5) for s in xs],
+            "candidates p=23": [round(candidates[(s, 23)], 5) for s in xs],
+        },
+    ))
+
+
+def _assert_shape(truth, candidates, max_similarity):
+    for s in range(1, max_similarity + 1):
+        # Completeness: candidates are a superset of truly similar users.
+        assert candidates[(s, 11)] >= truth[s] - 1e-9
+        assert candidates[(s, 23)] >= truth[s] - 1e-9
+        # Larger p tightens the candidate set towards the truth.
+        assert candidates[(s, 23)] <= candidates[(s, 11)] + 1e-9
+    # Proportions decrease with the similarity requirement.
+    for p in (11, 23):
+        series = [candidates[(s, p)] for s in range(1, max_similarity + 1)]
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_fig6a_six_attribute_users(benchmark, six_attribute_cohort):
+    population = six_attribute_cohort
+    truth, candidates = benchmark.pedantic(
+        _sweep, args=(population, population, 6), rounds=1, iterations=1
+    )
+    _report("Figure 6(a) -- candidate proportion, 6-attribute users", truth, candidates, 6)
+    _assert_shape(truth, candidates, 6)
+
+
+def test_fig6b_diverse_users(benchmark, six_attribute_cohort, diverse_sample):
+    truth, candidates = benchmark.pedantic(
+        _sweep, args=(six_attribute_cohort, diverse_sample, 6), rounds=1, iterations=1
+    )
+    _report("Figure 6(b) -- candidate proportion, diverse users", truth, candidates, 6)
+    _assert_shape(truth, candidates, 6)

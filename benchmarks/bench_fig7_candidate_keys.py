@@ -1,0 +1,89 @@
+"""Figure 7: size of the candidate profile key set vs similarity and p.
+
+Paper result: even at low similarity thresholds the candidate key set of a
+real (Weibo-like) user stays single-digit on average, and larger p shrinks
+it -- the worry that fuzzy search explodes the key set is unfounded on real
+attribute distributions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import render_series
+from repro.core.attributes import RequestProfile
+from repro.core.matching import build_request, process_request
+from repro.core.profile_vector import ParticipantVector
+
+SAMPLE = 250
+
+
+def _sweep(cohort, population, max_similarity):
+    rng = random.Random(23)
+    initiator = rng.sample(cohort, 1)[0]
+    request_attrs = [f"tag:{t}" for t in initiator.tags][:max_similarity]
+    users = rng.sample(population, min(SAMPLE, len(population)))
+    vectors = [ParticipantVector.from_profile(u.profile()) for u in users]
+    stats = {}
+    for s in range(1, max_similarity + 1):
+        request = RequestProfile(
+            necessary=(), optional=request_attrs, beta=s, normalized=True
+        )
+        for p in (11, 23):
+            package, _ = build_request(request, protocol=2, p=p, rng=random.Random(4))
+            sizes = []
+            for vector in vectors:
+                outcome = process_request(vector, package)
+                if outcome.candidate:
+                    sizes.append(len(outcome.keys))
+            if sizes:
+                stats[(s, p)] = (sum(sizes) / len(sizes), max(sizes))
+            else:
+                stats[(s, p)] = (0.0, 0)
+    return stats
+
+
+def _report(title, stats, max_similarity):
+    xs = list(range(1, max_similarity + 1))
+    print()
+    print(render_series(
+        title,
+        "shared attrs (similarity)",
+        xs,
+        {
+            "mean p=11": [round(stats[(s, 11)][0], 3) for s in xs],
+            "mean p=23": [round(stats[(s, 23)][0], 3) for s in xs],
+            "max p=11": [stats[(s, 11)][1] for s in xs],
+            "max p=23": [stats[(s, 23)][1] for s in xs],
+        },
+    ))
+
+
+def _assert_shape(stats, max_similarity):
+    for s in range(1, max_similarity + 1):
+        mean11, max11 = stats[(s, 11)]
+        mean23, max23 = stats[(s, 23)]
+        # Paper Fig. 7: means stay single-digit, maxima stay low double-digit.
+        assert mean11 <= 8.0
+        assert mean23 <= 8.0
+        assert max11 <= 32
+        # Larger p cannot inflate the average key set (fewer collisions).
+        assert mean23 <= mean11 + 0.5
+
+
+def test_fig7a_six_attribute_users(benchmark, six_attribute_cohort):
+    stats = benchmark.pedantic(
+        _sweep, args=(six_attribute_cohort, six_attribute_cohort, 6),
+        rounds=1, iterations=1,
+    )
+    _report("Figure 7(a) -- candidate key set size, 6-attribute users", stats, 6)
+    _assert_shape(stats, 6)
+
+
+def test_fig7b_diverse_users(benchmark, six_attribute_cohort, diverse_sample):
+    stats = benchmark.pedantic(
+        _sweep, args=(six_attribute_cohort, diverse_sample, 6),
+        rounds=1, iterations=1,
+    )
+    _report("Figure 7(b) -- candidate key set size, diverse users", stats, 6)
+    _assert_shape(stats, 6)

@@ -1,0 +1,76 @@
+"""Table III: symbolic computation/communication comparison, q = 256.
+
+Evaluates the paper's published cost formulas for FNP [10], FC10 [7],
+Advanced [14] and Protocol 1, and cross-checks the Protocol 1 column
+against *measured* operation counts from an instrumented protocol run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.counters import OpCounter
+from repro.analysis.reporting import render_table
+from repro.baselines.costs import Scenario, all_schemes
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.matching import build_request, process_request
+
+SCENARIO = Scenario(m_t=6, m_k=6, n=100, t=4, q=256, p=11, alpha=0, beta=3)
+
+
+def test_table3_formulas(benchmark):
+    schemes = benchmark(all_schemes, SCENARIO)
+    rows = []
+    for scheme in schemes:
+        init_ops = ", ".join(f"{v:g} {k}" for k, v in sorted(scheme.initiator_ops.items()))
+        part_ops = ", ".join(f"{v:g} {k}" for k, v in sorted(scheme.participant_ops.items()))
+        rows.append([
+            scheme.name, init_ops, part_ops,
+            f"{scheme.communication_kb():.2f} KB", scheme.transmissions,
+        ])
+    print()
+    print(render_table(
+        "Table III -- cost comparison (q=256, Table VII scenario)",
+        ["scheme", "initiator ops", "participant ops", "comm", "transmissions"],
+        rows,
+    ))
+    ours = schemes[-1]
+    for other in schemes[:-1]:
+        assert ours.communication_bits < other.communication_bits
+
+
+def test_protocol1_counts_match_formula(benchmark):
+    """Measured op counts of a real run equal the Table III formula."""
+
+    def run():
+        counter = OpCounter()
+        request = RequestProfile.exact(
+            [f"tag:q{i}" for i in range(6)], normalized=True
+        )
+        build_request(request, protocol=1, rng=random.Random(1), counter=counter)
+        return counter
+
+    counter = benchmark(run)
+    # Formula: (m_t + 1) H + m_t M + E  (the seal is 3 AES blocks under P1).
+    assert counter.get("H") == 7
+    assert counter.get("M") == 6
+    assert counter.get("E") == 3
+
+
+def test_noncandidate_counts_match_formula(benchmark):
+    """Non-candidate participants pay exactly m_k H + m_k M."""
+    request = RequestProfile.exact([f"tag:q{i}" for i in range(6)], normalized=True)
+    package, _ = build_request(request, protocol=1, rng=random.Random(1))
+    stranger = Profile([f"tag:zzz{i}" for i in range(6)], normalized=True)
+
+    def run():
+        counter = OpCounter()
+        outcome = process_request(stranger, package, counter=counter)
+        return counter, outcome
+
+    counter, outcome = benchmark(run)
+    assert not outcome.candidate
+    assert counter.get("H") == 6  # m_k hashes
+    assert counter.get("M") == 6  # m_k remainder reductions
+    assert counter.get("D") == 0
+    assert counter.get("E") == 0

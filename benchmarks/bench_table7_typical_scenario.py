@@ -1,0 +1,177 @@
+"""Table VII: the typical MSN scenario, end to end.
+
+Scenario: m_t = m_k = 6, γ = β = 3 (θ = 0.5), p = 11, n = 100 users.
+Protocol 1 is *actually executed* against 100 simulated users; the
+comparator rows are obtained by measuring this machine's asymmetric
+primitive times and multiplying by the paper's Table III operation counts
+(exactly the paper's own methodology).  Each baseline additionally runs
+once at pair level to prove the implementations are real.
+
+Shape contract: ours wins computation by >= 10^3 and communication by
+>= 10^2, as in the paper (where the gaps are 10^6 and ~700x).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.analysis.reporting import render_table
+from repro.baselines.costs import Scenario, advanced_cost, fc10_cost, fnp_cost, protocol1_cost
+from repro.baselines.dh_psi import dh_psi_cardinality
+from repro.baselines.fc10 import fc10_psi
+from repro.baselines.fnp04 import fnp_psi
+from repro.baselines.paillier import PaillierKeyPair
+from repro.baselines.rsa import RsaKeyPair
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant
+from repro.crypto.numbers import generate_safe_prime
+from repro.dataset.weibo import WeiboGenerator
+
+SCENARIO = Scenario(m_t=6, m_k=6, n=100, t=4, q=256, p=11, alpha=0, beta=3)
+
+
+def _measured_asym_op_times() -> dict[str, float]:
+    """Milliseconds per asymmetric op on this machine (paper methodology)."""
+    rng = random.Random(77)
+    results = {}
+    for name, bits in (("E2", 1024), ("E3", 2048), ("M2", 1024), ("M3", 2048)):
+        base = rng.getrandbits(bits) | 1
+        exp = rng.getrandbits(bits)
+        mod = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        reps = 20 if name.startswith("E") else 2000
+        start = time.perf_counter()
+        if name.startswith("E"):
+            for _ in range(reps):
+                pow(base, exp, mod)
+        else:
+            for _ in range(reps):
+                base * exp % mod
+        results[name] = (time.perf_counter() - start) / reps * 1000
+    return results
+
+
+def _scenario_population():
+    users = WeiboGenerator(n_users=100, tag_vocabulary=2_000, seed=31).generate()
+    return [u for u in users]
+
+
+def test_protocol1_full_scenario(benchmark):
+    """Run Protocol 1 against 100 users; measure wall time and bytes."""
+    users = _scenario_population()
+    target_tags = [f"tag:{t}" for t in users[50].tags][:6]
+    request = RequestProfile.with_threshold(
+        necessary=(), optional=target_tags, theta=0.5, normalized=True
+    )
+    participants = [
+        Participant(u.profile(), rng=random.Random(100 + i))
+        for i, u in enumerate(users)
+    ]
+
+    # Each episode needs a fresh request id: participants answer a given
+    # request exactly once (duplicate suppression), and pytest-benchmark
+    # re-runs the episode many times.
+    episode_seed = iter(range(9, 10_000))
+
+    def episode():
+        initiator = Initiator(request, protocol=1, p=11, rng=random.Random(next(episode_seed)))
+        package = initiator.create_request(now_ms=0)
+        replies = 0
+        for participant in participants:
+            reply = participant.handle_request(package, now_ms=1)
+            if reply is not None:
+                replies += 1
+                initiator.handle_reply(reply, now_ms=2)
+        return initiator, package, replies
+
+    initiator, package, replies = benchmark(episode)
+    assert initiator.matches  # the target user's own profile matches
+    assert package.wire_size_bytes() < 1024
+
+    comm_kb = (package.wire_size_bytes() + replies * 48) / 1024
+    our_cost = protocol1_cost(SCENARIO)
+    print()
+    print(render_table(
+        "Table VII (ours, measured end-to-end)",
+        ["quantity", "measured", "paper"],
+        [
+            ["request size", f"{package.wire_size_bytes()} B", "~190 B avg"],
+            ["total comm", f"{comm_kb:.2f} KB", f"{our_cost.communication_kb():.2f} KB"],
+            ["replies", replies, f"~{SCENARIO.n * 0.01:.0f} (candidate fraction)"],
+            ["matches", len(initiator.matches), ">=1"],
+        ],
+    ))
+
+
+def test_table7_comparison(benchmark):
+    """The full Table VII rows with this machine's measured op times."""
+    op_times = benchmark.pedantic(_measured_asym_op_times, rounds=1, iterations=1)
+
+    # Measure our side for real: request generation + per-user processing.
+    users = _scenario_population()
+    request = RequestProfile.with_threshold(
+        necessary=(), optional=[f"tag:{t}" for t in users[50].tags][:6],
+        theta=0.5, normalized=True,
+    )
+    start = time.perf_counter()
+    initiator = Initiator(request, protocol=1, p=11, rng=random.Random(9))
+    package = initiator.create_request(now_ms=0)
+    request_ms = (time.perf_counter() - start) * 1000
+
+    noncandidate_ms = []
+    candidate_ms = []
+    for i, user in enumerate(users):
+        participant = Participant(user.profile(), rng=random.Random(200 + i))
+        start = time.perf_counter()
+        participant.handle_request(package, now_ms=1)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        outcome = participant.last_outcome
+        (candidate_ms if outcome and outcome.candidate else noncandidate_ms).append(elapsed_ms)
+
+    rows = []
+    for cost in (fnp_cost(SCENARIO), fc10_cost(SCENARIO), advanced_cost(SCENARIO)):
+        rows.append([
+            cost.name,
+            f"{cost.initiator_ms(op_times):.1f}",
+            f"{cost.participant_ms(op_times):.2f}",
+            f"{cost.communication_kb():.1f}",
+        ])
+    ours_part = (
+        f"{sum(noncandidate_ms)/len(noncandidate_ms):.4f} (noncand)"
+        + (f" / {sum(candidate_ms)/len(candidate_ms):.4f} (cand)" if candidate_ms else "")
+    )
+    comm_kb = protocol1_cost(SCENARIO).communication_kb()
+    rows.append(["Protocol 1 (measured)", f"{request_ms:.4f}", ours_part, f"{comm_kb:.2f}"])
+    print()
+    print(render_table(
+        "Table VII -- typical scenario: m_t=m_k=6, γ=β=3, p=11, n=100",
+        ["scheme", "initiator ms", "participant ms", "comm KB"],
+        rows,
+    ))
+
+    fnp_ms = fnp_cost(SCENARIO).initiator_ms(op_times)
+    assert fnp_ms / max(request_ms, 1e-6) > 1e3, "computation gap must be >= 10^3"
+    assert fnp_cost(SCENARIO).communication_kb() / comm_kb > 1e2
+    mean_noncand = sum(noncandidate_ms) / len(noncandidate_ms)
+    assert mean_noncand < 10.0  # phone-scale bound; paper laptop: 3.9e-2 ms
+
+
+def test_baselines_actually_run(benchmark):
+    """One real pairwise execution of each comparator (1024-bit keys)."""
+    rng = random.Random(3)
+    client = [f"tag:c{i}" for i in range(6)]
+    server = [f"tag:c{i}" for i in range(3)] + [f"tag:s{i}" for i in range(3)]
+
+    paillier = PaillierKeyPair.generate(1024, rng=rng)
+    rsa = RsaKeyPair.generate(1024, rng=rng)
+    group = generate_safe_prime(512, rng=rng)
+
+    def run_all():
+        fnp, _ = fnp_psi(client, server, keypair=paillier, rng=rng)
+        fc, _ = fc10_psi(client, server, keypair=rsa, rng=rng)
+        ca = dh_psi_cardinality(client, server, p=group, rng=rng)
+        return fnp, fc, ca
+
+    fnp, fc, ca = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert fnp == fc == set(client[:3])
+    assert ca == 3

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench module regenerates one table or figure from the paper's
+evaluation (Sec. IV-V).  Populations are scaled down from the paper's
+2.32 M users to keep a full `pytest benchmarks/ --benchmark-only` run in
+minutes; every module prints the regenerated table so EXPERIMENTS.md can
+quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataset.weibo import WeiboGenerator
+
+
+@pytest.fixture(scope="session")
+def weibo_population():
+    """Weibo-calibrated population (scaled: 4000 users, 40k tag vocab)."""
+    return WeiboGenerator(
+        n_users=4000, tag_vocabulary=40_000, keyword_vocabulary=50_000, seed=2013
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def six_attribute_cohort(weibo_population):
+    """Users with exactly 6 tags -- the paper's Fig. 6(a)/7(a) cohort."""
+    return [u for u in weibo_population if len(u.tags) == 6]
+
+
+@pytest.fixture(scope="session")
+def diverse_sample(weibo_population):
+    """Random 1000-user sample with diverse attribute counts (Fig. 6b/7b)."""
+    rng = random.Random(7)
+    return rng.sample(weibo_population, 1000)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return random.Random(0xBEEF)

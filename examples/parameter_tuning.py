@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Choosing the remainder prime p: the efficiency/privacy dial.
+
+The initiator controls p (Sec. IV-B1): a larger p makes the remainder
+vector more selective (fewer users pay candidate-side work) but leaks more
+bits of each attribute hash, shrinking the dictionary-profiling search
+space.  This example sweeps p over a calibrated population and then asks
+the recommender for the smallest prime meeting a load target under a
+security floor.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import random
+
+from repro.analysis.reporting import render_series, render_table
+from repro.analysis.tradeoffs import candidate_fraction, recommend_prime, security_bits
+from repro.core import RequestProfile
+from repro.core.matching import build_request
+from repro.core.profile_vector import ParticipantVector
+from repro.core.remainder import is_candidate
+from repro.dataset import WeiboGenerator
+
+
+def main() -> None:
+    users = WeiboGenerator(n_users=1500, tag_vocabulary=15_000, seed=3).generate()
+    cohort = [u for u in users if len(u.tags) == 6]
+    target = cohort[0]
+    request = RequestProfile(
+        necessary=(), optional=[f"tag:{t}" for t in target.tags], beta=3,
+        normalized=True,
+    )
+    vectors = [ParticipantVector.from_profile(u.profile()) for u in users]
+
+    primes = [7, 11, 23, 53, 101]
+    measured, predicted, security = [], [], []
+    for p in primes:
+        package, _ = build_request(request, protocol=2, p=p, rng=random.Random(1))
+        hits = sum(
+            1 for v in vectors
+            if is_candidate(package.remainders, package.necessary_mask,
+                            package.gamma, v.values, p)
+        )
+        measured.append(round(hits / len(vectors), 4))
+        predicted.append(round(candidate_fraction(p, len(request), request.theta), 6))
+        security.append(round(security_bits(1 << 20, p, len(request)), 1))
+
+    print(render_series(
+        "p sweep over a calibrated population (m_t=6, θ=0.5)",
+        "p", primes,
+        {
+            "measured candidate fraction": measured,
+            "predicted (1/p)^(m_t·θ)": predicted,
+            "security bits (m=2^20)": security,
+        },
+    ))
+    print("\nNote: real populations exceed the uniform-hash prediction because "
+          "Zipf-popular tags collide more; the ordering across p is what matters.\n")
+
+    rows = []
+    for load_target in (0.05, 0.01, 0.001):
+        choice = recommend_prime(
+            6, 0.5, dictionary_size=1 << 20,
+            max_candidate_fraction=load_target, min_security_bits=60.0,
+        )
+        rows.append([
+            f"{load_target:.1%}", choice.p,
+            f"{choice.candidate_fraction:.5f}", f"{choice.security_bits:.1f}",
+        ])
+    print(render_table(
+        "recommend_prime(): smallest p for a candidate-load target (floor: 60 bits)",
+        ["load target", "p", "achieved fraction", "security bits"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: private friending and secure chat in a dozen lines.
+
+Alice wants to find someone who is into basketball and either an engineer
+or living in NYC -- without revealing what she is looking for to anyone who
+does not match, and without any key server.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Initiator, Participant, Profile, RequestProfile, SecureChannel
+
+
+def main() -> None:
+    # --- Alice builds her request: 1 necessary + 2-of-3 optional attributes.
+    request = RequestProfile(
+        necessary=["interest:basketball"],
+        optional=["profession:engineer", "city:NYC", "music:jazz"],
+        beta=2,
+    )
+    alice = Initiator(request, protocol=1)
+    package = alice.create_request(now_ms=0)
+    print(f"Alice broadcasts a {package.wire_size_bytes()}-byte sealed request "
+          f"(threshold θ = {request.theta:.0%})")
+
+    # --- Three strangers receive the broadcast.
+    bob = Participant(Profile(
+        ["interest:basketball", "profession:engineer", "city:NYC", "food:sushi"],
+        user_id="bob",
+    ))
+    carol = Participant(Profile(
+        ["interest:chess", "city:NYC"], user_id="carol",
+    ))
+    dave = Participant(Profile(
+        ["interest:basketball", "music:classical"], user_id="dave",
+    ))
+
+    for stranger in (bob, carol, dave):
+        reply = stranger.handle_request(package, now_ms=5)
+        status = "replies (matched!)" if reply else "silently relays"
+        print(f"  {stranger.profile.user_id}: {status}")
+        if reply is not None:
+            record = alice.handle_reply(reply, now_ms=10)
+            assert record is not None
+            print(f"  -> Alice verified {record.responder_id} "
+                  f"(similarity {record.similarity}/{len(request)})")
+
+    # --- A secure channel exists the moment the match is verified.
+    match = alice.best_match()
+    channel = SecureChannel(match.session_key)
+    message = channel.send(b"Hey! Pickup game at the west court, 6pm?")
+    print(f"Alice -> {match.responder_id}: {len(message)}-byte authenticated message")
+
+    for key in bob.channel_keys(package.request_id):
+        try:
+            plaintext = SecureChannel(key).receive(message)
+        except Exception:
+            continue
+        print(f"Bob reads: {plaintext.decode()}")
+        break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 517
+editable installs fail; `pip install -e . --no-build-isolation
+--no-use-pep517` (or plain `python setup.py develop`) uses this shim.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

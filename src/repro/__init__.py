@@ -1,0 +1,35 @@
+"""Reproduction of *Message in a Sealed Bottle: Privacy Preserving Friending
+in Social Networks* (Lan Zhang & Xiang-Yang Li, ICDCS 2013).
+
+Package layout:
+
+- :mod:`repro.core` -- the sealed-bottle mechanism: profile hashing,
+  remainder vector, hint matrix, Protocols 1-3, secure channels, location
+  privacy.
+- :mod:`repro.crypto` -- from-scratch symmetric and big-number primitives.
+- :mod:`repro.baselines` -- asymmetric-cryptosystem comparators (FNP04,
+  FC10, DH-PSI-CA, Paillier dot product) and the Table III cost model.
+- :mod:`repro.network` -- decentralized multi-hop MANET simulator.
+- :mod:`repro.dataset` -- synthetic Tencent-Weibo-calibrated workloads.
+- :mod:`repro.attacks` -- adversary implementations for the security evaluation.
+- :mod:`repro.analysis` -- operation counters, PPL evaluation, reporting.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    Initiator,
+    Participant,
+    Profile,
+    RequestProfile,
+    SecureChannel,
+)
+
+__all__ = [
+    "Initiator",
+    "Participant",
+    "Profile",
+    "RequestProfile",
+    "SecureChannel",
+    "__version__",
+]

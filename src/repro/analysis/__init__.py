@@ -1,0 +1,14 @@
+"""Measurement and reporting utilities for the evaluation harness."""
+
+from repro.analysis.counters import OpCounter, NULL_COUNTER
+from repro.analysis.reporting import render_table, render_series
+from repro.analysis.tradeoffs import PrimeChoice, recommend_prime
+
+__all__ = [
+    "NULL_COUNTER",
+    "OpCounter",
+    "PrimeChoice",
+    "recommend_prime",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,71 @@
+"""Operation counters matching the paper's cost-model vocabulary.
+
+Table III expresses protocol cost in named primitive operations.  The core
+and baseline implementations accept an :class:`OpCounter` and increment the
+matching bucket at each primitive call, so measured counts can be compared
+directly against the published formulas.
+
+Symmetric (our protocol):
+    ``H``   SHA-256 of one attribute;
+    ``M``   one 256-bit-hash mod-p reduction;
+    ``E``   one AES-256 encryption;
+    ``D``   one AES-256 decryption;
+    ``MUL256`` / ``CMP256``  256-bit multiply / compare (hint solving).
+
+Asymmetric (baselines):
+    ``M1`` 24-bit modular multiply, ``M2`` 1024-bit modular multiply,
+    ``M3`` 2048-bit modular multiply, ``E2`` 1024-bit exponentiation,
+    ``E3`` 2048-bit exponentiation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["OpCounter", "NULL_COUNTER", "SYMMETRIC_OPS", "ASYMMETRIC_OPS"]
+
+SYMMETRIC_OPS = ("H", "M", "E", "D", "MUL256", "CMP256")
+ASYMMETRIC_OPS = ("M1", "M2", "M3", "E2", "E3")
+
+
+class OpCounter:
+    """Mutable tally of named primitive operations."""
+
+    def __init__(self):
+        self._counts: Counter[str] = Counter()
+
+    def add(self, op: str, n: int = 1) -> None:
+        """Record *n* occurrences of operation *op*."""
+        self._counts[op] += n
+
+    def get(self, op: str) -> int:
+        """Count recorded for *op* (0 if never seen)."""
+        return self._counts.get(op, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all non-zero counts."""
+        return {k: v for k, v in self._counts.items() if v}
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._counts.clear()
+
+    def merged(self, other: "OpCounter") -> "OpCounter":
+        """A new counter holding the sum of self and *other*."""
+        result = OpCounter()
+        result._counts = self._counts + other._counts
+        return result
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()) if v)
+        return f"OpCounter({inner})"
+
+
+class _NullCounter(OpCounter):
+    """Counter that discards everything (the default when none is passed)."""
+
+    def add(self, op: str, n: int = 1) -> None:
+        return None
+
+
+NULL_COUNTER = _NullCounter()

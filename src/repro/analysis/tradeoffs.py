@@ -1,0 +1,79 @@
+"""Parameter-selection helpers: choosing the remainder prime p.
+
+The paper observes (Sec. IV-B1) that p trades efficiency against privacy:
+larger p excludes more non-candidates (each remainder carries log₂p bits
+of the hash) but shrinks the dictionary-profiling search space
+``(m/p)^{m_t}``.  These helpers make the trade-off explicit and recommend
+the smallest p that keeps the expected candidate load under a target --
+the direction the paper itself argues ("even a small p ... can
+significantly reduce the number of candidate users").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crypto.numbers import is_probable_prime
+
+__all__ = ["PrimeChoice", "candidate_fraction", "security_bits", "recommend_prime"]
+
+
+def candidate_fraction(p: int, m_t: int, theta: float) -> float:
+    """Expected fraction of users passing the fast check: (1/p)^(m_t·θ)."""
+    if p < 2 or m_t < 1 or not 0 < theta <= 1:
+        raise ValueError("invalid parameters")
+    return (1.0 / p) ** (m_t * theta)
+
+
+def security_bits(dictionary_size: int, p: int, m_t: int) -> float:
+    """log₂ of the dictionary-profiling work: m_t·(log₂m − log₂p)."""
+    if dictionary_size < p:
+        return 0.0
+    return m_t * (math.log2(dictionary_size) - math.log2(p))
+
+
+@dataclass(frozen=True)
+class PrimeChoice:
+    """A recommended prime with the quantities that justified it."""
+
+    p: int
+    candidate_fraction: float
+    security_bits: float
+
+
+def _next_prime(n: int) -> int:
+    candidate = max(2, n)
+    while not is_probable_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def recommend_prime(
+    m_t: int,
+    theta: float,
+    *,
+    dictionary_size: int = 1 << 20,
+    max_candidate_fraction: float = 0.05,
+    min_security_bits: float = 60.0,
+    p_ceiling: int = 100_003,
+) -> PrimeChoice:
+    """Smallest prime meeting the candidate-load target within the security floor.
+
+    Raises ValueError when no prime satisfies both constraints -- the caller
+    must then relax the candidate-load target (favouring privacy), exactly
+    the judgement call the paper leaves to the initiator.
+    """
+    p = _next_prime(m_t + 1)  # p must exceed m_t (Sec. III-C1)
+    while p <= p_ceiling:
+        fraction = candidate_fraction(p, m_t, theta)
+        bits = security_bits(dictionary_size, p, m_t)
+        if bits < min_security_bits:
+            break  # growing p further only weakens security more
+        if fraction <= max_candidate_fraction:
+            return PrimeChoice(p=p, candidate_fraction=fraction, security_bits=bits)
+        p = _next_prime(p + 1)
+    raise ValueError(
+        "no prime satisfies both the candidate-load target and the security floor; "
+        "relax max_candidate_fraction or lower min_security_bits"
+    )

@@ -1,0 +1,38 @@
+"""Adversary implementations for the security evaluation (Sec. II-B, IV-A).
+
+Each attack is executable against the real protocol code, so the privacy
+protection levels of Tables I/II are *measured*, not asserted:
+
+- :mod:`repro.attacks.dictionary` -- dictionary profiling of requests and
+  probing of repliers by a malicious initiator.
+- :mod:`repro.attacks.cheating` -- participants claiming a match they
+  cannot prove (verifiability).
+- :mod:`repro.attacks.mitm` -- man-in-the-middle on channel establishment.
+- :mod:`repro.attacks.eavesdrop` -- passive global eavesdropper and the
+  brute-force profiling cost estimate.
+- :mod:`repro.attacks.dos` -- request flooding vs. the rate-limit defence.
+"""
+
+from repro.attacks.dictionary import DictionaryAttacker, ProbingInitiator
+from repro.attacks.cheating import CheatingParticipant
+from repro.attacks.eavesdrop import Eavesdropper, dictionary_profiling_guesses
+from repro.attacks.mitm import ManInTheMiddle
+from repro.attacks.dos import DosAttacker
+from repro.attacks.timing import (
+    ResponseTimeModel,
+    dictionary_reply_delay_ms,
+    honest_reply_delay_ms,
+)
+
+__all__ = [
+    "CheatingParticipant",
+    "DictionaryAttacker",
+    "DosAttacker",
+    "Eavesdropper",
+    "ManInTheMiddle",
+    "ProbingInitiator",
+    "ResponseTimeModel",
+    "dictionary_profiling_guesses",
+    "dictionary_reply_delay_ms",
+    "honest_reply_delay_ms",
+]

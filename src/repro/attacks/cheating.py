@@ -1,0 +1,58 @@
+"""Cheating participants (Def. 2) and the verifiability defence (Sec. IV-A3).
+
+A cheater claims to match without owning the attributes.  Because a reply
+element only verifies when it was encrypted under the true ``x`` -- which
+is sealed under the request profile key -- a cheater can do no better than
+guess, and the initiator's ACK check rejects the forgery.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.protocols import ACK, Reply, build_reply_element
+from repro.core.request import RequestPackage
+
+__all__ = ["CheatingParticipant"]
+
+
+class CheatingParticipant:
+    """A participant who forges match claims instead of running the protocol."""
+
+    def __init__(self, user_id: str = "mallory"):
+        self.user_id = user_id
+
+    def forge_random_reply(self, package: RequestPackage, n_elements: int = 1) -> Reply:
+        """Claim a match with random-key elements (no knowledge of x)."""
+        elements = tuple(
+            build_reply_element(os.urandom(32), os.urandom(32), similarity=255)
+            for _ in range(n_elements)
+        )
+        return Reply(
+            request_id=package.request_id,
+            responder_id=self.user_id,
+            elements=elements,
+            sent_at_ms=0,
+        )
+
+    def forge_plaintext_guess_reply(self, package: RequestPackage) -> Reply:
+        """Claim a match by replaying plausible-looking plaintext bytes.
+
+        Even knowing the public ACK string is useless without ``x``: the
+        element must *decrypt* to the ACK under the initiator's ``x``.
+        """
+        fake_element = ACK + bytes([255]) + os.urandom(32)
+        return Reply(
+            request_id=package.request_id,
+            responder_id=self.user_id,
+            elements=(fake_element,),
+            sent_at_ms=0,
+        )
+
+    def flood_reply(self, package: RequestPackage, n_elements: int = 1024) -> Reply:
+        """A dictionary-style oversized acknowledge set.
+
+        The initiator's cardinality threshold (Protocol 2/3 step 3) rejects
+        it without opening a single element.
+        """
+        return self.forge_random_reply(package, n_elements=n_elements)

@@ -1,0 +1,140 @@
+"""Dictionary profiling attacks (Def. 1, Sec. IV-A1).
+
+Two dictionary-armed adversaries:
+
+- :class:`DictionaryAttacker` -- a malicious *participant/eavesdropper*
+  holding the full attribute dictionary who tries to reconstruct the
+  request profile from an observed package.  Against Protocol 1 the sealed
+  confirmation string is a decryption oracle, so a small dictionary breaks
+  the request (the paper's Table II entry PPL 0).  Against Protocols 2/3
+  there is no oracle: every dictionary combination decrypts to *some*
+  ``x``, so the attacker ends with an undistinguishable candidate set
+  (PPL 3).
+- :class:`ProbingInitiator` -- a malicious *initiator* who tests a victim's
+  attribute ownership one attribute at a time with crafted single-attribute
+  requests; the verified ack tells it the truth.  Protocol 3's φ-entropy
+  budget is the defence: the victim refuses to test candidate profiles
+  whose disclosure would exceed φ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.matching import unseal_secret
+from repro.core.profile_vector import profile_key
+from repro.core.protocols import Initiator, Participant
+from repro.core.request import RequestPackage
+from repro.crypto.hashes import hash_attribute
+
+__all__ = ["DictionaryAttacker", "ProbingInitiator", "RecoveryResult"]
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of a request-recovery attempt."""
+
+    recovered: tuple[str, ...] | None
+    guesses: int
+    candidate_combinations: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.recovered is not None
+
+
+class DictionaryAttacker:
+    """Adversary holding the full attribute dictionary (worst case)."""
+
+    def __init__(self, dictionary: list[str], max_combinations: int = 200_000):
+        self.dictionary = list(dictionary)
+        self.max_combinations = max_combinations
+        self._hashes = {attr: hash_attribute(attr) for attr in self.dictionary}
+
+    def recover_request(self, package: RequestPackage) -> RecoveryResult:
+        """Try to reconstruct the request profile from an observed package.
+
+        Buckets the dictionary by remainder, enumerates order-consistent
+        combinations and -- when the protocol offers an oracle (Protocol 1
+        confirmation) -- tests each candidate key.  Protocols 2/3 yield no
+        oracle, so the attack can only report how large the surviving
+        candidate set is.
+        """
+        buckets: list[list[tuple[int, str]]] = []
+        for r in package.remainders:
+            bucket = [
+                (h, attr) for attr, h in self._hashes.items() if h % package.p == r
+            ]
+            bucket.sort()
+            buckets.append(bucket)
+        if any(not b for b in buckets):
+            # The dictionary does not cover the request: fall back to the
+            # fuzzy path (unknown positions) only if a hint exists.
+            return RecoveryResult(recovered=None, guesses=0, candidate_combinations=0)
+
+        combinations = 1
+        for b in buckets:
+            combinations *= len(b)
+        guesses = 0
+        if package.protocol == 1:
+            for combo in product(*buckets):
+                values = tuple(h for h, _ in combo)
+                if list(values) != sorted(values):
+                    continue  # request vectors are sorted
+                guesses += 1
+                if guesses > self.max_combinations:
+                    break
+                key = profile_key(values)
+                x, _ = unseal_secret(key, 1, package.ciphertext)
+                if x is not None:
+                    return RecoveryResult(
+                        recovered=tuple(attr for _, attr in combo),
+                        guesses=guesses,
+                        candidate_combinations=combinations,
+                    )
+        # No oracle (or oracle never fired): the attacker is stuck with the
+        # whole combination space.
+        return RecoveryResult(
+            recovered=None, guesses=guesses, candidate_combinations=combinations
+        )
+
+
+class ProbingInitiator:
+    """Malicious initiator probing a victim's attributes one by one."""
+
+    def __init__(self, dictionary: list[str], protocol: int = 2):
+        if protocol not in (2, 3):
+            raise ValueError("probing targets the no-confirmation protocols (2/3)")
+        self.dictionary = list(dictionary)
+        self.protocol = protocol
+
+    def probe(self, victim: Participant, *, p: int = 11) -> dict[str, bool]:
+        """Learn, per dictionary attribute, whether the victim owns it.
+
+        Sends one exact single-attribute request per dictionary entry and
+        checks whether any reply element verifies under the true ``x``.
+        Protocol 3 victims with a φ-entropy policy simply stop replying
+        once the budget is spent, capping what the probe can learn.
+        """
+        learned: dict[str, bool] = {}
+        for attr in self.dictionary:
+            # Dictionary entries are already canonical normalized forms.
+            initiator = Initiator(
+                RequestProfile.exact([attr], normalized=True), protocol=self.protocol, p=p
+            )
+            package = initiator.create_request(now_ms=0)
+            reply = victim.handle_request(package, now_ms=1)
+            owned = False
+            if reply is not None:
+                owned = initiator.handle_reply(reply, now_ms=2) is not None
+            learned[attr] = owned
+        return learned
+
+    def leaked_attributes(self, victim_profile: Profile, probe_result: dict[str, bool]) -> set[str]:
+        """Which of the victim's true attributes the probe actually exposed."""
+        return {
+            attr for attr, owned in probe_result.items()
+            if owned and attr in victim_profile.as_set()
+        }

@@ -1,0 +1,44 @@
+"""Asymmetric-cryptosystem comparators evaluated against in the paper.
+
+Each baseline is a complete, executable protocol built on the from-scratch
+primitives in :mod:`repro.crypto.numbers`:
+
+- :mod:`repro.baselines.paillier` -- additively homomorphic encryption.
+- :mod:`repro.baselines.rsa` -- RSA with blind signing.
+- :mod:`repro.baselines.elgamal` -- multiplicative ElGamal in a safe-prime group.
+- :mod:`repro.baselines.fnp04` -- Freedman-Nissim-Pinkas PSI via oblivious
+  polynomial evaluation [10].
+- :mod:`repro.baselines.fc10` -- De Cristofaro-Tsudik linear PSI via blind
+  RSA signatures [7].
+- :mod:`repro.baselines.dh_psi` -- commutative-encryption PSI / PSI-CA, the
+  executable stand-in for the FindU "Advanced" scheme [14].
+- :mod:`repro.baselines.dot_product` -- Dong et al. private dot-product
+  social proximity [9].
+- :mod:`repro.baselines.costs` -- the symbolic cost model of Table III.
+"""
+
+from repro.baselines.paillier import PaillierKeyPair, PaillierPublicKey
+from repro.baselines.rsa import RsaKeyPair
+from repro.baselines.elgamal import ElGamalKeyPair
+from repro.baselines.fnp04 import fnp_psi
+from repro.baselines.fc10 import fc10_psi
+from repro.baselines.dh_psi import dh_psi, dh_psi_cardinality
+from repro.baselines.dot_product import private_dot_product
+from repro.baselines.fine_grained import (
+    fine_grained_distance,
+    fine_grained_dot_product,
+)
+
+__all__ = [
+    "ElGamalKeyPair",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "RsaKeyPair",
+    "dh_psi",
+    "dh_psi_cardinality",
+    "fc10_psi",
+    "fine_grained_distance",
+    "fine_grained_dot_product",
+    "fnp_psi",
+    "private_dot_product",
+]

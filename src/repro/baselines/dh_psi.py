@@ -1,0 +1,115 @@
+"""Commutative-encryption (DDH-based) PSI and PSI-CA.
+
+Executable stand-in for the multi-round "Advanced" FindU scheme [14], which
+outputs the private *cardinality* of the set intersection.  Both parties
+exponentiate hashed elements with secret exponents in a safe-prime group;
+because exponentiation commutes, double-encrypted values match exactly for
+common elements.  For PSI-CA the server shuffles before returning, so the
+client learns only the count (the PCSI functionality the paper's Table I
+row "PCSI" describes).
+
+Substitution note (see DESIGN.md): FindU's blind-and-permute construction
+needs homomorphic shuffling circuits; DH-PSI-CA realizes the identical
+functionality with the same asymptotic asymmetric-operation count, so all
+shape-level comparisons survive.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.counters import NULL_COUNTER, OpCounter
+from repro.crypto.hashes import sha256_int
+from repro.crypto.numbers import generate_safe_prime
+
+__all__ = ["dh_psi", "dh_psi_cardinality", "generate_group"]
+
+_DEFAULT_GROUP_BITS = 512
+
+
+def generate_group(bits: int = _DEFAULT_GROUP_BITS, rng: random.Random | None = None) -> int:
+    """A safe prime defining the commutative-encryption group."""
+    return generate_safe_prime(bits, rng=rng)
+
+
+def _hash_to_qr(element: str, p: int) -> int:
+    """Hash to the quadratic-residue subgroup (square the raw hash)."""
+    return pow(sha256_int(element.encode("utf-8")) % p, 2, p)
+
+
+def _encrypt_all(elements: list[str], exponent: int, p: int, counter: OpCounter) -> list[int]:
+    out = []
+    for element in elements:
+        counter.add("H")
+        counter.add("E2")
+        out.append(pow(_hash_to_qr(element, p), exponent, p))
+    return out
+
+
+def dh_psi_cardinality(
+    client_set: list[str],
+    server_set: list[str],
+    *,
+    p: int | None = None,
+    rng: random.Random | None = None,
+    client_counter: OpCounter = NULL_COUNTER,
+    server_counter: OpCounter = NULL_COUNTER,
+) -> int:
+    """PSI-CA: the client learns only |client ∩ server|.
+
+    Flow: client sends H(a)^c; server returns (H(a)^c)^s *shuffled* plus its
+    own H(b)^s; client raises the latter to c and counts collisions.
+    """
+    rng = rng or random
+    if p is None:
+        p = generate_group(rng=rng)
+    q = (p - 1) // 2
+    c = rng.randrange(2, q)
+    s = rng.randrange(2, q)
+
+    client_once = _encrypt_all(client_set, c, p, client_counter)
+    # Server double-encrypts the client's values and shuffles them.
+    client_twice = []
+    for value in client_once:
+        server_counter.add("E2")
+        client_twice.append(pow(value, s, p))
+    rng.shuffle(client_twice)
+    server_once = _encrypt_all(server_set, s, p, server_counter)
+    # Client completes the commutative encryption of the server's values.
+    server_twice = set()
+    for value in server_once:
+        client_counter.add("E2")
+        server_twice.add(pow(value, c, p))
+    return sum(1 for v in client_twice if v in server_twice)
+
+
+def dh_psi(
+    client_set: list[str],
+    server_set: list[str],
+    *,
+    p: int | None = None,
+    rng: random.Random | None = None,
+    client_counter: OpCounter = NULL_COUNTER,
+    server_counter: OpCounter = NULL_COUNTER,
+) -> set[str]:
+    """Full PSI: without the shuffle the client learns *which* elements match."""
+    rng = rng or random
+    if p is None:
+        p = generate_group(rng=rng)
+    q = (p - 1) // 2
+    c = rng.randrange(2, q)
+    s = rng.randrange(2, q)
+
+    client_once = _encrypt_all(client_set, c, p, client_counter)
+    client_twice = []
+    for value in client_once:  # order preserved => client maps back to elements
+        server_counter.add("E2")
+        client_twice.append(pow(value, s, p))
+    server_once = _encrypt_all(server_set, s, p, server_counter)
+    server_twice = set()
+    for value in server_once:
+        client_counter.add("E2")
+        server_twice.add(pow(value, c, p))
+    return {
+        element for element, v in zip(client_set, client_twice) if v in server_twice
+    }

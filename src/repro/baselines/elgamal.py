@@ -1,0 +1,61 @@
+"""Multiplicative ElGamal in a safe-prime group.
+
+Included for completeness of the asymmetric substrate (some PSI variants
+and the MITM demonstrations use it); exercised by the unit tests and the
+asymmetric-operation microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.counters import NULL_COUNTER, OpCounter
+from repro.crypto.numbers import generate_safe_prime, invmod
+
+__all__ = ["ElGamalKeyPair"]
+
+
+@dataclass(frozen=True)
+class ElGamalKeyPair:
+    """ElGamal key pair over the quadratic-residue subgroup of Z_p*."""
+
+    p: int
+    g: int
+    x: int  # private
+    h: int  # public: g^x
+
+    @classmethod
+    def generate(cls, bits: int = 512, rng: random.Random | None = None) -> "ElGamalKeyPair":
+        """Generate parameters; *bits* is the safe-prime size."""
+        rng = rng or random
+        p = generate_safe_prime(bits, rng=rng)
+        q = (p - 1) // 2
+        # A generator of the order-q subgroup: square any non-trivial element.
+        while True:
+            a = rng.randrange(2, p - 1)
+            g = pow(a, 2, p)
+            if g != 1:
+                break
+        x = rng.randrange(2, q)
+        return cls(p=p, g=g, x=x, h=pow(g, x, p))
+
+    @property
+    def q(self) -> int:
+        """Order of the subgroup."""
+        return (self.p - 1) // 2
+
+    def encrypt(self, message: int, rng: random.Random | None = None, counter: OpCounter = NULL_COUNTER) -> tuple[int, int]:
+        """Encrypt a subgroup element; returns (c1, c2)."""
+        rng = rng or random
+        k = rng.randrange(2, self.q)
+        counter.add("E2", 2)
+        counter.add("M2")
+        return pow(self.g, k, self.p), (message * pow(self.h, k, self.p)) % self.p
+
+    def decrypt(self, ciphertext: tuple[int, int], counter: OpCounter = NULL_COUNTER) -> int:
+        """Recover the plaintext subgroup element."""
+        c1, c2 = ciphertext
+        counter.add("E2")
+        counter.add("M2")
+        return (c2 * invmod(pow(c1, self.x, self.p), self.p)) % self.p

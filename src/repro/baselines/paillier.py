@@ -1,0 +1,100 @@
+"""Paillier additively homomorphic cryptosystem.
+
+Substrate for the FNP04 PSI baseline [10] and the private dot-product
+baseline [9].  Standard construction: n = p·q, g = n+1, encryption
+``c = g^m · r^n mod n²``; ``Enc(a)·Enc(b) = Enc(a+b)`` and
+``Enc(a)^k = Enc(k·a)``.
+
+Every modular multiplication and exponentiation is tallied on an optional
+:class:`~repro.analysis.counters.OpCounter` using the paper's vocabulary
+(operations modulo n² of a 1024-bit n count as 2048-bit ops: ``E3``/``M3``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import gcd
+
+from repro.analysis.counters import NULL_COUNTER, OpCounter
+from repro.crypto.numbers import generate_prime, invmod, lcm
+
+__all__ = ["PaillierPublicKey", "PaillierKeyPair"]
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public parameters (n, g) with g = n+1."""
+
+    n: int
+    n_squared: int
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+    def encrypt(
+        self,
+        message: int,
+        rng: random.Random | None = None,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> int:
+        """Encrypt ``message`` (mod n) with fresh randomness."""
+        rng = rng or random
+        m = message % self.n
+        while True:
+            r = rng.randrange(1, self.n)
+            if gcd(r, self.n) == 1:
+                break
+        # g^m = (n+1)^m = 1 + n*m mod n^2  (one M3 instead of an exponentiation)
+        counter.add("M3")
+        g_m = (1 + self.n * m) % self.n_squared
+        counter.add("E3")
+        r_n = pow(r, self.n, self.n_squared)
+        counter.add("M3")
+        return (g_m * r_n) % self.n_squared
+
+    def add(self, c1: int, c2: int, counter: OpCounter = NULL_COUNTER) -> int:
+        """Homomorphic addition: Enc(a)·Enc(b) = Enc(a+b)."""
+        counter.add("M3")
+        return (c1 * c2) % self.n_squared
+
+    def scalar_mul(self, c: int, k: int, counter: OpCounter = NULL_COUNTER) -> int:
+        """Homomorphic scalar multiply: Enc(a)^k = Enc(k·a)."""
+        counter.add("E3")
+        return pow(c, k % self.n, self.n_squared)
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    """Private key (λ, μ) plus the public key."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+    @classmethod
+    def generate(cls, bits: int = 1024, rng: random.Random | None = None) -> "PaillierKeyPair":
+        """Generate a key pair with an n of roughly *bits* bits."""
+        rng = rng or random
+        while True:
+            p = generate_prime(bits // 2, rng=rng)
+            q = generate_prime(bits // 2, rng=rng)
+            if p != q:
+                break
+        n = p * q
+        lam = lcm(p - 1, q - 1)
+        public = PaillierPublicKey(n=n, n_squared=n * n)
+        # mu = (L(g^lambda mod n^2))^-1 mod n, with g = n+1 so L(...) = lambda... n
+        g_lam = pow(public.g, lam, public.n_squared)
+        l_value = (g_lam - 1) // n
+        mu = invmod(l_value, n)
+        return cls(public=public, lam=lam, mu=mu)
+
+    def decrypt(self, ciphertext: int, counter: OpCounter = NULL_COUNTER) -> int:
+        """Recover the plaintext (mod n)."""
+        counter.add("E3")
+        c_lam = pow(ciphertext, self.lam, self.public.n_squared)
+        l_value = (c_lam - 1) // self.public.n
+        counter.add("M2")
+        return (l_value * self.mu) % self.public.n

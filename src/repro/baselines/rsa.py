@@ -1,0 +1,61 @@
+"""RSA with blind signing, substrate for the FC10 PSI baseline [7]."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import gcd
+
+from repro.analysis.counters import NULL_COUNTER, OpCounter
+from repro.crypto.numbers import generate_prime, invmod
+
+__all__ = ["RsaKeyPair"]
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """Textbook RSA key pair (sufficient for the PSI blind-signature core)."""
+
+    n: int
+    e: int
+    d: int
+
+    @classmethod
+    def generate(cls, bits: int = 1024, e: int = 65537, rng: random.Random | None = None) -> "RsaKeyPair":
+        """Generate an RSA modulus of roughly *bits* bits."""
+        rng = rng or random
+        while True:
+            p = generate_prime(bits // 2, rng=rng)
+            q = generate_prime(bits // 2, rng=rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            if gcd(e, phi) == 1:
+                break
+        return cls(n=p * q, e=e, d=invmod(e, phi))
+
+    def sign(self, message: int, counter: OpCounter = NULL_COUNTER) -> int:
+        """Raw RSA signature m^d mod n (counted as a 1024-bit exponentiation)."""
+        counter.add("E2")
+        return pow(message % self.n, self.d, self.n)
+
+    def verify(self, message: int, signature: int, counter: OpCounter = NULL_COUNTER) -> bool:
+        """Check sig^e == m mod n."""
+        counter.add("E2")
+        return pow(signature, self.e, self.n) == message % self.n
+
+    def blind(self, message: int, rng: random.Random | None = None, counter: OpCounter = NULL_COUNTER) -> tuple[int, int]:
+        """Blind *message* with a random factor; returns (blinded, factor)."""
+        rng = rng or random
+        while True:
+            r = rng.randrange(2, self.n)
+            if gcd(r, self.n) == 1:
+                break
+        counter.add("E2")
+        counter.add("M2")
+        return (message * pow(r, self.e, self.n)) % self.n, r
+
+    def unblind(self, blinded_signature: int, factor: int, counter: OpCounter = NULL_COUNTER) -> int:
+        """Strip the blinding factor from a blind signature."""
+        counter.add("M2")
+        return (blinded_signature * invmod(factor, self.n)) % self.n

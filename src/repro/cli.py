@@ -1,0 +1,182 @@
+"""Command-line interface: demos, population statistics, experiments.
+
+Installed as ``sealed-bottle`` (see pyproject).  Subcommands:
+
+- ``demo``        one friending exchange, verbose.
+- ``population``  generate a calibrated population and print its statistics.
+- ``simulate``    run a friending episode over a simulated MANET.
+- ``tables``      regenerate the measured PPL tables (I and II).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.analysis.ppl import evaluate_hbc_table, evaluate_malicious_table
+from repro.analysis.reporting import render_series, render_table
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant
+from repro.dataset.stats import (
+    attribute_count_distribution,
+    profile_collision_cdf,
+    unique_profile_fraction,
+)
+from repro.dataset.weibo import WeiboGenerator
+from repro.network.simulator import AdHocNetwork
+from repro.network.topology import random_geometric_topology
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The sealed-bottle argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="sealed-bottle",
+        description="Privacy-preserving friending (Zhang & Li, ICDCS 2013) -- reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one verbose friending exchange")
+    demo.add_argument("--protocol", type=int, choices=(1, 2, 3), default=1)
+
+    population = sub.add_parser("population", help="generate + describe a population")
+    population.add_argument("--users", type=int, default=2000)
+    population.add_argument("--vocabulary", type=int, default=20_000)
+    population.add_argument("--seed", type=int, default=2013)
+
+    simulate = sub.add_parser("simulate", help="friending episode over a MANET")
+    simulate.add_argument("--nodes", type=int, default=50)
+    simulate.add_argument("--radius", type=float, default=0.25)
+    simulate.add_argument("--theta", type=float, default=0.6)
+    simulate.add_argument("--protocol", type=int, choices=(1, 2, 3), default=2)
+    simulate.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("tables", help="regenerate measured PPL tables I and II")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "population":
+        return _cmd_population(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "tables":
+        return _cmd_tables()
+    return 2  # pragma: no cover -- argparse enforces the choices
+
+
+def _cmd_demo(args) -> int:
+    request = RequestProfile(
+        necessary=["interest:basketball"],
+        optional=["profession:engineer", "city:nyc", "music:jazz"],
+        beta=2,
+    )
+    initiator = Initiator(request, protocol=args.protocol)
+    package = initiator.create_request(now_ms=0)
+    print(f"request: protocol {args.protocol}, {package.wire_size_bytes()} bytes, "
+          f"theta={request.theta:.0%}")
+    matcher = Participant(Profile(
+        ["interest:basketball", "profession:engineer", "city:nyc"], user_id="match"
+    ))
+    stranger = Participant(Profile(["hobby:stamps"], user_id="stranger"))
+    for participant in (matcher, stranger):
+        reply = participant.handle_request(package, now_ms=1)
+        if reply is None:
+            print(f"{participant.profile.user_id}: relays silently")
+            continue
+        record = initiator.handle_reply(reply, now_ms=2)
+        verdict = f"verified (similarity {record.similarity})" if record else "rejected"
+        print(f"{participant.profile.user_id}: replied -> {verdict}")
+    return 0
+
+
+def _cmd_population(args) -> int:
+    users = WeiboGenerator(
+        n_users=args.users, tag_vocabulary=args.vocabulary, seed=args.seed
+    ).generate()
+    mean_tags = sum(len(u.tags) for u in users) / len(users)
+    print(render_table(
+        "population summary",
+        ["metric", "value"],
+        [
+            ["users", len(users)],
+            ["mean tags", f"{mean_tags:.2f}"],
+            ["max tags", max(len(u.tags) for u in users)],
+            ["unique profiles (tags only)",
+             f"{unique_profile_fraction(users, include_keywords=False):.1%}"],
+            ["unique profiles (with keywords)",
+             f"{unique_profile_fraction(users, include_keywords=True):.1%}"],
+        ],
+    ))
+    histogram = attribute_count_distribution(users)
+    xs = sorted(histogram)
+    print()
+    print(render_series("tag count distribution", "tags", xs, {"users": [histogram[x] for x in xs]}))
+    cdf = profile_collision_cdf(users, include_keywords=False, max_collisions=5)
+    print()
+    print(render_series("collision CDF", "collisions <=", list(range(1, 6)),
+                        {"fraction": [round(v, 4) for v in cdf]}))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    rng = random.Random(args.seed)
+    users = WeiboGenerator(
+        n_users=args.nodes, tag_vocabulary=1_000, seed=args.seed
+    ).generate()
+    adjacency, _ = random_geometric_topology(args.nodes, args.radius, seed=args.seed)
+    nodes = list(adjacency)
+    participants = {}
+    for node, user in zip(nodes, users):
+        participants[node] = Participant(
+            Profile(user.profile().attributes, user_id=node, normalized=True), rng=rng
+        )
+    participants[nodes[0]] = None
+
+    target = users[min(len(users) - 1, args.nodes // 2)]
+    request = RequestProfile.with_threshold(
+        necessary=(), optional=[f"tag:{t}" for t in target.tags],
+        theta=args.theta, normalized=True,
+    )
+    initiator = Initiator(request, protocol=args.protocol, rng=rng)
+    network = AdHocNetwork(adjacency, participants, rng=rng)
+    result = network.run_friending(nodes[0], initiator)
+
+    metrics = result.metrics.as_dict()
+    print(render_table(
+        f"friending episode (n={args.nodes}, theta={args.theta}, protocol {args.protocol})",
+        ["metric", "value"],
+        [[k, v] for k, v in metrics.items() if v]
+        + [["matches", ", ".join(result.matched_ids) or "none"]],
+    ))
+    return 0
+
+
+def _cmd_tables() -> int:
+    pairs = ["A_I vs v_M", "A_I vs v_U", "A_M vs v_I", "A_U vs v_I"]
+    measured = {(c.protocol, c.pair): c.level for c in evaluate_hbc_table()}
+    rows = [
+        [protocol] + [measured[(protocol, pair)] for pair in pairs]
+        for protocol in ("Protocol 1", "Protocol 2", "Protocol 3")
+    ]
+    print(render_table("Table I (measured, HBC)", ["scheme"] + pairs, rows))
+
+    pairs2 = ["A_I vs v'_P", "A_M vs v'_I", "A_U vs v'_P"]
+    measured2 = {(c.protocol, c.pair): c.level for c in evaluate_malicious_table()}
+    rows2 = [
+        [protocol] + [measured2[(protocol, pair)] for pair in pairs2]
+        for protocol in ("Protocol 1", "Protocol 2", "Protocol 3")
+    ]
+    print()
+    print(render_table("Table II (measured, malicious)", ["scheme"] + pairs2, rows2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Core sealed-bottle mechanism: private profile matching + secure channels.
+
+Public API tour
+---------------
+
+>>> from repro.core import Profile, RequestProfile, Initiator, Participant
+>>> alice = Initiator(RequestProfile(necessary=["interest:basketball"],
+...                                  optional=["profession:engineer", "city:nyc"],
+...                                  beta=1), protocol=1)
+>>> package = alice.create_request()
+>>> bob = Participant(Profile(["interest:basketball", "profession:engineer",
+...                            "interest:jazz"], user_id="bob"))
+>>> reply = bob.handle_request(package)
+>>> record = alice.handle_reply(reply, now_ms=10)
+>>> record.responder_id
+'bob'
+"""
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.channel import SecureChannel, group_session_key, pair_session_key
+from repro.core.entropy import (
+    AttributeDistribution,
+    EntropyPolicy,
+    k_anonymity_phi,
+    sensitive_attribute_phi,
+)
+from repro.core.exceptions import (
+    HintSolveError,
+    InvalidRequestError,
+    MatchingError,
+    PolicyViolation,
+    SealedBottleError,
+    SerializationError,
+)
+from repro.core.hint import HintMatrix, build_hint_matrix, solve_candidate
+from repro.core.location import (
+    LatticePoint,
+    LatticeSpec,
+    vicinity_request,
+    vicinity_threshold_beta,
+)
+from repro.core.matching import (
+    CONFIRMATION,
+    InitiatorSecret,
+    MatchOutcome,
+    build_request,
+    process_request,
+)
+from repro.core.normalization import normalize_attribute, normalize_profile
+from repro.core.profile_vector import ParticipantVector, RequestVector, profile_key
+from repro.core.protocols import (
+    ACK,
+    Initiator,
+    MatchRecord,
+    Participant,
+    RejectedReply,
+    Reply,
+)
+from repro.core.remainder import (
+    CandidateVector,
+    EnumerationBudget,
+    enumerate_candidates,
+    is_candidate,
+    iter_candidates,
+    remainder_vector,
+)
+from repro.core.request import RequestPackage
+from repro.core.agent import AgentEvent, SealedBottleAgent
+from repro.core.wire import (
+    decode_reply,
+    decode_session_message,
+    encode_reply,
+    encode_session_message,
+    reply_wire_size,
+)
+
+__all__ = [
+    "ACK",
+    "AgentEvent",
+    "AttributeDistribution",
+    "CONFIRMATION",
+    "CandidateVector",
+    "EntropyPolicy",
+    "EnumerationBudget",
+    "HintMatrix",
+    "HintSolveError",
+    "Initiator",
+    "InitiatorSecret",
+    "InvalidRequestError",
+    "LatticePoint",
+    "LatticeSpec",
+    "MatchOutcome",
+    "MatchRecord",
+    "MatchingError",
+    "Participant",
+    "ParticipantVector",
+    "PolicyViolation",
+    "Profile",
+    "RejectedReply",
+    "Reply",
+    "RequestPackage",
+    "RequestProfile",
+    "RequestVector",
+    "SealedBottleAgent",
+    "SealedBottleError",
+    "SecureChannel",
+    "SerializationError",
+    "build_hint_matrix",
+    "build_request",
+    "decode_reply",
+    "decode_session_message",
+    "encode_reply",
+    "encode_session_message",
+    "enumerate_candidates",
+    "group_session_key",
+    "is_candidate",
+    "iter_candidates",
+    "k_anonymity_phi",
+    "normalize_attribute",
+    "normalize_profile",
+    "pair_session_key",
+    "process_request",
+    "profile_key",
+    "remainder_vector",
+    "reply_wire_size",
+    "sensitive_attribute_phi",
+    "solve_candidate",
+    "vicinity_request",
+    "vicinity_threshold_beta",
+]

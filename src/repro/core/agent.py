@@ -1,0 +1,215 @@
+"""High-level application agent: one object per device.
+
+:class:`SealedBottleAgent` is the byte-level application facade a real
+deployment would embed: it owns the device's profile, current location,
+privacy policy and open sessions, and exposes exactly two inbound entry
+points (``handle_datagram`` for request/reply packets, ``handle_session``
+for channel traffic).  Everything underneath -- hashing, remainder checks,
+hint solving, entropy budgeting, key schedules, wire formats -- is the
+machinery from the rest of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.channel import SecureChannel
+from repro.core.entropy import EntropyPolicy
+from repro.core.exceptions import SealedBottleError, SerializationError
+from repro.core.location import LatticeSpec, vicinity_request
+from repro.core.protocols import Initiator, MatchRecord, Participant, Reply
+from repro.core.request import REQUEST_MAGIC, RequestPackage
+from repro.core.wire import (
+    REPLY_MAGIC,
+    decode_reply,
+    decode_session_message,
+    encode_reply,
+    encode_session_message,
+)
+
+__all__ = ["SealedBottleAgent", "AgentEvent"]
+
+
+@dataclass
+class AgentEvent:
+    """Something the application layer should know about."""
+
+    kind: str  # "match" | "message" | "relay"
+    peer: str = ""
+    payload: bytes = b""
+    record: MatchRecord | None = None
+
+
+@dataclass
+class _Session:
+    channel: SecureChannel
+    peer: str
+
+
+class SealedBottleAgent:
+    """One device: profile + location + policies + open sessions.
+
+    Parameters
+    ----------
+    user_id:
+        Stable identifier used in replies (pseudonymous is fine).
+    attributes:
+        Raw attribute strings; normalized internally.
+    lattice / location:
+        Optional location context for vicinity search and dynamic keys.
+    entropy_policy:
+        Optional Protocol 3 disclosure budget.
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        attributes: list[str],
+        *,
+        lattice: LatticeSpec | None = None,
+        location: tuple[float, float] | None = None,
+        entropy_policy: EntropyPolicy | None = None,
+        protocol: int = 2,
+        rng: random.Random | None = None,
+    ):
+        self.user_id = user_id
+        self.protocol = protocol
+        self.lattice = lattice
+        self.location = location
+        self.entropy_policy = entropy_policy
+        self.rng = rng or random.Random()
+        self._attributes = list(attributes)
+        self._participant = self._build_participant()
+        self._initiators: dict[bytes, Initiator] = {}
+        self._sessions: dict[bytes, _Session] = {}
+
+    # ------------------------------------------------------------------
+    # Profile and location lifecycle
+
+    def _build_participant(self) -> Participant:
+        return Participant(
+            Profile(self._attributes, user_id=self.user_id),
+            entropy_policy=self.entropy_policy,
+            rng=self.rng,
+        )
+
+    @property
+    def profile(self) -> Profile:
+        """The agent's current normalized profile."""
+        return self._participant.profile
+
+    def update_attributes(self, attributes: list[str]) -> None:
+        """Replace the profile; hashes are recomputed once (paper Sec. IV-B1)."""
+        self._attributes = list(attributes)
+        self._participant = self._build_participant()
+
+    def update_location(self, x: float, y: float) -> None:
+        """Move the device; vicinity attributes derive from here."""
+        self.location = (x, y)
+
+    # ------------------------------------------------------------------
+    # Initiating searches
+
+    def search(self, request: RequestProfile, *, now_ms: int = 0, p: int = 11) -> bytes:
+        """Start a profile search; returns the datagram to broadcast."""
+        initiator = Initiator(request, protocol=self.protocol, p=p, rng=self.rng)
+        package = initiator.create_request(now_ms=now_ms)
+        self._initiators[package.request_id] = initiator
+        return package.encode()
+
+    def search_vicinity(
+        self, search_range: float, theta: float, *, now_ms: int = 0, p: int = 1009
+    ) -> bytes:
+        """Start a location-private vicinity search from the current location."""
+        if self.lattice is None or self.location is None:
+            raise SealedBottleError("agent has no lattice/location configured")
+        request = vicinity_request(
+            self.lattice, self.location[0], self.location[1], search_range, theta
+        )
+        initiator = Initiator(request, protocol=self.protocol, p=p, rng=self.rng)
+        package = initiator.create_request(now_ms=now_ms)
+        self._initiators[package.request_id] = initiator
+        return package.encode()
+
+    def matches(self) -> list[MatchRecord]:
+        """All verified matches across outstanding searches."""
+        return [m for ini in self._initiators.values() for m in ini.matches]
+
+    # ------------------------------------------------------------------
+    # Inbound datagrams
+
+    def handle_datagram(self, data: bytes, *, now_ms: int = 0) -> tuple[bytes | None, AgentEvent | None]:
+        """Process one inbound packet.
+
+        Returns ``(outbound, event)``: *outbound* is a datagram to send
+        back towards the packet's origin (a reply, or None), *event* tells
+        the application what happened (a verified match, a relay decision).
+        """
+        if data[:4] == REQUEST_MAGIC:
+            return self._handle_request(data, now_ms)
+        if data[:4] == REPLY_MAGIC:
+            return None, self._handle_reply(data, now_ms)
+        raise SerializationError("unknown datagram type")
+
+    def _handle_request(self, data: bytes, now_ms: int) -> tuple[bytes | None, AgentEvent | None]:
+        package = RequestPackage.decode(data)
+        if package.request_id in self._initiators:
+            return None, None  # our own broadcast echoed back
+        reply = self._participant.handle_request(package, now_ms=now_ms)
+        if reply is None:
+            return None, AgentEvent(kind="relay")
+        return encode_reply(reply), AgentEvent(kind="relay")
+
+    def _handle_reply(self, data: bytes, now_ms: int) -> AgentEvent | None:
+        reply = decode_reply(data)
+        initiator = self._initiators.get(reply.request_id)
+        if initiator is None:
+            return None
+        record = initiator.handle_reply(reply, now_ms=now_ms)
+        if record is None:
+            return None
+        session = _Session(
+            channel=SecureChannel(record.session_key), peer=record.responder_id
+        )
+        self._sessions[reply.request_id + record.y[:8]] = session
+        return AgentEvent(kind="match", peer=record.responder_id, record=record)
+
+    # ------------------------------------------------------------------
+    # Session traffic
+
+    def send_message(self, record: MatchRecord, request_id: bytes, plaintext: bytes) -> bytes:
+        """Encrypt a message to a verified match; returns the framed datagram."""
+        key = request_id + record.y[:8]
+        session = self._sessions.get(key)
+        if session is None:
+            session = _Session(channel=SecureChannel(record.session_key), peer=record.responder_id)
+            self._sessions[key] = session
+        return encode_session_message(request_id, session.channel.send(plaintext))
+
+    def handle_session(self, data: bytes) -> AgentEvent | None:
+        """Try to read inbound session traffic with every known channel key.
+
+        Under Protocols 2/3 the responder does not know which of its
+        candidate secrets was correct until the first authenticated message
+        arrives -- this method resolves that by trial verification.
+        """
+        channel_id, ciphertext = decode_session_message(data)
+        # Existing sessions first.
+        for session in self._sessions.values():
+            try:
+                plaintext = session.channel.receive(ciphertext)
+            except Exception:
+                continue
+            return AgentEvent(kind="message", peer=session.peer, payload=plaintext)
+        # Candidate keys from requests this agent replied to.
+        for key in self._participant.channel_keys(channel_id):
+            channel = SecureChannel(key)
+            try:
+                plaintext = channel.receive(ciphertext)
+            except Exception:
+                continue
+            self._sessions[channel_id] = _Session(channel=channel, peer="initiator")
+            return AgentEvent(kind="message", peer="initiator", payload=plaintext)
+        return None

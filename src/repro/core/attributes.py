@@ -1,0 +1,150 @@
+"""Profile and request-profile models (paper Sec. II-A).
+
+A user profile is a set of attributes ``A_k``; an initiator expresses the
+desired person as a request profile ``A_t = (N_t, O_t)`` with α *necessary*
+attributes (all required) and the remaining optional attributes of which at
+least β must be owned.  The similarity threshold is ``θ = (α + β) / m_t``
+and ``γ = m_t − α − β`` optional attributes may be missing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.normalization import normalize_profile
+
+__all__ = ["Profile", "RequestProfile"]
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A participant's normalized attribute set.
+
+    Parameters
+    ----------
+    attributes:
+        Raw attribute strings; they are normalized and deduplicated on
+        construction so all downstream hashing sees canonical forms.
+    user_id:
+        Optional identifier used by the network simulator and datasets.
+    """
+
+    attributes: tuple[str, ...]
+    user_id: str = ""
+
+    def __init__(self, attributes, user_id: str = "", *, normalized: bool = False):
+        attrs = tuple(attributes) if normalized else tuple(normalize_profile(list(attributes)))
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "user_id", user_id)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def as_set(self) -> frozenset[str]:
+        """The attribute set (normalized forms)."""
+        return frozenset(self.attributes)
+
+    def intersection(self, other: "Profile") -> frozenset[str]:
+        """Common attributes with another profile."""
+        return self.as_set() & other.as_set()
+
+    def similarity_to(self, request: "RequestProfile") -> float:
+        """Fraction of the request's attributes this profile owns."""
+        owned = len(request.as_set() & self.as_set())
+        return owned / len(request) if len(request) else 0.0
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """The initiator's search specification ``A_t = (N_t, O_t)``.
+
+    ``necessary`` must all be owned by a match; at least ``beta`` of
+    ``optional`` must be owned.  A perfect match (``θ = 1``) is expressed by
+    leaving ``optional`` empty or setting ``beta = len(optional)``.
+    """
+
+    necessary: tuple[str, ...]
+    optional: tuple[str, ...]
+    beta: int
+    _normalized: bool = field(default=False, repr=False, compare=False)
+
+    def __init__(self, necessary=(), optional=(), beta: int | None = None, *, normalized: bool = False):
+        nec = tuple(necessary) if normalized else tuple(normalize_profile(list(necessary)))
+        opt_raw = tuple(optional) if normalized else tuple(normalize_profile(list(optional)))
+        # Optional attributes must not duplicate necessary ones.
+        opt = tuple(a for a in opt_raw if a not in set(nec))
+        if beta is None:
+            beta = len(opt)
+        if not 0 <= beta <= len(opt):
+            raise ValueError(f"beta must be in [0, {len(opt)}], got {beta}")
+        if not nec and not opt:
+            raise ValueError("request profile must contain at least one attribute")
+        if not nec and beta == 0:
+            raise ValueError("a request with no necessary attributes needs beta >= 1")
+        object.__setattr__(self, "necessary", nec)
+        object.__setattr__(self, "optional", opt)
+        object.__setattr__(self, "beta", beta)
+        object.__setattr__(self, "_normalized", True)
+
+    @classmethod
+    def exact(cls, attributes, *, normalized: bool = False) -> "RequestProfile":
+        """A perfect-match request: every attribute is necessary."""
+        return cls(necessary=attributes, optional=(), beta=0, normalized=normalized)
+
+    @classmethod
+    def with_threshold(cls, necessary, optional, theta: float, *, normalized: bool = False) -> "RequestProfile":
+        """Build a request from a similarity threshold ``θ = (α+β)/m_t``.
+
+        ``beta`` is derived as ``ceil(θ·m_t) − α`` (clamped to the valid
+        range), matching the paper's definition of the acceptable threshold.
+        """
+        if not 0.0 < theta <= 1.0:
+            raise ValueError("theta must be in (0, 1]")
+        probe = cls(necessary=necessary, optional=optional, beta=None, normalized=normalized)
+        m_t = len(probe)
+        alpha = len(probe.necessary)
+        beta = max(0, min(len(probe.optional), math.ceil(theta * m_t) - alpha))
+        if alpha == 0:
+            beta = max(1, beta)
+        return cls(necessary=probe.necessary, optional=probe.optional, beta=beta, normalized=True)
+
+    def __len__(self) -> int:
+        return len(self.necessary) + len(self.optional)
+
+    @property
+    def alpha(self) -> int:
+        """Number of necessary attributes (α)."""
+        return len(self.necessary)
+
+    @property
+    def gamma(self) -> int:
+        """Number of optional attributes a match may lack (γ = m_t − α − β)."""
+        return len(self.optional) - self.beta
+
+    @property
+    def theta(self) -> float:
+        """The similarity threshold θ = (α + β) / m_t."""
+        return (self.alpha + self.beta) / len(self)
+
+    def as_set(self) -> frozenset[str]:
+        """All request attributes."""
+        return frozenset(self.necessary) | frozenset(self.optional)
+
+    def is_perfect(self) -> bool:
+        """True when a perfect match is required (γ = 0)."""
+        return self.gamma == 0
+
+    def matches(self, profile: Profile) -> bool:
+        """Ground-truth predicate (Eq. 1): does *profile* satisfy the request?
+
+        This is the plaintext oracle used by tests and evaluation; the
+        protocols themselves never see both sides in the clear.
+        """
+        owned = profile.as_set()
+        if not set(self.necessary) <= owned:
+            return False
+        return len(set(self.optional) & owned) >= self.beta

@@ -1,0 +1,61 @@
+"""Secure channel establishment from the exchanged secrets (Sec. III-F).
+
+After matching, the initiator's random ``x`` and the matcher's random ``y``
+have been exchanged under profile-key protection: ``x`` only reached users
+owning the matching attributes, ``y`` only reached the holder of the true
+``x``.  The pairwise session key is derived from ``x‖y``; the group
+(community) key from ``x`` alone.  A MITM who does not own the matching
+attributes can recover neither, which is the paper's anti-MITM argument.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.authenticated import AuthenticatedCipher
+from repro.crypto.kdf import hkdf
+
+__all__ = ["pair_session_key", "group_session_key", "SecureChannel"]
+
+
+def pair_session_key(x: bytes, y: bytes) -> bytes:
+    """Derive the pairwise session key from both parties' secrets."""
+    return hkdf(x + y, info=b"sealed-bottle pair channel", length=32)
+
+
+def group_session_key(x: bytes) -> bytes:
+    """Derive the community/group key known to every matching user."""
+    return hkdf(x, info=b"sealed-bottle group channel", length=32)
+
+
+class SecureChannel:
+    """Authenticated bidirectional channel over an established session key.
+
+    This is deliberately a thin wrapper: the sealed-bottle handshake *is*
+    the key exchange, so once ``x``/``y`` are shared the channel is just
+    encrypt-then-MAC symmetric messaging.
+    """
+
+    def __init__(self, session_key: bytes):
+        self._cipher = AuthenticatedCipher(session_key)
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    @classmethod
+    def for_pair(cls, x: bytes, y: bytes) -> "SecureChannel":
+        """Channel between the initiator and one matching user."""
+        return cls(pair_session_key(x, y))
+
+    @classmethod
+    def for_group(cls, x: bytes) -> "SecureChannel":
+        """Channel shared by the initiator and all matching users."""
+        return cls(group_session_key(x))
+
+    def send(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+        """Encrypt and authenticate an outgoing message."""
+        self.messages_sent += 1
+        return self._cipher.encrypt(plaintext, nonce)
+
+    def receive(self, message: bytes) -> bytes:
+        """Verify and decrypt an incoming message (raises on tampering)."""
+        plaintext = self._cipher.decrypt(message)
+        self.messages_received += 1
+        return plaintext

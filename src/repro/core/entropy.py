@@ -1,0 +1,141 @@
+"""Attribute/profile entropy and φ-entropy privacy policies (Def. 4-6).
+
+Protocol 3 lets every participant cap the information a malicious,
+dictionary-armed initiator could extract from their reply: the participant
+only tests candidate profiles whose attribute union has entropy at most a
+personal limit φ.  The paper suggests two ways to pick φ:
+
+- **k-anonymity based**: φ = log₂(n/k) so that, in expectation, at least k
+  users share any disclosed attribute subset.
+- **sensitive-attribute based**: φ = min entropy over the user's sensitive
+  attributes, so no single sensitive attribute can be leaked.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "AttributeDistribution",
+    "EntropyPolicy",
+    "k_anonymity_phi",
+    "sensitive_attribute_phi",
+]
+
+
+class AttributeDistribution:
+    """Empirical value distribution per attribute category (Def. 4).
+
+    An attribute string ``"category:value"`` belongs to *category*; its
+    entropy is the Shannon entropy of the category's value distribution.
+    Attributes without a known category fall back to *default_entropy*
+    (attribute spaces like free-form tags are effectively unbounded, so the
+    default should be generous).
+    """
+
+    def __init__(
+        self,
+        value_counts: Mapping[str, Mapping[str, float]] | None = None,
+        default_entropy: float = 16.0,
+    ):
+        self.default_entropy = float(default_entropy)
+        self._entropy_by_category: dict[str, float] = {}
+        if value_counts:
+            for category, counts in value_counts.items():
+                self._entropy_by_category[category] = _shannon_entropy(counts.values())
+
+    @classmethod
+    def uniform(cls, category_sizes: Mapping[str, int], default_entropy: float = 16.0) -> "AttributeDistribution":
+        """Distribution where category *c* has ``t_c`` equally likely values.
+
+        Then S(a) = log₂ t_c, matching the paper's k-anonymity derivation.
+        """
+        dist = cls(default_entropy=default_entropy)
+        for category, size in category_sizes.items():
+            if size < 1:
+                raise ValueError(f"category {category!r} must have >= 1 value")
+            dist._entropy_by_category[category] = math.log2(size)
+        return dist
+
+    def attribute_entropy(self, attribute: str) -> float:
+        """S(a_i): entropy of the attribute's category distribution."""
+        category, sep, _ = attribute.partition(":")
+        if not sep:
+            return self.default_entropy
+        return self._entropy_by_category.get(category, self.default_entropy)
+
+    def profile_entropy(self, attributes: Iterable[str]) -> float:
+        """S(A_k) = Σ S(a_i) over *distinct* attributes (Def. 5)."""
+        return sum(self.attribute_entropy(a) for a in set(attributes))
+
+
+def _shannon_entropy(weights) -> float:
+    total = float(sum(weights))
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for w in weights:
+        if w > 0:
+            prob = w / total
+            entropy -= prob * math.log2(prob)
+    return entropy
+
+
+def k_anonymity_phi(n_users: int, k: int) -> float:
+    """φ = log₂(n/k): disclosed subsets stay k-anonymous in expectation."""
+    if not 1 <= k <= n_users:
+        raise ValueError("need 1 <= k <= n_users")
+    return math.log2(n_users / k)
+
+
+def sensitive_attribute_phi(
+    distribution: AttributeDistribution, sensitive_attributes: Iterable[str]
+) -> float:
+    """φ = min S(a) over the user's sensitive attributes.
+
+    Any leak that stays strictly below the cheapest sensitive attribute's
+    entropy cannot contain a sensitive attribute.
+    """
+    entropies = [distribution.attribute_entropy(a) for a in sensitive_attributes]
+    if not entropies:
+        raise ValueError("at least one sensitive attribute is required")
+    return min(entropies)
+
+
+class EntropyPolicy:
+    """A participant's φ-entropy privacy budget (Def. 6).
+
+    :meth:`select` greedily admits candidate attribute sets while the
+    entropy of the union of everything admitted stays within φ.
+    """
+
+    def __init__(self, distribution: AttributeDistribution, phi: float):
+        if phi < 0:
+            raise ValueError("phi must be non-negative")
+        self.distribution = distribution
+        self.phi = float(phi)
+
+    def allows(self, attributes: Iterable[str]) -> bool:
+        """Would disclosing exactly these attributes respect the budget?"""
+        return self.distribution.profile_entropy(attributes) <= self.phi
+
+    def select(
+        self,
+        candidate_attribute_sets: list[frozenset[str]],
+        already_disclosed: frozenset[str] = frozenset(),
+    ) -> list[int]:
+        """Indices of candidate sets to test, respecting the union budget.
+
+        *already_disclosed* carries attributes exposed by earlier replies;
+        the budget applies to the cumulative union, which is what defeats
+        repeated single-attribute probing by a malicious initiator.
+        """
+        union: set[str] = set(already_disclosed)
+        chosen: list[int] = []
+        for i, attrs in enumerate(candidate_attribute_sets):
+            tentative = union | attrs
+            if self.distribution.profile_entropy(tentative) <= self.phi:
+                union = tentative
+                chosen.append(i)
+        return chosen

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the sealed-bottle core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SealedBottleError",
+    "InvalidRequestError",
+    "MatchingError",
+    "HintSolveError",
+    "SerializationError",
+    "PolicyViolation",
+]
+
+
+class SealedBottleError(Exception):
+    """Base class for all errors raised by :mod:`repro.core`."""
+
+
+class InvalidRequestError(SealedBottleError):
+    """A request package is malformed or violates protocol parameters."""
+
+
+class MatchingError(SealedBottleError):
+    """The matching engine hit an unrecoverable inconsistency."""
+
+
+class HintSolveError(SealedBottleError):
+    """The hint-matrix linear system is unsolvable or inconsistent."""
+
+
+class SerializationError(SealedBottleError):
+    """Wire-format encoding or decoding failed."""
+
+
+class PolicyViolation(SealedBottleError):
+    """An operation would exceed a user's privacy policy (e.g. entropy cap)."""

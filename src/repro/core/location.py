@@ -1,0 +1,147 @@
+"""Hexagonal-lattice location hashing and private vicinity search (Sec. III-D).
+
+Locations are snapped to the hexagonal lattice spanned by the primitive
+vectors ``a1 = (d, 0)`` and ``a2 = (d/2, √3·d/2)`` (Eq. 15).  A user's
+*vicinity region* is the set of lattice points within the search range D of
+their own snapped cell centre; hashing those points like ordinary
+attributes turns "are we within distance ≈D of each other?" into the same
+fuzzy set-matching problem the core mechanism already solves:
+
+    match  ⇔  |V_i ∩ V_k| / |V_k| ≥ Θ        (Eq. 16)
+
+Because every participant uses the same lattice spec (origin, cell size d)
+and the same range D, |V_k| is a fixed geometry constant and the threshold
+translates directly into the β of a fuzzy request.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.attributes import RequestProfile
+from repro.crypto.hashes import sha256
+
+__all__ = ["LatticeSpec", "LatticePoint", "vicinity_request", "vicinity_threshold_beta"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LatticePoint:
+    """A lattice point identified by its integer coordinates ``(u1, u2)``."""
+
+    u1: int
+    u2: int
+
+
+@dataclass(frozen=True)
+class LatticeSpec:
+    """Publicly agreed lattice: origin O and cell scale d (Sec. III-D1)."""
+
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+    d: float = 1.0
+
+    def __post_init__(self):
+        if self.d <= 0:
+            raise ValueError("lattice scale d must be positive")
+
+    def point_xy(self, point: LatticePoint) -> tuple[float, float]:
+        """Cartesian coordinates of a lattice point (Eq. 14-15)."""
+        x = self.origin_x + point.u1 * self.d + point.u2 * self.d / 2.0
+        y = self.origin_y + point.u2 * self.d * math.sqrt(3.0) / 2.0
+        return x, y
+
+    def fractional(self, x: float, y: float) -> tuple[float, float]:
+        """Real-valued lattice coordinates of a Cartesian location."""
+        dy = y - self.origin_y
+        dx = x - self.origin_x
+        u2 = dy / (self.d * math.sqrt(3.0) / 2.0)
+        u1 = (dx - u2 * self.d / 2.0) / self.d
+        return u1, u2
+
+    def nearest(self, x: float, y: float) -> LatticePoint:
+        """Snap a location to its nearest lattice point (location hash).
+
+        The nearest point is found exactly by scanning the 3×3 integer
+        neighbourhood of the real-valued solve -- cheap and provably
+        sufficient for this basis.
+        """
+        fu1, fu2 = self.fractional(x, y)
+        best: LatticePoint | None = None
+        best_dist = math.inf
+        for cu1 in (math.floor(fu1) - 1, math.floor(fu1), math.floor(fu1) + 1, math.ceil(fu1) + 1):
+            for cu2 in (math.floor(fu2) - 1, math.floor(fu2), math.floor(fu2) + 1, math.ceil(fu2) + 1):
+                candidate = LatticePoint(cu1, cu2)
+                px, py = self.point_xy(candidate)
+                dist = (px - x) ** 2 + (py - y) ** 2
+                if dist < best_dist:
+                    best_dist = dist
+                    best = candidate
+        assert best is not None
+        return best
+
+    def vicinity_set(self, x: float, y: float, search_range: float) -> list[LatticePoint]:
+        """All lattice points within *search_range* of the snapped centre.
+
+        Includes the centre itself; sorted by (u1, u2) so every user
+        enumerates the identical ordered set for the identical location.
+        """
+        if search_range < 0:
+            raise ValueError("search range must be non-negative")
+        center = self.nearest(x, y)
+        cx, cy = self.point_xy(center)
+        radius_cells = int(math.ceil(search_range / self.d)) + 1
+        points = []
+        for du2 in range(-radius_cells, radius_cells + 1):
+            for du1 in range(-2 * radius_cells, 2 * radius_cells + 1):
+                candidate = LatticePoint(center.u1 + du1, center.u2 + du2)
+                px, py = self.point_xy(candidate)
+                if math.hypot(px - cx, py - cy) <= search_range + _EPS:
+                    points.append(candidate)
+        points.sort(key=lambda pt: (pt.u1, pt.u2))
+        return points
+
+    def point_attribute(self, point: LatticePoint) -> str:
+        """Canonical attribute string for one lattice point.
+
+        Embeds the lattice spec so requests built over different grids can
+        never collide; already in normalized form (no re-normalization
+        needed downstream).
+        """
+        return f"lattice:{self.origin_x!r}|{self.origin_y!r}|{self.d!r}|{point.u1}|{point.u2}"
+
+    def vicinity_attributes(self, x: float, y: float, search_range: float) -> list[str]:
+        """The sorted vicinity region as hashable attribute strings."""
+        return [self.point_attribute(pt) for pt in self.vicinity_set(x, y, search_range)]
+
+    def cell_binding(self, x: float, y: float) -> bytes:
+        """Dynamic key shared by users snapped to the same cell (Sec. III-D3).
+
+        Used to bind static attributes to the current location so the hash
+        of the same static attribute differs across cells, hardening
+        dictionary profiling.
+        """
+        return sha256(self.point_attribute(self.nearest(x, y)).encode("utf-8"))
+
+
+def vicinity_threshold_beta(cardinality: int, theta: float) -> int:
+    """β for a vicinity request: minimum common lattice points (Eq. 16)."""
+    if not 0.0 < theta <= 1.0:
+        raise ValueError("theta must be in (0, 1]")
+    return max(1, math.ceil(theta * cardinality))
+
+
+def vicinity_request(
+    spec: LatticeSpec, x: float, y: float, search_range: float, theta: float
+) -> RequestProfile:
+    """Build the fuzzy request implementing a private vicinity search.
+
+    All vicinity lattice points are optional attributes; a participant
+    matches iff it shares at least ``β = ⌈Θ·|V|⌉`` of them, i.e. iff the
+    vicinity regions overlap by the required proportion.
+    """
+    attributes = spec.vicinity_attributes(x, y, search_range)
+    beta = vicinity_threshold_beta(len(attributes), theta)
+    return RequestProfile(necessary=(), optional=attributes, beta=beta, normalized=True)

@@ -1,0 +1,188 @@
+"""Profile normalization pipeline (paper Sec. III-B).
+
+Because attribute equality is decided by comparing cryptographic hashes, two
+attributes that users would consider "the same" must normalize to the same
+byte string before hashing.  The paper lists the transformations; this
+module implements them in a fixed order:
+
+1. Unicode canonicalization (NFKD) and removal of accents/diacritics.
+2. Lower-casing.
+3. Abbreviation expansion (extensible dictionary).
+4. Conversion of numbers to English words.
+5. Removal of punctuation and whitespace.
+6. De-pluralization of the trailing word-form.
+
+Semantic equivalence between different words is explicitly out of scope, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+import unicodedata
+from collections.abc import Mapping
+
+__all__ = [
+    "DEFAULT_ABBREVIATIONS",
+    "OPAQUE_CATEGORIES",
+    "normalize_attribute",
+    "normalize_profile",
+    "number_to_words",
+    "singularize",
+]
+
+# Machine-generated attribute categories whose values are already canonical
+# byte strings; linguistic normalization would corrupt them.  Lattice points
+# (Sec. III-D) are the paper's own example of such attributes.
+OPAQUE_CATEGORIES = frozenset({"lattice"})
+
+DEFAULT_ABBREVIATIONS: dict[str, str] = {
+    "cs": "computer science",
+    "ee": "electrical engineering",
+    "prof": "professor",
+    "dr": "doctor",
+    "univ": "university",
+    "dept": "department",
+    "eng": "engineering",
+    "mgmt": "management",
+    "intl": "international",
+    "assoc": "associate",
+    "asst": "assistant",
+    "bball": "basketball",
+    "nyc": "new york city",
+    "sf": "san francisco",
+    "usa": "united states",
+    "uk": "united kingdom",
+}
+
+_ONES = [
+    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight",
+    "nine", "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen",
+    "sixteen", "seventeen", "eighteen", "nineteen",
+]
+_TENS = [
+    "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy",
+    "eighty", "ninety",
+]
+_SCALES = [(10**9, "billion"), (10**6, "million"), (10**3, "thousand"), (100, "hundred")]
+
+
+def number_to_words(value: int) -> str:
+    """Spell a non-negative integer below 10^12 in English words."""
+    if value < 0:
+        raise ValueError("only non-negative numbers are supported")
+    if value >= 10**12:
+        raise ValueError("number too large to spell")
+    if value < 20:
+        return _ONES[value]
+    if value < 100:
+        tens, ones = divmod(value, 10)
+        return _TENS[tens] + ("" if ones == 0 else " " + _ONES[ones])
+    for scale, name in _SCALES:
+        if value >= scale:
+            head, rest = divmod(value, scale)
+            spelled = number_to_words(head) + " " + name
+            if rest:
+                spelled += " " + number_to_words(rest)
+            return spelled
+    raise AssertionError("unreachable")
+
+
+def singularize(word: str) -> str:
+    """Convert a plural English word-form to singular with simple rules.
+
+    The rules are heuristic (as any rule-based stemmer is) but deterministic,
+    which is the property the hashing pipeline actually needs.
+    """
+    if len(word) <= 3:
+        return word
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith(("sses", "shes", "ches", "xes", "zes", "uses")):
+        return word[:-2]
+    if word.endswith("ss") or word.endswith("us") or word.endswith("is"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+_NUMBER_RE = re.compile(r"\d+")
+_PUNCT_TABLE = str.maketrans("", "", string.punctuation)
+
+
+def _strip_accents(text: str) -> str:
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def normalize_attribute(
+    raw: str,
+    abbreviations: Mapping[str, str] | None = None,
+) -> str:
+    """Normalize one raw attribute string to its canonical hashable form.
+
+    An attribute may carry a category header separated by ``:`` (e.g.
+    ``"interest:Basketball"``); header and value are normalized separately
+    and re-joined with ``:`` so categories stay distinguishable.
+    """
+    if abbreviations is None:
+        abbreviations = DEFAULT_ABBREVIATIONS
+    head, sep, value = raw.partition(":")
+    if sep and head in OPAQUE_CATEGORIES:
+        return raw
+    if sep:
+        return (
+            _normalize_fixed_point(head, abbreviations)
+            + ":"
+            + _normalize_fixed_point(value, abbreviations)
+        )
+    return _normalize_fixed_point(raw, abbreviations)
+
+
+def _normalize_fixed_point(text: str, abbreviations: Mapping[str, str]) -> str:
+    """Iterate field normalization until stable.
+
+    Joining words can mint new word-forms ("zero"+"s" -> "zeros"; "e"+"e"
+    -> the abbreviation "ee"), so a single pass is not idempotent.  Both
+    endpoints must map equivalent inputs to the *identical* byte string, so
+    we run to a fixed point (bounded -- each pass only shrinks or expands
+    through a finite abbreviation table).
+    """
+    for _ in range(8):
+        result = _normalize_field(text, abbreviations)
+        if result == text:
+            return result
+        text = result
+    return text
+
+
+def _normalize_field(text: str, abbreviations: Mapping[str, str]) -> str:
+    text = _strip_accents(text).lower()
+    # Expand abbreviations token-wise before punctuation is removed.
+    tokens = re.split(r"[\s\-_/.,;]+", text)
+    tokens = [abbreviations.get(tok, tok) for tok in tokens if tok]
+    text = " ".join(tokens)
+    # Numbers to words so "42" and "forty two" collide.
+    text = _NUMBER_RE.sub(lambda m: number_to_words(int(m.group())), text)
+    text = text.translate(_PUNCT_TABLE)
+    words = text.split()
+    if words:
+        words[-1] = singularize(words[-1])
+    return "".join(words)
+
+
+def normalize_profile(
+    attributes: list[str] | tuple[str, ...],
+    abbreviations: Mapping[str, str] | None = None,
+) -> list[str]:
+    """Normalize and deduplicate a whole attribute list (order-preserving)."""
+    seen: set[str] = set()
+    result: list[str] = []
+    for raw in attributes:
+        canonical = normalize_attribute(raw, abbreviations)
+        if canonical and canonical not in seen:
+            seen.add(canonical)
+            result.append(canonical)
+    return result

@@ -1,0 +1,133 @@
+"""Profile vectors and profile keys (paper Sec. III-B, Eq. 2-3).
+
+A *profile vector* is the sorted list of SHA-256 values of the normalized
+attributes; the *profile key* is the SHA-256 of the concatenated vector and
+keys AES-256.  For a request profile the vector additionally records which
+positions are necessary.
+
+Design note on ordering: the paper keeps both ``H_t`` and ``H_k`` sorted so
+the order-consistency constraint (Eq. 8) prunes candidate combinations.  We
+sort the request vector *globally* (necessary and optional interleaved by
+hash value) and carry a necessary-position mask, which preserves Eq. 8
+exactly while still supporting the (N_t, O_t) split; the hint matrix then
+operates on the optional positions in their global sorted order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.counters import NULL_COUNTER, OpCounter
+from repro.core.attributes import Profile, RequestProfile
+from repro.crypto.hashes import hash_attribute, hash_vector_key
+
+__all__ = ["ParticipantVector", "RequestVector", "profile_key"]
+
+
+def profile_key(values, counter: OpCounter = NULL_COUNTER) -> bytes:
+    """Derive the 256-bit AES profile key ``K = H(H_k)`` (Eq. 3)."""
+    counter.add("H")
+    return hash_vector_key(values)
+
+
+@dataclass(frozen=True)
+class ParticipantVector:
+    """A participant's sorted profile vector ``H_k`` with attribute back-map."""
+
+    values: tuple[int, ...]
+    attributes: tuple[str, ...]  # attributes[i] hashes to values[i]
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: Profile,
+        *,
+        binding: bytes | None = None,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> "ParticipantVector":
+        """Hash and sort a profile (Eq. 2); *binding* is the dynamic location key."""
+        pairs = []
+        for attr in profile.attributes:
+            counter.add("H")
+            pairs.append((hash_attribute(attr, binding), attr))
+        pairs.sort()
+        return cls(
+            values=tuple(h for h, _ in pairs),
+            attributes=tuple(a for _, a in pairs),
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def key(self, counter: OpCounter = NULL_COUNTER) -> bytes:
+        """The participant's own profile key ``K_k = H(H_k)``."""
+        return profile_key(self.values, counter)
+
+
+@dataclass(frozen=True)
+class RequestVector:
+    """The initiator's sorted request vector with the necessary-position mask.
+
+    Attributes
+    ----------
+    values:
+        Sorted 256-bit hash values of the request attributes.
+    necessary_mask:
+        ``necessary_mask[i]`` is True when position *i* holds a necessary
+        attribute (one of the α attributes every match must own).
+    beta:
+        Minimum number of optional positions a match must satisfy.
+    """
+
+    values: tuple[int, ...]
+    necessary_mask: tuple[bool, ...]
+    beta: int
+
+    @classmethod
+    def from_request(
+        cls,
+        request: RequestProfile,
+        *,
+        binding: bytes | None = None,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> "RequestVector":
+        """Hash, tag and globally sort the request profile."""
+        tagged = []
+        for attr in request.necessary:
+            counter.add("H")
+            tagged.append((hash_attribute(attr, binding), True))
+        for attr in request.optional:
+            counter.add("H")
+            tagged.append((hash_attribute(attr, binding), False))
+        tagged.sort()
+        return cls(
+            values=tuple(h for h, _ in tagged),
+            necessary_mask=tuple(n for _, n in tagged),
+            beta=request.beta,
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def alpha(self) -> int:
+        """Number of necessary positions."""
+        return sum(self.necessary_mask)
+
+    @property
+    def gamma(self) -> int:
+        """Number of optional positions a match may miss."""
+        return (len(self.values) - self.alpha) - self.beta
+
+    @property
+    def optional_indices(self) -> tuple[int, ...]:
+        """Positions of the optional attributes in global sorted order."""
+        return tuple(i for i, nec in enumerate(self.necessary_mask) if not nec)
+
+    def optional_values(self) -> tuple[int, ...]:
+        """Hash values at the optional positions, in order."""
+        return tuple(self.values[i] for i in self.optional_indices)
+
+    def key(self, counter: OpCounter = NULL_COUNTER) -> bytes:
+        """The request profile key ``K_t`` that seals the message."""
+        return profile_key(self.values, counter)

@@ -1,0 +1,172 @@
+"""Request package model and wire format (Fig. 1).
+
+The initiator broadcasts a single self-contained package: the encrypted
+message, the remainder vector and (for fuzzy requests) the hint matrix,
+plus routing metadata (request id, TTL, expiry).  The required profile
+vector itself is **never** transmitted.
+
+The binary encoding here is what the communication-cost analysis measures;
+field widths follow the paper's accounting (32-bit remainders, 32-bit hint
+coefficients, 256-bit-plus B entries).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.exceptions import SerializationError
+from repro.core.hint import HintMatrix
+
+__all__ = ["RequestPackage", "REQUEST_MAGIC"]
+
+REQUEST_MAGIC = b"SBRQ"
+_VERSION = 1
+_FLAG_HINT = 0x01
+
+
+@dataclass(frozen=True)
+class RequestPackage:
+    """Everything a relay user receives (and everything an adversary sees)."""
+
+    protocol: int
+    p: int
+    remainders: tuple[int, ...]
+    necessary_mask: tuple[bool, ...]
+    beta: int
+    hint: HintMatrix | None
+    ciphertext: bytes
+    request_id: bytes
+    ttl: int
+    expiry_ms: int
+
+    def __post_init__(self):
+        if self.protocol not in (1, 2, 3):
+            raise SerializationError(f"unknown protocol {self.protocol}")
+        if len(self.remainders) != len(self.necessary_mask):
+            raise SerializationError("remainder vector and mask lengths differ")
+        if len(self.request_id) != 8:
+            raise SerializationError("request id must be 8 bytes")
+        if any(r >= self.p for r in self.remainders):
+            raise SerializationError("remainder not reduced modulo p")
+
+    @property
+    def m_t(self) -> int:
+        """Number of request attributes."""
+        return len(self.remainders)
+
+    @property
+    def alpha(self) -> int:
+        """Number of necessary positions."""
+        return sum(self.necessary_mask)
+
+    @property
+    def gamma(self) -> int:
+        """Number of optional positions a match may miss."""
+        return (self.m_t - self.alpha) - self.beta
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        flags = _FLAG_HINT if self.hint is not None else 0
+        out = bytearray()
+        out += REQUEST_MAGIC
+        out += struct.pack(
+            ">BBBHH8sBQH",
+            _VERSION,
+            self.protocol,
+            flags,
+            self.p,
+            self.m_t,
+            self.request_id,
+            self.ttl,
+            self.expiry_ms,
+            self.beta,
+        )
+        mask_bytes = bytearray((self.m_t + 7) // 8)
+        for i, necessary in enumerate(self.necessary_mask):
+            if necessary:
+                mask_bytes[i // 8] |= 1 << (i % 8)
+        out += mask_bytes
+        for r in self.remainders:
+            out += struct.pack(">I", r)
+        if self.hint is not None:
+            out += struct.pack(">HH", self.hint.gamma, self.hint.beta)
+            for row in self.hint.r_block:
+                for coeff in row:
+                    out += struct.pack(">I", coeff)
+            for b in self.hint.b_vector:
+                encoded = b.to_bytes((b.bit_length() + 7) // 8 or 1, "big")
+                out += struct.pack(">H", len(encoded)) + encoded
+        out += struct.pack(">H", len(self.ciphertext)) + self.ciphertext
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RequestPackage":
+        """Parse the wire format back into a package."""
+        try:
+            return cls._decode(data)
+        except (struct.error, IndexError) as exc:
+            raise SerializationError(f"truncated request package: {exc}") from exc
+
+    @classmethod
+    def _decode(cls, data: bytes) -> "RequestPackage":
+        if data[:4] != REQUEST_MAGIC:
+            raise SerializationError("bad magic")
+        offset = 4
+        (version, protocol, flags, p, m_t, request_id, ttl, expiry_ms, beta) = struct.unpack_from(
+            ">BBBHH8sBQH", data, offset
+        )
+        if version != _VERSION:
+            raise SerializationError(f"unsupported version {version}")
+        offset += struct.calcsize(">BBBHH8sBQH")
+        mask_len = (m_t + 7) // 8
+        mask_bytes = data[offset : offset + mask_len]
+        offset += mask_len
+        necessary_mask = tuple(
+            bool(mask_bytes[i // 8] >> (i % 8) & 1) for i in range(m_t)
+        )
+        remainders = struct.unpack_from(f">{m_t}I", data, offset)
+        offset += 4 * m_t
+        hint = None
+        if flags & _FLAG_HINT:
+            gamma, hint_beta = struct.unpack_from(">HH", data, offset)
+            offset += 4
+            r_block = []
+            for _ in range(gamma):
+                row = struct.unpack_from(f">{hint_beta}I", data, offset)
+                offset += 4 * hint_beta
+                r_block.append(tuple(row))
+            b_vector = []
+            for _ in range(gamma):
+                (blen,) = struct.unpack_from(">H", data, offset)
+                offset += 2
+                b_vector.append(int.from_bytes(data[offset : offset + blen], "big"))
+                offset += blen
+            hint = HintMatrix(
+                gamma=gamma, beta=hint_beta, r_block=tuple(r_block), b_vector=tuple(b_vector)
+            )
+        (clen,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        ciphertext = data[offset : offset + clen]
+        if len(ciphertext) != clen:
+            raise SerializationError("truncated ciphertext")
+        return cls(
+            protocol=protocol,
+            p=p,
+            remainders=tuple(remainders),
+            necessary_mask=necessary_mask,
+            beta=beta,
+            hint=hint,
+            ciphertext=ciphertext,
+            request_id=request_id,
+            ttl=ttl,
+            expiry_ms=expiry_ms,
+        )
+
+    def wire_size_bytes(self) -> int:
+        """Size of the serialized package in bytes."""
+        return len(self.encode())
+
+    def is_expired(self, now_ms: int) -> bool:
+        """True when the request's validity window has passed."""
+        return now_ms > self.expiry_ms

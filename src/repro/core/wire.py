@@ -1,0 +1,114 @@
+"""Wire formats for replies and session messages.
+
+The request package has its own encoding in :mod:`repro.core.request`;
+this module covers the other two message classes so the whole protocol can
+run over raw datagrams: the acknowledge reply (request id + element set)
+and the framed session message (channel id + AEAD ciphertext).  Byte
+layouts are what the network simulator and communication-cost benches
+account.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.exceptions import SerializationError
+from repro.core.protocols import Reply
+
+__all__ = [
+    "encode_reply",
+    "decode_reply",
+    "reply_wire_size",
+    "encode_session_message",
+    "decode_session_message",
+    "REPLY_MAGIC",
+    "SESSION_MAGIC",
+]
+
+REPLY_MAGIC = b"SBRP"
+SESSION_MAGIC = b"SBSM"
+_ELEMENT_LEN = 48
+_MAX_RESPONDER_ID = 255
+
+
+def encode_reply(reply: Reply) -> bytes:
+    """Serialize a :class:`~repro.core.protocols.Reply` to bytes."""
+    responder = reply.responder_id.encode("utf-8")
+    if len(responder) > _MAX_RESPONDER_ID:
+        raise SerializationError("responder id too long")
+    for element in reply.elements:
+        if len(element) != _ELEMENT_LEN:
+            raise SerializationError(
+                f"reply elements must be {_ELEMENT_LEN} bytes, got {len(element)}"
+            )
+    out = bytearray()
+    out += REPLY_MAGIC
+    out += struct.pack(">8sQHB", reply.request_id, reply.sent_at_ms, len(reply.elements), len(responder))
+    out += responder
+    for element in reply.elements:
+        out += element
+    return bytes(out)
+
+
+def decode_reply(data: bytes) -> Reply:
+    """Parse bytes back into a Reply."""
+    try:
+        if data[:4] != REPLY_MAGIC:
+            raise SerializationError("bad reply magic")
+        offset = 4
+        request_id, sent_at_ms, n_elements, id_len = struct.unpack_from(">8sQHB", data, offset)
+        offset += struct.calcsize(">8sQHB")
+        responder = data[offset : offset + id_len].decode("utf-8")
+        offset += id_len
+        elements = []
+        for _ in range(n_elements):
+            element = data[offset : offset + _ELEMENT_LEN]
+            if len(element) != _ELEMENT_LEN:
+                raise SerializationError("truncated reply element")
+            elements.append(element)
+            offset += _ELEMENT_LEN
+        if offset != len(data):
+            raise SerializationError("trailing bytes after reply")
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise SerializationError(f"malformed reply: {exc}") from exc
+    return Reply(
+        request_id=request_id,
+        responder_id=responder,
+        elements=tuple(elements),
+        sent_at_ms=sent_at_ms,
+    )
+
+
+def reply_wire_size(n_elements: int, responder_id: str = "") -> int:
+    """Size in bytes of an encoded reply with *n_elements* elements."""
+    return 4 + struct.calcsize(">8sQHB") + len(responder_id.encode("utf-8")) + (
+        n_elements * _ELEMENT_LEN
+    )
+
+
+def encode_session_message(channel_id: bytes, ciphertext: bytes) -> bytes:
+    """Frame one authenticated session message.
+
+    *channel_id* is a public 8-byte routing tag (e.g. the request id) so
+    relays can route without learning anything about the content.
+    """
+    if len(channel_id) != 8:
+        raise SerializationError("channel id must be 8 bytes")
+    if len(ciphertext) > 0xFFFF:
+        raise SerializationError("session message too large for one frame")
+    return SESSION_MAGIC + channel_id + struct.pack(">H", len(ciphertext)) + ciphertext
+
+
+def decode_session_message(data: bytes) -> tuple[bytes, bytes]:
+    """Unframe a session message; returns (channel_id, ciphertext)."""
+    try:
+        if data[:4] != SESSION_MAGIC:
+            raise SerializationError("bad session magic")
+        channel_id = data[4:12]
+        (length,) = struct.unpack_from(">H", data, 12)
+        ciphertext = data[14 : 14 + length]
+        if len(channel_id) != 8 or len(ciphertext) != length or len(data) != 14 + length:
+            raise SerializationError("truncated session message")
+    except struct.error as exc:
+        raise SerializationError(f"malformed session message: {exc}") from exc
+    return channel_id, ciphertext

@@ -1,0 +1,215 @@
+"""Pure-Python AES block cipher (FIPS-197).
+
+The paper's mechanism seals the friending request with AES-256 keyed by the
+profile key.  The execution environment has no third-party crypto library,
+so this module implements the full Rijndael cipher from the specification:
+S-box construction from the GF(2^8) inverse, key expansion for 128/192/256
+bit keys, and the round transformations.  Correctness is pinned against the
+FIPS-197 appendix vectors in ``tests/crypto/test_aes.py``.
+
+Performance notes: encryption uses the classic 8-bit table approach with
+Python-level loops.  It is orders of magnitude slower than hardware AES but
+still orders of magnitude *faster* than the 1024/2048-bit modular
+exponentiations the asymmetric baselines need, so the paper's headline
+comparison (Tables IV, V, VII) is preserved in shape.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16
+
+_ROUNDS_BY_KEY_LEN = {16: 10, 24: 12, 32: 14}
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Construct the AES S-box and its inverse from first principles.
+
+    The S-box is the multiplicative inverse in GF(2^8) (modulo the Rijndael
+    polynomial x^8+x^4+x^3+x+1) followed by the specified affine transform.
+    """
+    # Multiplicative inverse table via exp/log over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 in GF(2^8)
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(b: int) -> int:
+        if b == 0:
+            return 0
+        return exp[255 - log[b]]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for b in range(256):
+        q = inverse(b)
+        # affine transform: q ^ rot(q,1) ^ rot(q,2) ^ rot(q,3) ^ rot(q,4) ^ 0x63
+        s = q
+        for shift in range(1, 5):
+            s ^= ((q << shift) | (q >> (8 - shift))) & 0xFF
+        s ^= 0x63
+        sbox[b] = s
+        inv_sbox[s] = b
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Precomputed multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = [_gmul(b, 2) for b in range(256)]
+_MUL3 = [_gmul(b, 3) for b in range(256)]
+_MUL9 = [_gmul(b, 9) for b in range(256)]
+_MUL11 = [_gmul(b, 11) for b in range(256)]
+_MUL13 = [_gmul(b, 13) for b in range(256)]
+_MUL14 = [_gmul(b, 14) for b in range(256)]
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+class AES:
+    """AES block cipher over 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        16, 24 or 32 bytes selecting AES-128, AES-192 or AES-256.
+
+    The object exposes :meth:`encrypt_block` / :meth:`decrypt_block`; chaining
+    modes live in :mod:`repro.crypto.modes`.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in _ROUNDS_BY_KEY_LEN:
+            raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.key = bytes(key)
+        self.rounds = _ROUNDS_BY_KEY_LEN[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """FIPS-197 key schedule, returning one 16-byte list per round key."""
+        nk = len(key) // 4
+        nr = self.rounds
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(nr + 1):
+            rk = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(s: list[int]) -> None:
+        # State is column-major: byte (row r, col c) at index 4*c + r.
+        s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+        s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+        s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+
+    @staticmethod
+    def _inv_shift_rows(s: list[int]) -> None:
+        s[5], s[9], s[13], s[1] = s[1], s[5], s[9], s[13]
+        s[10], s[14], s[2], s[6] = s[2], s[6], s[10], s[14]
+        s[15], s[3], s[7], s[11] = s[3], s[7], s[11], s[15]
+
+    @staticmethod
+    def _mix_columns(s: list[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            s[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            s[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            s[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            s[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(s: list[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            s[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            s[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            s[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            s[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

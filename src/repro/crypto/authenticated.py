@@ -1,0 +1,71 @@
+"""Encrypt-then-MAC authenticated encryption for the post-match channel.
+
+After profile matching succeeds, the initiator and the matching user share
+``x`` and ``y`` (Sec. III-F) and upgrade to an authenticated channel: the
+sealed-bottle request itself deliberately uses *unauthenticated* encryption
+(a wrong profile key must yield garbage rather than an error), but the
+session traffic needs integrity against tampering and MITM.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.hashes import hmac_sha256
+from repro.crypto.kdf import hkdf
+from repro.crypto.modes import decrypt_ctr, encrypt_ctr
+
+__all__ = ["AuthenticationError", "AuthenticatedCipher"]
+
+_MAC_LEN = 32
+_NONCE_LEN = 8
+
+
+class AuthenticationError(ValueError):
+    """Raised when a ciphertext fails MAC verification."""
+
+
+class AuthenticatedCipher:
+    """AES-256-CTR + HMAC-SHA256 in encrypt-then-MAC composition.
+
+    Separate encryption and MAC keys are derived from the supplied master
+    secret with HKDF, so callers can hand in the raw shared secret
+    (``x || y``) directly.
+    """
+
+    def __init__(self, master_secret: bytes):
+        if not master_secret:
+            raise ValueError("master secret must be non-empty")
+        self._enc_key = hkdf(master_secret, info=b"sealed-bottle enc", length=32)
+        self._mac_key = hkdf(master_secret, info=b"sealed-bottle mac", length=32)
+
+    def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+        """Encrypt and authenticate, returning ``nonce || ciphertext || tag``."""
+        if nonce is None:
+            nonce = os.urandom(_NONCE_LEN)
+        if len(nonce) != _NONCE_LEN:
+            raise ValueError(f"nonce must be {_NONCE_LEN} bytes")
+        body = encrypt_ctr(self._enc_key, plaintext, nonce)
+        tag = hmac_sha256(self._mac_key, nonce + body)
+        return nonce + body + tag
+
+    def decrypt(self, message: bytes) -> bytes:
+        """Verify and decrypt a message produced by :meth:`encrypt`."""
+        if len(message) < _NONCE_LEN + _MAC_LEN:
+            raise AuthenticationError("message too short")
+        nonce = message[:_NONCE_LEN]
+        body = message[_NONCE_LEN:-_MAC_LEN]
+        tag = message[-_MAC_LEN:]
+        expected = hmac_sha256(self._mac_key, nonce + body)
+        if not _constant_time_eq(tag, expected):
+            raise AuthenticationError("MAC verification failed")
+        return decrypt_ctr(self._enc_key, body, nonce)
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

@@ -1,0 +1,85 @@
+"""SHA-256 helpers and the attribute/profile hashing conventions.
+
+Section III-B of the paper hashes each normalized attribute with SHA-256 to
+obtain the profile vector, then hashes the vector again to obtain the
+256-bit AES profile key (Eq. 2-3).  This module centralises those
+conventions so that initiator and participants always agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "HASH_BITS",
+    "HASH_BYTES",
+    "sha256",
+    "sha256_int",
+    "int_to_bytes",
+    "bytes_to_int",
+    "hash_attribute",
+    "hash_vector_key",
+    "hmac_sha256",
+]
+
+HASH_BITS = 256
+HASH_BYTES = HASH_BITS // 8
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of *data*."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_int(data: bytes) -> int:
+    """SHA-256 digest of *data* interpreted as a big-endian 256-bit integer."""
+    return int.from_bytes(hashlib.sha256(data).digest(), "big")
+
+
+def int_to_bytes(value: int, length: int = HASH_BYTES) -> bytes:
+    """Encode a non-negative integer as a fixed-width big-endian byte string."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian byte string into an integer."""
+    return int.from_bytes(data, "big")
+
+
+def hash_attribute(attribute: str, binding: bytes | None = None) -> int:
+    """Hash one normalized attribute to its 256-bit integer value.
+
+    When *binding* is given (the dynamic location key of Sec. III-D3), the
+    hash covers ``attribute || binding`` so the same static attribute hashes
+    differently at different locations, hardening dictionary profiling.
+    """
+    payload = attribute.encode("utf-8")
+    if binding is not None:
+        payload += b"\x00" + binding
+    return sha256_int(payload)
+
+
+def hash_vector_key(hash_values: Sequence[int] | Iterable[int]) -> bytes:
+    """Derive the 256-bit profile key ``K = H(H_k)`` from a profile vector.
+
+    The vector elements are serialized as fixed-width 32-byte big-endian
+    integers in order, so both endpoints derive the identical key for the
+    identical sorted vector.
+    """
+    hasher = hashlib.sha256()
+    for value in hash_values:
+        hasher.update(int_to_bytes(value))
+    return hasher.digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 (RFC 2104) built directly on the hash primitive."""
+    block_size = 64
+    if len(key) > block_size:
+        key = sha256(key)
+    key = key.ljust(block_size, b"\x00")
+    inner = sha256(bytes(k ^ 0x36 for k in key) + data)
+    return sha256(bytes(k ^ 0x5C for k in key) + inner)

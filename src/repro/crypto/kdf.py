@@ -1,0 +1,33 @@
+"""HKDF-SHA256 key derivation (RFC 5869)."""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import HASH_BYTES, hmac_sha256
+
+__all__ = ["hkdf", "hkdf_extract", "hkdf_expand"]
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract step: PRK = HMAC(salt, ikm)."""
+    if not salt:
+        salt = b"\x00" * HASH_BYTES
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand step producing *length* output bytes."""
+    if length > 255 * HASH_BYTES:
+        raise ValueError("requested HKDF output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot HKDF-SHA256."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

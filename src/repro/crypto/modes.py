@@ -1,0 +1,127 @@
+"""Block cipher modes of operation and PKCS#7 padding.
+
+Three modes are provided because the protocols need different malleability
+properties:
+
+- **ECB/CBC** are used where the plaintext is exactly key-sized material and
+  deterministic encryption is acceptable (sealed ``x`` in Protocols 2/3 must
+  decrypt to *something* under every wrong key -- no integrity oracle).
+- **CTR** is the stream layer underneath the authenticated channel.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+__all__ = [
+    "PaddingError",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "encrypt_ecb",
+    "decrypt_ecb",
+    "encrypt_cbc",
+    "decrypt_cbc",
+    "ctr_keystream",
+    "encrypt_ctr",
+    "decrypt_ctr",
+]
+
+
+class PaddingError(ValueError):
+    """Raised when PKCS#7 padding is malformed."""
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Pad *data* to a multiple of *block_size* (always adds >= 1 byte)."""
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len] * pad_len)
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("ciphertext length is not a multiple of the block size")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise PaddingError("invalid padding length byte")
+    if data[-pad_len:] != bytes([pad_len] * pad_len):
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_len]
+
+
+def _blocks(data: bytes):
+    for i in range(0, len(data), BLOCK_SIZE):
+        yield data[i : i + BLOCK_SIZE]
+
+
+def encrypt_ecb(key: bytes, plaintext: bytes) -> bytes:
+    """ECB over already block-aligned plaintext (no padding added)."""
+    if len(plaintext) % BLOCK_SIZE:
+        raise ValueError("ECB requires block-aligned plaintext")
+    cipher = AES(key)
+    return b"".join(cipher.encrypt_block(b) for b in _blocks(plaintext))
+
+
+def decrypt_ecb(key: bytes, ciphertext: bytes) -> bytes:
+    """ECB decryption of block-aligned ciphertext."""
+    if len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ECB requires block-aligned ciphertext")
+    cipher = AES(key)
+    return b"".join(cipher.decrypt_block(b) for b in _blocks(ciphertext))
+
+
+def encrypt_cbc(key: bytes, plaintext: bytes, iv: bytes) -> bytes:
+    """CBC with PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be one block")
+    cipher = AES(key)
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for block in _blocks(padded):
+        mixed = bytes(a ^ b for a, b in zip(block, prev))
+        prev = cipher.encrypt_block(mixed)
+        out.extend(prev)
+    return bytes(out)
+
+
+def decrypt_cbc(key: bytes, ciphertext: bytes, iv: bytes) -> bytes:
+    """CBC decryption; raises :class:`PaddingError` on bad padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be one block")
+    cipher = AES(key)
+    out = bytearray()
+    prev = iv
+    for block in _blocks(ciphertext):
+        plain = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return pkcs7_unpad(bytes(out))
+
+
+def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate *length* keystream bytes for CTR mode.
+
+    The counter block is ``nonce (8 bytes) || counter (8 bytes, big endian)``.
+    """
+    if len(nonce) != 8:
+        raise ValueError("CTR nonce must be 8 bytes")
+    cipher = AES(key)
+    stream = bytearray()
+    counter = 0
+    while len(stream) < length:
+        block = nonce + counter.to_bytes(8, "big")
+        stream.extend(cipher.encrypt_block(block))
+        counter += 1
+    return bytes(stream[:length])
+
+
+def encrypt_ctr(key: bytes, plaintext: bytes, nonce: bytes) -> bytes:
+    """CTR encryption (length-preserving, malleable by design)."""
+    stream = ctr_keystream(key, nonce, len(plaintext))
+    return bytes(a ^ b for a, b in zip(plaintext, stream))
+
+
+def decrypt_ctr(key: bytes, ciphertext: bytes, nonce: bytes) -> bytes:
+    """CTR decryption (identical to encryption)."""
+    return encrypt_ctr(key, ciphertext, nonce)

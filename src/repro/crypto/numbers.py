@@ -1,0 +1,146 @@
+"""Number-theoretic utilities for the asymmetric baselines.
+
+The sealed-bottle protocols themselves need nothing beyond SHA-256, AES and
+``mod p`` with a small prime.  The comparators the paper evaluates against
+(FNP04, FC10, FindU-style PSI-CA, dot-product matching) are built on
+big-number arithmetic, all of which is implemented here: Miller-Rabin
+primality, random/safe prime generation, modular inverse, CRT recombination
+and Jacobi symbols.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "generate_safe_prime",
+    "invmod",
+    "crt_pair",
+    "jacobi",
+    "lcm",
+    "random_coprime",
+]
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test with *rounds* random bases."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random | None = None) -> int:
+    """Generate a random prime of exactly *bits* bits."""
+    if bits < 8:
+        raise ValueError("bits must be >= 8")
+    rng = rng or random
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_safe_prime(bits: int, rng: random.Random | None = None) -> int:
+    """Generate a safe prime p = 2q + 1 with q prime.
+
+    Used by the DH-based PSI-CA baseline, which needs a prime-order subgroup.
+    """
+    rng = rng or random
+    while True:
+        q = generate_prime(bits - 1, rng=rng)
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p
+
+
+def invmod(a: int, m: int) -> int:
+    """Modular inverse of *a* mod *m*; raises ValueError if not invertible."""
+    g, x, _ = _extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m}")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def crt_pair(r_p: int, p: int, r_q: int, q: int) -> int:
+    """Recombine residues mod two coprime moduli via the CRT."""
+    q_inv = invmod(q, p)
+    h = (q_inv * (r_p - r_q)) % p
+    return r_q + h * q
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd n > 0."""
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("n must be a positive odd integer")
+    a %= n
+    result = 1
+    while a:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple."""
+    from math import gcd
+
+    return a // gcd(a, b) * b
+
+
+def random_coprime(m: int, rng: random.Random | None = None) -> int:
+    """Random element of Z_m* (coprime to m)."""
+    from math import gcd
+
+    rng = rng or random
+    while True:
+        r = rng.randrange(1, m)
+        if gcd(r, m) == 1:
+            return r

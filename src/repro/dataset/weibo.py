@@ -1,0 +1,148 @@
+"""Synthetic Tencent-Weibo-calibrated population generator.
+
+The real dataset (Sec. V-A) is not redistributable, so this generator
+reproduces its published marginals:
+
+===========================  ======================  =====================
+Statistic                    Paper (Tencent Weibo)   Generator default
+===========================  ======================  =====================
+tag vocabulary               560 419                 ``tag_vocabulary``
+keyword vocabulary           713 747                 ``keyword_vocabulary``
+tags per user                mean 6, max 20          truncated Poisson
+keywords per user            mean 7, max 129         truncated lognormal
+profile uniqueness           > 90 % unique           emerges from Zipf tags
+===========================  ======================  =====================
+
+Tag popularity follows a Zipf law (exponent ``zipf_s``), the standard model
+for social-tag frequency, which also reproduces the Fig. 4 collision curve
+shape: a heavy head creates the few colliding profiles, the long tail makes
+most profiles unique.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.dataset.schema import UserRecord
+
+__all__ = ["WeiboGenerator", "WEIBO_CALIBRATION"]
+
+WEIBO_CALIBRATION = {
+    "tag_vocabulary": 560_419,
+    "keyword_vocabulary": 713_747,
+    "mean_tags": 6,
+    "max_tags": 20,
+    "mean_keywords": 7,
+    "max_keywords": 129,
+    "users": 2_320_000,
+}
+
+
+@dataclass
+class WeiboGenerator:
+    """Seeded generator of Weibo-like user populations.
+
+    Defaults are scaled down from the paper's 2.32 M users to stay
+    laptop-friendly; vocabulary/user counts scale together so density (and
+    therefore collision statistics) stays comparable.
+    """
+
+    n_users: int = 5_000
+    tag_vocabulary: int = 50_000
+    keyword_vocabulary: int = 70_000
+    mean_tags: float = 6.0
+    max_tags: int = 20
+    mean_keywords: float = 7.0
+    max_keywords: int = 129
+    zipf_s: float = 1.0
+    seed: int = 2013
+
+    def generate(self) -> list[UserRecord]:
+        """Produce the full population (deterministic for a fixed seed)."""
+        rng = random.Random(self.seed)
+        tag_cdf = _zipf_cdf(self.tag_vocabulary, self.zipf_s)
+        kw_cdf = _zipf_cdf(self.keyword_vocabulary, self.zipf_s)
+        users = []
+        for i in range(self.n_users):
+            n_tags = _truncated_poisson(rng, self.mean_tags, 1, self.max_tags)
+            n_keywords = _truncated_lognormal_count(
+                rng, self.mean_keywords, 1, self.max_keywords
+            )
+            tags = _sample_distinct(rng, tag_cdf, n_tags, prefix="t")
+            keywords = _sample_distinct(rng, kw_cdf, n_keywords, prefix="k")
+            users.append(
+                UserRecord(
+                    user_id=f"u{i}",
+                    year_of_birth=rng.randint(1950, 2000),
+                    gender=rng.choice(("male", "female")),
+                    tags=tuple(tags),
+                    keywords=tuple(keywords),
+                )
+            )
+        return users
+
+    def users_with_tag_count(self, records: list[UserRecord], count: int) -> list[UserRecord]:
+        """Subset owning exactly *count* tags (the paper's 6-attribute cohort)."""
+        return [u for u in records if len(u.tags) == count]
+
+
+def _zipf_cdf(size: int, s: float) -> list[float]:
+    """Cumulative Zipf distribution over ranks 1..size."""
+    weights = [1.0 / (r**s) for r in range(1, size + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    return cdf
+
+
+def _zipf_draw(rng: random.Random, cdf: list[float]) -> int:
+    """One rank (0-based) from the precomputed CDF via bisection."""
+    from bisect import bisect_left
+
+    return bisect_left(cdf, rng.random())
+
+
+def _sample_distinct(rng: random.Random, cdf: list[float], count: int, prefix: str) -> list[str]:
+    """Sample *count* distinct vocabulary items by Zipf popularity."""
+    count = min(count, len(cdf))
+    chosen: set[int] = set()
+    # Rejection sampling; the head is dense but vocabulary >> count.
+    while len(chosen) < count:
+        chosen.add(_zipf_draw(rng, cdf))
+    return [f"{prefix}{idx}" for idx in sorted(chosen)]
+
+
+def _truncated_poisson(rng: random.Random, mean: float, low: int, high: int) -> int:
+    """Poisson draw conditioned on [low, high] (matches mean≈6, max 20)."""
+    while True:
+        value = _poisson(rng, mean - low) + low
+        if low <= value <= high:
+            return value
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    if lam <= 0:
+        return 0
+    limit = math.exp(-lam)
+    product = rng.random()
+    count = 0
+    while product > limit:
+        product *= rng.random()
+        count += 1
+    return count
+
+
+def _truncated_lognormal_count(rng: random.Random, mean: float, low: int, high: int) -> int:
+    """Heavy-tailed keyword count: mean≈`mean`, rare large values up to *high*."""
+    sigma = 0.8
+    mu = math.log(mean) - sigma * sigma / 2.0
+    while True:
+        value = int(round(rng.lognormvariate(mu, sigma)))
+        if low <= value <= high:
+            return value

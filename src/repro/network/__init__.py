@@ -1,0 +1,37 @@
+"""Decentralized multi-hop mobile social network simulator.
+
+The paper's protocols run over ad-hoc WiFi/Bluetooth networks: a request is
+broadcast, flooded by relays until it expires or hits its TTL, and matching
+users unicast replies back.  This package provides a discrete-event
+simulator faithful to that transport -- TTL flooding with duplicate
+suppression, per-hop latency, request expiry, per-neighbor rate limiting
+(the paper's DoS defence), and byte-level accounting of every transmission.
+"""
+
+from repro.network.events import EventQueue
+from repro.network.metrics import NetworkMetrics
+from repro.network.topology import (
+    complete_topology,
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+)
+from repro.network.simulator import AdHocNetwork, FriendingResult, RateLimiter
+from repro.network.mobility import RandomWaypoint
+from repro.network.scenario import MobileScenario, ScenarioSummary, SearchReport
+
+__all__ = [
+    "AdHocNetwork",
+    "EventQueue",
+    "FriendingResult",
+    "MobileScenario",
+    "NetworkMetrics",
+    "RandomWaypoint",
+    "RateLimiter",
+    "ScenarioSummary",
+    "SearchReport",
+    "complete_topology",
+    "grid_topology",
+    "line_topology",
+    "random_geometric_topology",
+]

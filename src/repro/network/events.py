@@ -1,0 +1,40 @@
+"""Minimal discrete-event queue driving the network simulator."""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered callback queue with a stable tie-break sequence."""
+
+    def __init__(self, start_ms: int = 0):
+        self.now_ms = start_ms
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._sequence = 0
+
+    def schedule(self, delay_ms: int, callback: Callable[[], None]) -> None:
+        """Run *callback* *delay_ms* after the current simulation time."""
+        if delay_ms < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._heap, (self.now_ms + delay_ms, self._sequence, callback))
+        self._sequence += 1
+
+    def run(self, until_ms: int | None = None) -> int:
+        """Drain the queue (optionally up to *until_ms*); returns events run."""
+        executed = 0
+        while self._heap:
+            when, _, callback = self._heap[0]
+            if until_ms is not None and when > until_ms:
+                break
+            heapq.heappop(self._heap)
+            self.now_ms = when
+            callback()
+            executed += 1
+        return executed
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,57 @@
+"""Transmission and outcome accounting for simulated friending runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters accumulated over one simulated request's lifetime.
+
+    A *broadcast* is one node transmitting the request package to all of
+    its neighbours at once (the wireless medium is shared); a *unicast* is
+    one hop of a reply travelling back towards the initiator.
+    """
+
+    broadcasts: int = 0
+    unicasts: int = 0
+    bytes_broadcast: int = 0
+    bytes_unicast: int = 0
+    nodes_reached: int = 0
+    candidates: int = 0
+    replies: int = 0
+    dropped_duplicate: int = 0
+    dropped_ttl: int = 0
+    dropped_expired: int = 0
+    dropped_rate_limited: int = 0
+    reply_latency_ms: list[int] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes put on the air."""
+        return self.bytes_broadcast + self.bytes_unicast
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary for reporting."""
+        return {
+            "broadcasts": self.broadcasts,
+            "unicasts": self.unicasts,
+            "bytes_broadcast": self.bytes_broadcast,
+            "bytes_unicast": self.bytes_unicast,
+            "total_bytes": self.total_bytes,
+            "nodes_reached": self.nodes_reached,
+            "candidates": self.candidates,
+            "replies": self.replies,
+            "dropped_duplicate": self.dropped_duplicate,
+            "dropped_ttl": self.dropped_ttl,
+            "dropped_expired": self.dropped_expired,
+            "dropped_rate_limited": self.dropped_rate_limited,
+            "mean_reply_latency_ms": (
+                sum(self.reply_latency_ms) / len(self.reply_latency_ms)
+                if self.reply_latency_ms
+                else 0.0
+            ),
+        }

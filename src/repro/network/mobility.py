@@ -1,0 +1,116 @@
+"""Random-waypoint mobility for the MANET simulator.
+
+The paper's vicinity search treats location as a *dynamic* attribute that
+updates as users move (Sec. III-D).  This model moves nodes through the
+unit square with the classic random-waypoint pattern (pick a destination,
+walk at a random speed, pause, repeat) and can re-derive the radio
+topology and each node's lattice vicinity at any instant.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["RandomWaypoint", "WaypointState"]
+
+
+@dataclass
+class WaypointState:
+    """Per-node mobility state."""
+
+    x: float
+    y: float
+    dest_x: float
+    dest_y: float
+    speed: float  # units per second
+    pause_remaining: float = 0.0
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility over the unit square.
+
+    Parameters
+    ----------
+    node_ids:
+        Nodes to move.
+    min_speed / max_speed:
+        Uniform speed range (unit square widths per second); min must be
+        positive to avoid the well-known speed-decay pathology.
+    pause_s:
+        Pause duration at each waypoint.
+    """
+
+    def __init__(
+        self,
+        node_ids: list[str],
+        *,
+        min_speed: float = 0.01,
+        max_speed: float = 0.05,
+        pause_s: float = 2.0,
+        seed: int | None = None,
+    ):
+        if not 0 < min_speed <= max_speed:
+            raise ValueError("need 0 < min_speed <= max_speed")
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_s = pause_s
+        self.rng = random.Random(seed)
+        self._states: dict[str, WaypointState] = {}
+        for node in node_ids:
+            x, y = self.rng.random(), self.rng.random()
+            self._states[node] = WaypointState(
+                x=x, y=y, dest_x=x, dest_y=y, speed=0.0, pause_remaining=0.0
+            )
+            self._pick_waypoint(self._states[node])
+
+    def _pick_waypoint(self, state: WaypointState) -> None:
+        state.dest_x = self.rng.random()
+        state.dest_y = self.rng.random()
+        state.speed = self.rng.uniform(self.min_speed, self.max_speed)
+
+    def positions(self) -> dict[str, tuple[float, float]]:
+        """Current coordinates of every node."""
+        return {node: (s.x, s.y) for node, s in self._states.items()}
+
+    def step(self, dt_s: float) -> None:
+        """Advance the model by *dt_s* seconds."""
+        if dt_s < 0:
+            raise ValueError("time must move forward")
+        for state in self._states.values():
+            remaining = dt_s
+            while remaining > 1e-12:
+                if state.pause_remaining > 0:
+                    pause = min(state.pause_remaining, remaining)
+                    state.pause_remaining -= pause
+                    remaining -= pause
+                    continue
+                dx = state.dest_x - state.x
+                dy = state.dest_y - state.y
+                distance = math.hypot(dx, dy)
+                if distance < 1e-12:
+                    state.pause_remaining = self.pause_s
+                    self._pick_waypoint(state)
+                    continue
+                reach_time = distance / state.speed
+                travel = min(reach_time, remaining)
+                fraction = travel * state.speed / distance
+                state.x += dx * fraction
+                state.y += dy * fraction
+                remaining -= travel
+                if travel == reach_time:
+                    state.x, state.y = state.dest_x, state.dest_y
+
+    def snapshot_topology(self, radius: float) -> dict[str, list[str]]:
+        """Adjacency under a unit-disk radio model at the current instant."""
+        nodes = list(self._states)
+        adjacency: dict[str, list[str]] = {node: [] for node in nodes}
+        for i, a in enumerate(nodes):
+            sa = self._states[a]
+            for b in nodes[i + 1 :]:
+                sb = self._states[b]
+                if math.hypot(sa.x - sb.x, sa.y - sb.y) <= radius:
+                    adjacency[a].append(b)
+                    adjacency[b].append(a)
+        return adjacency

@@ -1,0 +1,208 @@
+"""Discrete-event ad-hoc network simulator for friending episodes.
+
+One episode: an initiator node broadcasts its request package; every node
+that receives it for the first time processes it (candidate pipeline) and
+re-broadcasts while the TTL and validity window allow; candidate replies
+travel back to the initiator hop-by-hop along the reverse flooding path.
+The simulator accounts every transmission at the byte level, which is what
+the paper's communication evaluation (Table VII, Sec. IV-B2) reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.protocols import Initiator, MatchRecord, Participant, Reply
+from repro.core.request import RequestPackage
+from repro.network.events import EventQueue
+from repro.network.metrics import NetworkMetrics
+
+__all__ = ["AdHocNetwork", "FriendingResult", "RateLimiter", "REPLY_OVERHEAD_BYTES"]
+
+REPLY_OVERHEAD_BYTES = 12  # request id (8) + element count (2) + framing (2)
+_REPLY_ELEMENT_BYTES = 48
+
+
+class RateLimiter:
+    """Sliding-window per-peer rate limiter (the paper's DoS defence).
+
+    Each node refuses to relay or answer more than *max_events* packets
+    from the same immediate neighbour within *window_ms*.
+    """
+
+    def __init__(self, max_events: int = 5, window_ms: int = 10_000):
+        self.max_events = max_events
+        self.window_ms = window_ms
+        self._history: dict[str, list[int]] = {}
+
+    def allow(self, peer: str, now_ms: int) -> bool:
+        """Record an event from *peer*; False when the peer is over budget."""
+        events = self._history.setdefault(peer, [])
+        cutoff = now_ms - self.window_ms
+        while events and events[0] < cutoff:
+            events.pop(0)
+        if len(events) >= self.max_events:
+            return False
+        events.append(now_ms)
+        return True
+
+
+@dataclass
+class FriendingResult:
+    """Outcome of one simulated friending episode."""
+
+    matches: list[MatchRecord]
+    metrics: NetworkMetrics
+    replies: list[Reply]
+    completed_at_ms: int
+
+    @property
+    def matched_ids(self) -> list[str]:
+        return [m.responder_id for m in self.matches]
+
+
+@dataclass
+class _NodeState:
+    participant: Participant | None
+    neighbours: list[str]
+    seen: set[bytes] = field(default_factory=set)
+    limiter: RateLimiter = field(default_factory=RateLimiter)
+    parent: dict[bytes, str] = field(default_factory=dict)
+    hops: dict[bytes, int] = field(default_factory=dict)
+
+
+class AdHocNetwork:
+    """A static-snapshot MANET running the sealed-bottle protocols.
+
+    Parameters
+    ----------
+    adjacency:
+        Node id → neighbour ids (from :mod:`repro.network.topology`).
+    participants:
+        Node id → :class:`~repro.core.protocols.Participant` (the initiator
+        node may map to None).
+    hop_latency_ms / processing_latency_ms:
+        Per-hop radio latency and per-node processing delay.
+    """
+
+    def __init__(
+        self,
+        adjacency: dict[str, list[str]],
+        participants: dict[str, Participant | None],
+        *,
+        hop_latency_ms: int = 2,
+        processing_latency_ms: int = 1,
+        rate_limit: RateLimiter | None = None,
+        rng: random.Random | None = None,
+    ):
+        unknown = set(participants) - set(adjacency)
+        if unknown:
+            raise ValueError(f"participants reference unknown nodes: {sorted(unknown)}")
+        self.adjacency = adjacency
+        self.hop_latency_ms = hop_latency_ms
+        self.processing_latency_ms = processing_latency_ms
+        self.rng = rng or random.Random()
+        self._states = {
+            node: _NodeState(
+                participant=participants.get(node),
+                neighbours=list(neigh),
+                limiter=RateLimiter(
+                    max_events=rate_limit.max_events if rate_limit else 50,
+                    window_ms=rate_limit.window_ms if rate_limit else 10_000,
+                ),
+            )
+            for node, neigh in adjacency.items()
+        }
+
+    def run_friending(
+        self,
+        initiator_node: str,
+        initiator: Initiator,
+        *,
+        start_ms: int = 0,
+        deadline_ms: int | None = None,
+    ) -> FriendingResult:
+        """Run one full episode and return matches plus metrics."""
+        if initiator_node not in self._states:
+            raise ValueError(f"unknown initiator node {initiator_node!r}")
+        queue = EventQueue(start_ms)
+        metrics = NetworkMetrics()
+        replies: list[Reply] = []
+        package = initiator.create_request(now_ms=start_ms)
+        package_bytes = package.wire_size_bytes()
+        rid = package.request_id
+
+        origin = self._states[initiator_node]
+        origin.seen.add(rid)
+        origin.hops[rid] = 0
+
+        def deliver_reply(reply: Reply, via: str, remaining_hops: int) -> None:
+            if remaining_hops <= 0:
+                record = initiator.handle_reply(reply, queue.now_ms)
+                metrics.reply_latency_ms.append(queue.now_ms - start_ms)
+                replies.append(reply)
+                if record is not None:
+                    pass  # recorded inside the initiator
+                return
+            metrics.unicasts += 1
+            metrics.bytes_unicast += (
+                REPLY_OVERHEAD_BYTES + len(reply.elements) * _REPLY_ELEMENT_BYTES
+            )
+            queue.schedule(
+                self.hop_latency_ms,
+                lambda: deliver_reply(reply, via, remaining_hops - 1),
+            )
+
+        def broadcast_from(node: str, ttl: int) -> None:
+            state = self._states[node]
+            metrics.broadcasts += 1
+            metrics.bytes_broadcast += package_bytes
+            for neighbour in state.neighbours:
+                queue.schedule(
+                    self.hop_latency_ms,
+                    lambda nb=neighbour, src=node, t=ttl: receive(nb, src, t),
+                )
+
+        def receive(node: str, from_node: str, ttl: int) -> None:
+            state = self._states[node]
+            if rid in state.seen:
+                metrics.dropped_duplicate += 1
+                return
+            if package.is_expired(queue.now_ms):
+                metrics.dropped_expired += 1
+                return
+            if not state.limiter.allow(from_node, queue.now_ms):
+                metrics.dropped_rate_limited += 1
+                return
+            state.seen.add(rid)
+            state.parent[rid] = from_node
+            hops = self._states[from_node].hops.get(rid, 0) + 1
+            state.hops[rid] = hops
+            metrics.nodes_reached += 1
+
+            participant = state.participant
+            if participant is not None:
+                reply = participant.handle_request(package, now_ms=queue.now_ms)
+                outcome = participant.last_outcome
+                if outcome is not None and outcome.candidate:
+                    metrics.candidates += 1
+                if reply is not None:
+                    metrics.replies += 1
+                    queue.schedule(
+                        self.processing_latency_ms,
+                        lambda r=reply, h=hops: deliver_reply(r, node, h),
+                    )
+            if ttl > 1:
+                queue.schedule(self.processing_latency_ms, lambda: broadcast_from(node, ttl - 1))
+            else:
+                metrics.dropped_ttl += 1
+
+        broadcast_from(initiator_node, package.ttl)
+        queue.run(until_ms=deadline_ms)
+        return FriendingResult(
+            matches=list(initiator.matches),
+            metrics=metrics,
+            replies=replies,
+            completed_at_ms=queue.now_ms,
+        )

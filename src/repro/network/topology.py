@@ -1,0 +1,106 @@
+"""Network topology generators.
+
+All generators return ``(adjacency, positions)`` where *adjacency* maps a
+node id to its neighbour ids and *positions* maps it to 2-D coordinates
+(used by location-aware experiments).  `networkx` supplies the random
+geometric graphs that model physical proximity radios.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+__all__ = [
+    "random_geometric_topology",
+    "grid_topology",
+    "line_topology",
+    "complete_topology",
+]
+
+Adjacency = dict[str, list[str]]
+Positions = dict[str, tuple[float, float]]
+
+
+def _node_id(i: int) -> str:
+    return f"n{i}"
+
+
+def random_geometric_topology(
+    n: int,
+    radius: float = 0.2,
+    *,
+    seed: int | None = None,
+    connect: bool = True,
+) -> tuple[Adjacency, Positions]:
+    """Nodes uniform in the unit square; edges within *radius* (radio range).
+
+    With ``connect=True``, isolated components are stitched to the giant
+    component through their closest node pair, so floods can reach everyone
+    (a disconnected MANET would trivially zero every metric).
+    """
+    graph = nx.random_geometric_graph(n, radius, seed=seed)
+    if connect and n > 1:
+        components = sorted(nx.connected_components(graph), key=len, reverse=True)
+        main = components[0]
+        pos = nx.get_node_attributes(graph, "pos")
+        for component in components[1:]:
+            best = None
+            for a in component:
+                for b in main:
+                    d = math.dist(pos[a], pos[b])
+                    if best is None or d < best[0]:
+                        best = (d, a, b)
+            assert best is not None
+            graph.add_edge(best[1], best[2])
+            main |= component
+    adjacency = {
+        _node_id(i): [_node_id(j) for j in graph.neighbors(i)] for i in graph.nodes
+    }
+    positions = {
+        _node_id(i): tuple(coord) for i, coord in nx.get_node_attributes(graph, "pos").items()
+    }
+    return adjacency, positions
+
+
+def grid_topology(width: int, height: int) -> tuple[Adjacency, Positions]:
+    """4-connected grid of width × height nodes."""
+    adjacency: Adjacency = {}
+    positions: Positions = {}
+    for y in range(height):
+        for x in range(width):
+            node = _node_id(y * width + x)
+            neighbours = []
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx_, ny_ = x + dx, y + dy
+                if 0 <= nx_ < width and 0 <= ny_ < height:
+                    neighbours.append(_node_id(ny_ * width + nx_))
+            adjacency[node] = neighbours
+            positions[node] = (float(x), float(y))
+    return adjacency, positions
+
+
+def line_topology(n: int) -> tuple[Adjacency, Positions]:
+    """A chain -- the worst case for multi-hop relay depth."""
+    adjacency = {}
+    positions = {}
+    for i in range(n):
+        neighbours = []
+        if i > 0:
+            neighbours.append(_node_id(i - 1))
+        if i < n - 1:
+            neighbours.append(_node_id(i + 1))
+        adjacency[_node_id(i)] = neighbours
+        positions[_node_id(i)] = (float(i), 0.0)
+    return adjacency, positions
+
+
+def complete_topology(n: int, *, seed: int | None = None) -> tuple[Adjacency, Positions]:
+    """Everyone in radio range of everyone (single-hop proximity scenario)."""
+    rng = random.Random(seed)
+    ids = [_node_id(i) for i in range(n)]
+    adjacency = {node: [other for other in ids if other != node] for node in ids}
+    positions = {node: (rng.random(), rng.random()) for node in ids}
+    return adjacency, positions

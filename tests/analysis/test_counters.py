@@ -1,0 +1,45 @@
+"""Operation counter tests."""
+
+from __future__ import annotations
+
+from repro.analysis.counters import NULL_COUNTER, OpCounter
+
+
+class TestOpCounter:
+    def test_add_and_get(self):
+        counter = OpCounter()
+        counter.add("H")
+        counter.add("H", 4)
+        assert counter.get("H") == 5
+        assert counter.get("E") == 0
+
+    def test_as_dict_hides_zeros(self):
+        counter = OpCounter()
+        counter.add("H", 0)
+        counter.add("M", 2)
+        assert counter.as_dict() == {"M": 2}
+
+    def test_reset(self):
+        counter = OpCounter()
+        counter.add("H", 3)
+        counter.reset()
+        assert counter.get("H") == 0
+
+    def test_merged(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("H", 1)
+        b.add("H", 2)
+        b.add("E", 5)
+        merged = a.merged(b)
+        assert merged.get("H") == 3
+        assert merged.get("E") == 5
+        assert a.get("H") == 1  # originals untouched
+
+    def test_repr(self):
+        counter = OpCounter()
+        counter.add("H", 2)
+        assert "H=2" in repr(counter)
+
+    def test_null_counter_discards(self):
+        NULL_COUNTER.add("H", 100)
+        assert NULL_COUNTER.get("H") == 0

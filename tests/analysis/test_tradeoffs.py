@@ -1,0 +1,69 @@
+"""Prime-selection trade-off helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tradeoffs import (
+    candidate_fraction,
+    recommend_prime,
+    security_bits,
+)
+from repro.crypto.numbers import is_probable_prime
+
+
+class TestFormulas:
+    def test_candidate_fraction_paper_example(self):
+        # p = 11, m_t = 6, theta = 0.6: "about 1/5610 of users will reply".
+        fraction = candidate_fraction(11, 6, 0.6)
+        assert fraction == pytest.approx(1 / 5610, rel=0.05)
+
+    def test_fraction_decreases_with_p(self):
+        assert candidate_fraction(23, 6, 0.5) < candidate_fraction(11, 6, 0.5)
+
+    def test_security_bits_paper_example(self):
+        assert security_bits(1 << 20, 11, 6) == pytest.approx(99.2, abs=0.1)
+
+    def test_security_zero_when_dictionary_small(self):
+        assert security_bits(5, 11, 6) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            candidate_fraction(1, 6, 0.5)
+        with pytest.raises(ValueError):
+            candidate_fraction(11, 6, 0.0)
+
+
+class TestRecommendation:
+    def test_result_is_prime_above_mt(self):
+        choice = recommend_prime(6, 0.5)
+        assert is_probable_prime(choice.p)
+        assert choice.p > 6
+
+    def test_meets_both_constraints(self):
+        choice = recommend_prime(
+            6, 0.5, max_candidate_fraction=0.01, min_security_bits=60.0
+        )
+        assert choice.candidate_fraction <= 0.01
+        assert choice.security_bits >= 60.0
+
+    def test_smaller_target_needs_larger_p(self):
+        loose = recommend_prime(6, 0.5, max_candidate_fraction=0.1)
+        tight = recommend_prime(6, 0.5, max_candidate_fraction=0.001)
+        assert tight.p > loose.p
+
+    def test_infeasible_raises(self):
+        # A tiny dictionary cannot support high security at any p.
+        with pytest.raises(ValueError):
+            recommend_prime(
+                6, 0.5, dictionary_size=1 << 8,
+                max_candidate_fraction=1e-9, min_security_bits=60.0,
+            )
+
+    def test_paper_default_scenario_prefers_small_prime(self):
+        """For Weibo-scale dictionaries a small p already suffices."""
+        choice = recommend_prime(
+            6, 1.0, dictionary_size=1 << 20,
+            max_candidate_fraction=0.001, min_security_bits=90.0,
+        )
+        assert choice.p <= 23

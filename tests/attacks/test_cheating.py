@@ -1,0 +1,58 @@
+"""Verifiability against cheating participants (Sec. IV-A3)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.attacks.cheating import CheatingParticipant
+from repro.core.attributes import RequestProfile
+from repro.core.protocols import Initiator
+
+REQUEST = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
+
+
+def _initiator(protocol=2, **kwargs):
+    return Initiator(REQUEST, protocol=protocol, rng=random.Random(3), **kwargs)
+
+
+class TestCheatingRejected:
+    def test_random_forgery_rejected(self):
+        initiator = _initiator()
+        package = initiator.create_request(now_ms=0)
+        cheater = CheatingParticipant()
+        reply = cheater.forge_random_reply(package)
+        assert initiator.handle_reply(reply, now_ms=1) is None
+        assert initiator.rejected[-1].reason == "no element verified"
+
+    def test_plaintext_ack_guess_rejected(self):
+        # Knowing the public ACK string does not help without x.
+        initiator = _initiator()
+        package = initiator.create_request(now_ms=0)
+        reply = CheatingParticipant().forge_plaintext_guess_reply(package)
+        assert initiator.handle_reply(reply, now_ms=1) is None
+
+    def test_flood_reply_rejected_unopened(self):
+        from repro.analysis.counters import OpCounter
+
+        counter = OpCounter()
+        initiator = _initiator(max_reply_elements=16)
+        initiator.counter = counter
+        package = initiator.create_request(now_ms=0)
+        reply = CheatingParticipant().flood_reply(package, n_elements=500)
+        counter.reset()
+        assert initiator.handle_reply(reply, now_ms=1) is None
+        assert counter.get("D") == 0  # rejected by cardinality, nothing decrypted
+
+    def test_many_forgeries_never_succeed(self):
+        initiator = _initiator(protocol=1)
+        package = initiator.create_request(now_ms=0)
+        cheater = CheatingParticipant()
+        for _ in range(50):
+            assert initiator.handle_reply(cheater.forge_random_reply(package), now_ms=1) is None
+        assert initiator.matches == []
+
+    def test_cheater_cannot_claim_under_protocol1_either(self):
+        initiator = _initiator(protocol=1)
+        package = initiator.create_request(now_ms=0)
+        reply = CheatingParticipant().forge_plaintext_guess_reply(package)
+        assert initiator.handle_reply(reply, now_ms=1) is None

@@ -1,0 +1,32 @@
+"""DoS flood and rate-limit defence tests."""
+
+from __future__ import annotations
+
+from repro.attacks.dos import DosAttacker
+from repro.network.simulator import RateLimiter
+
+
+class TestFlood:
+    def test_defence_absorbs_most_traffic(self):
+        attacker = DosAttacker(seed=1)
+        limiter = RateLimiter(max_events=5, window_ms=10_000)
+        outcome = attacker.flood_node(limiter, n_requests=500, interval_ms=10)
+        assert outcome.processed <= 10
+        assert outcome.absorption_ratio > 0.95
+
+    def test_slow_sender_unaffected(self):
+        attacker = DosAttacker(seed=2)
+        limiter = RateLimiter(max_events=5, window_ms=1_000)
+        outcome = attacker.flood_node(limiter, n_requests=20, interval_ms=300)
+        assert outcome.dropped == 0
+
+    def test_minted_requests_are_distinct(self):
+        attacker = DosAttacker(seed=3)
+        ids = {attacker.mint_request().request_id for _ in range(20)}
+        assert len(ids) == 20  # fresh ids defeat naive duplicate suppression
+
+    def test_minted_requests_parse(self):
+        from repro.core.request import RequestPackage
+
+        package = DosAttacker(seed=4).mint_request()
+        assert RequestPackage.decode(package.encode()) == package

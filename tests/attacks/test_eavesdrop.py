@@ -1,0 +1,70 @@
+"""Eavesdropper observations and profiling-cost estimates (Sec. IV-A1)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.attacks.eavesdrop import (
+    Eavesdropper,
+    dictionary_profiling_guesses,
+)
+from repro.attacks.eavesdrop import profiling_guesses_log2
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant
+
+
+class TestProfilingCost:
+    def test_paper_2_100_claim(self):
+        """Tencent Weibo: m = 2^20, p = 11, m_t = 6 -> about 2^100 guesses."""
+        log2_guesses = profiling_guesses_log2(1 << 20, 11, 6)
+        assert 99 <= log2_guesses <= 101
+
+    def test_paper_10_30_claim(self):
+        """Sec. V-A: guessing a 6-tag profile from 560419 tags ~ 10^30."""
+        guesses = dictionary_profiling_guesses(560_419, 1, 6)
+        assert math.log10(guesses) == pytest.approx(34.5, abs=1)
+        # The paper quotes 10^30 for brute force over the tag space
+        # without remainder help; with p=11 the attacker saves ~6*log10(11).
+        with_remainders = dictionary_profiling_guesses(560_419, 11, 6)
+        assert math.log10(with_remainders) == pytest.approx(28.2, abs=1)
+
+    def test_larger_p_weakens_security(self):
+        assert dictionary_profiling_guesses(10**6, 23, 6) < (
+            dictionary_profiling_guesses(10**6, 11, 6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dictionary_profiling_guesses(0, 11, 6)
+
+
+class TestObservations:
+    def _traffic(self):
+        eve = Eavesdropper()
+        initiator = Initiator(
+            RequestProfile.exact(["tag:a", "tag:b"], normalized=True),
+            protocol=2,
+            rng=random.Random(6),
+        )
+        package = initiator.create_request(now_ms=0)
+        eve.observe_request(package)
+        participant = Participant(Profile(["tag:a", "tag:b"], user_id="m", normalized=True))
+        reply = participant.handle_request(package, now_ms=1)
+        eve.observe_reply(reply)
+        return eve, package
+
+    def test_no_attribute_hashes_on_the_wire(self):
+        eve, _ = self._traffic()
+        assert eve.attribute_hashes_observed() == 0
+
+    def test_remainder_information_bounded(self):
+        eve, package = self._traffic()
+        expected = len(package.remainders) * math.log2(package.p)
+        assert eve.remainder_information_bits() == pytest.approx(expected)
+
+    def test_byte_accounting(self):
+        eve, package = self._traffic()
+        assert eve.traffic.observed_bytes == package.wire_size_bytes() + 48

@@ -1,0 +1,68 @@
+"""Man-in-the-middle resistance tests (Sec. IV-A2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.mitm import ManInTheMiddle
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.channel import SecureChannel
+from repro.core.protocols import Initiator, Participant
+from repro.crypto.authenticated import AuthenticationError
+
+REQUEST = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
+MATCH = Profile(["tag:a", "tag:b", "tag:c"], user_id="match", normalized=True)
+
+
+def _run_with_mitm(protocol=2):
+    mitm = ManInTheMiddle()
+    initiator = Initiator(REQUEST, protocol=protocol, rng=random.Random(4))
+    package = mitm.intercept_request(initiator.create_request(now_ms=0))
+    participant = Participant(MATCH)
+    reply = participant.handle_request(package, now_ms=1)
+    return mitm, initiator, participant, package, reply
+
+
+class TestPassiveMitm:
+    def test_cannot_read_x(self):
+        mitm, *_ = _run_with_mitm()
+        assert not mitm.outcome.read_x
+
+    def test_cannot_read_session_traffic(self):
+        mitm, initiator, participant, package, reply = _run_with_mitm()
+        record = initiator.handle_reply(reply, now_ms=2)
+        message = SecureChannel(record.session_key).send(b"secret chat")
+        guessed_keys = [bytes([i]) * 32 for i in range(16)]
+        assert not mitm.attack_session(message, guessed_keys)
+
+
+class TestActiveMitm:
+    def test_substituted_reply_rejected(self):
+        """The classic splice: replace y with the attacker's own secret."""
+        mitm, initiator, participant, package, reply = _run_with_mitm()
+        forged = mitm.substitute_reply(reply)
+        assert initiator.handle_reply(forged, now_ms=2) is None
+        assert initiator.matches == []
+
+    def test_tampered_session_message_rejected(self):
+        mitm, initiator, participant, package, reply = _run_with_mitm()
+        record = initiator.handle_reply(reply, now_ms=2)
+        channel = SecureChannel(record.session_key)
+        tampered = mitm.tamper_session(channel.send(b"meet at noon"))
+        receiver = SecureChannel(record.session_key)
+        with pytest.raises(AuthenticationError):
+            receiver.receive(tampered)
+
+    def test_original_reply_still_works_when_relayed(self):
+        """MITM that faithfully relays gains nothing and blocks nothing."""
+        mitm, initiator, participant, package, reply = _run_with_mitm()
+        mitm.substitute_reply(reply)  # attacker keeps a forged copy
+        record = initiator.handle_reply(reply, now_ms=2)  # genuine one arrives
+        assert record is not None
+
+    def test_protocol1_equally_resistant(self):
+        mitm, initiator, participant, package, reply = _run_with_mitm(protocol=1)
+        forged = mitm.substitute_reply(reply)
+        assert initiator.handle_reply(forged, now_ms=2) is None

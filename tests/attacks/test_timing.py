@@ -1,0 +1,58 @@
+"""Response-time malicious-replier detection tests."""
+
+from __future__ import annotations
+
+import random
+
+from repro.attacks.timing import (
+    ResponseTimeModel,
+    dictionary_reply_delay_ms,
+    honest_reply_delay_ms,
+)
+from repro.core.attributes import RequestProfile
+from repro.core.matching import build_request
+
+MODEL = ResponseTimeModel()
+
+
+def _package(m_t=6, p=11):
+    request = RequestProfile.exact([f"tag:t{i}" for i in range(m_t)], normalized=True)
+    package, _ = build_request(request, protocol=2, p=p, rng=random.Random(1))
+    return package
+
+
+class TestDelays:
+    def test_honest_user_is_fast(self):
+        delay = honest_reply_delay_ms(MODEL, m_k=20, candidate_keys=3, fuzzy=True)
+        assert delay < 10.0  # well inside any sane reply window
+
+    def test_dictionary_attacker_is_slow(self):
+        package = _package()
+        delay = dictionary_reply_delay_ms(MODEL, package, dictionary_size=100_000)
+        # (100000/11)^6 combinations: astronomically beyond any window.
+        assert delay > 1e9
+
+    def test_separation_even_with_small_dictionary(self):
+        """Even a 500-word dictionary blows a 5-second reply window."""
+        package = _package()
+        honest = honest_reply_delay_ms(MODEL, m_k=20, candidate_keys=5, fuzzy=True)
+        attacker = dictionary_reply_delay_ms(MODEL, package, dictionary_size=500)
+        window_ms = 5_000
+        assert honest < window_ms
+        assert attacker > window_ms
+
+    def test_delay_grows_with_dictionary(self):
+        package = _package()
+        small = dictionary_reply_delay_ms(MODEL, package, dictionary_size=1_000)
+        large = dictionary_reply_delay_ms(MODEL, package, dictionary_size=10_000)
+        assert large > small
+
+    def test_larger_p_helps_the_attacker(self):
+        """The p trade-off again: bigger p shrinks the attack's work."""
+        small_p = dictionary_reply_delay_ms(MODEL, _package(p=11), dictionary_size=10_000)
+        large_p = dictionary_reply_delay_ms(MODEL, _package(p=101), dictionary_size=10_000)
+        assert large_p < small_p
+
+    def test_model_component_accounting(self):
+        model = ResponseTimeModel(hash_ms=1, mod_ms=1, decrypt_ms=1, solve_ms=1, base_ms=0)
+        assert model.reply_delay_ms(2, 3, 4, 5) == 14

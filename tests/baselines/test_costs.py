@@ -1,0 +1,120 @@
+"""Cost model tests: Table III formulas and the Table VII scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.costs import (
+    OP_TIMES_PAPER_LAPTOP_MS,
+    OP_TIMES_PAPER_PHONE_MS,
+    Scenario,
+    advanced_cost,
+    all_schemes,
+    cost_ms,
+    expected_candidate_fraction,
+    expected_kappa,
+    fc10_cost,
+    fnp_cost,
+    protocol1_cost,
+)
+
+TABLE7 = Scenario()  # m_t = m_k = 6, n = 100, t = 4, p = 11, alpha=0, beta=3
+
+
+class TestScenario:
+    def test_table7_defaults(self):
+        assert TABLE7.gamma == 3
+        assert TABLE7.theta == pytest.approx(0.5)
+
+    def test_expected_kappa_paper_example(self):
+        # Paper Sec. IV-B1: m_k = 20, alpha+beta = 6, p = 11 -> 0.02.
+        s = Scenario(m_k=20, alpha=0, beta=6)
+        assert expected_kappa(s) == pytest.approx(
+            38760 * (1 / 11) ** 6, rel=1e-9
+        )
+        assert expected_kappa(s) == pytest.approx(0.0219, abs=0.002)
+
+    def test_kappa_zero_when_infeasible(self):
+        assert expected_kappa(Scenario(m_k=2, alpha=0, beta=6)) == 0.0
+
+    def test_candidate_fraction_paper_example(self):
+        # Paper Sec. IV-B2: p=11, m_t=6, theta=0.6 -> about 1/5610 of users.
+        s = Scenario(alpha=0, beta=4, m_t=6)  # theta = 4/6
+        fraction = expected_candidate_fraction(s)
+        assert 0 < fraction < 1e-3
+
+
+class TestTable7Numbers:
+    """The numeric column of Table VII with the paper's laptop op times."""
+
+    def test_fnp_initiator_73440_ms(self):
+        cost = fnp_cost(TABLE7)
+        assert cost.initiator_ops["E3"] == 612  # 2*6 + 6*100
+        assert cost.initiator_ms(OP_TIMES_PAPER_LAPTOP_MS) == pytest.approx(73440.0)
+
+    def test_fc10_34_5_ms(self):
+        cost = fc10_cost(TABLE7)
+        assert cost.initiator_ops["M2"] == 1500
+        assert cost.initiator_ms(OP_TIMES_PAPER_LAPTOP_MS) == pytest.approx(34.5)
+
+    def test_fc10_participant_204_ms(self):
+        cost = fc10_cost(TABLE7)
+        assert cost.participant_ops["E2"] == 12
+        assert cost.participant_ms(OP_TIMES_PAPER_LAPTOP_MS) == pytest.approx(204.0)
+
+    def test_advanced_216000_ms(self):
+        cost = advanced_cost(TABLE7)
+        assert cost.initiator_ops["E3"] == 1800
+        assert cost.initiator_ms(OP_TIMES_PAPER_LAPTOP_MS) == pytest.approx(216000.0)
+
+    def test_advanced_participant_1440_ms(self):
+        assert advanced_cost(TABLE7).participant_ms(OP_TIMES_PAPER_LAPTOP_MS) == (
+            pytest.approx(1440.0)
+        )
+
+    def test_protocol1_initiator_about_001_ms(self):
+        cost = protocol1_cost(TABLE7)
+        ms = cost.initiator_ms(OP_TIMES_PAPER_LAPTOP_MS)
+        assert ms == pytest.approx(1.1e-2, rel=0.1)  # paper: 1.1e-2 ms
+
+    def test_protocol1_noncandidate_ms(self):
+        cost = protocol1_cost(TABLE7)
+        assert cost.extra["noncandidate_ms_paper_laptop"] == pytest.approx(
+            3.1e-3 + 6 * 1.2e-3, rel=0.5
+        )  # paper: ~3.1e-3 -- same order
+
+    def test_communication_sizes_match_table7(self):
+        assert fnp_cost(TABLE7).communication_kb() == pytest.approx(151.5, rel=0.01)
+        assert fc10_cost(TABLE7).communication_kb() == pytest.approx(300.0, rel=0.01)
+        assert advanced_cost(TABLE7).communication_kb() == pytest.approx(704, rel=0.03)
+        assert protocol1_cost(TABLE7).communication_kb() == pytest.approx(0.22, rel=0.05)
+
+    def test_speedup_headline(self):
+        """Our initiator is >=10^6 x cheaper than FNP/Advanced on paper times."""
+        ours = protocol1_cost(TABLE7).initiator_ms(OP_TIMES_PAPER_LAPTOP_MS)
+        fnp = fnp_cost(TABLE7).initiator_ms(OP_TIMES_PAPER_LAPTOP_MS)
+        assert fnp / ours > 1e6
+
+
+class TestShapeInvariance:
+    def test_phone_times_preserve_ordering(self):
+        """Hardware changes, the ranking does not (the repro contract)."""
+        for times in (OP_TIMES_PAPER_LAPTOP_MS, OP_TIMES_PAPER_PHONE_MS):
+            schemes = all_schemes(TABLE7)
+            ours = schemes[-1]
+            for other in schemes[:-1]:
+                assert ours.initiator_ms(times) < other.initiator_ms(times)
+                assert ours.communication_bits < other.communication_bits
+
+    def test_costs_scale_with_population(self):
+        small = fnp_cost(Scenario(n=10))
+        large = fnp_cost(Scenario(n=1000))
+        assert large.initiator_ops["E3"] > small.initiator_ops["E3"]
+
+    def test_protocol1_initiator_independent_of_population(self):
+        a = protocol1_cost(Scenario(n=10)).initiator_ops
+        b = protocol1_cost(Scenario(n=100000)).initiator_ops
+        assert a == b
+
+    def test_cost_ms_ignores_unknown_ops(self):
+        assert cost_ms({"NOPE": 5}, OP_TIMES_PAPER_LAPTOP_MS) == 0.0

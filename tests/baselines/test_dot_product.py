@@ -1,0 +1,43 @@
+"""Private dot-product baseline tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dot_product import private_dot_product, profiles_to_vectors
+
+
+class TestVectors:
+    def test_indicator_encoding(self):
+        space = ["a", "b", "c", "d"]
+        u, v = profiles_to_vectors(space, {"a", "c"}, {"c", "d"})
+        assert u == [1, 0, 1, 0]
+        assert v == [0, 0, 1, 1]
+
+
+class TestDotProduct:
+    @given(
+        vectors=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=8
+        ),
+        seed=st.integers(0, 1 << 30),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_matches_plain_dot_product(self, paillier_key, vectors, seed):
+        u = [a for a, _ in vectors]
+        v = [b for _, b in vectors]
+        result = private_dot_product(u, v, keypair=paillier_key, rng=random.Random(seed))
+        assert result == sum(a * b for a, b in zip(u, v))
+
+    def test_intersection_cardinality_via_indicators(self, paillier_key, rng):
+        space = [f"t{i}" for i in range(10)]
+        u, v = profiles_to_vectors(space, {"t1", "t2", "t3"}, {"t2", "t3", "t4"})
+        assert private_dot_product(u, v, keypair=paillier_key, rng=rng) == 2
+
+    def test_rejects_length_mismatch(self, paillier_key):
+        with pytest.raises(ValueError):
+            private_dot_product([1], [1, 0], keypair=paillier_key)

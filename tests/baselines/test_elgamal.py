@@ -1,0 +1,29 @@
+"""ElGamal encryption tests."""
+
+from __future__ import annotations
+
+
+class TestElGamal:
+    def test_roundtrip_subgroup_element(self, elgamal_key, rng):
+        message = pow(elgamal_key.g, 12345, elgamal_key.p)
+        ct = elgamal_key.encrypt(message, rng=rng)
+        assert elgamal_key.decrypt(ct) == message
+
+    def test_randomized(self, elgamal_key, rng):
+        message = pow(elgamal_key.g, 7, elgamal_key.p)
+        assert elgamal_key.encrypt(message, rng=rng) != elgamal_key.encrypt(message, rng=rng)
+
+    def test_public_key_consistent(self, elgamal_key):
+        assert elgamal_key.h == pow(elgamal_key.g, elgamal_key.x, elgamal_key.p)
+
+    def test_generator_in_subgroup(self, elgamal_key):
+        # g generates the order-q subgroup: g^q == 1.
+        assert pow(elgamal_key.g, elgamal_key.q, elgamal_key.p) == 1
+
+    def test_multiplicative_homomorphism(self, elgamal_key, rng):
+        m1 = pow(elgamal_key.g, 3, elgamal_key.p)
+        m2 = pow(elgamal_key.g, 5, elgamal_key.p)
+        c1 = elgamal_key.encrypt(m1, rng=rng)
+        c2 = elgamal_key.encrypt(m2, rng=rng)
+        product = (c1[0] * c2[0] % elgamal_key.p, c1[1] * c2[1] % elgamal_key.p)
+        assert elgamal_key.decrypt(product) == m1 * m2 % elgamal_key.p

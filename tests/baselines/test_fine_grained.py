@@ -1,0 +1,65 @@
+"""Fine-grained weighted matching baseline tests."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fine_grained import (
+    fine_grained_distance,
+    fine_grained_dot_product,
+    levels_to_vector,
+)
+
+levels = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=8
+)
+
+
+class TestVectors:
+    def test_levels_to_vector(self):
+        space = ["a", "b", "c"]
+        assert levels_to_vector(space, {"a": 3, "c": 1}) == [3, 0, 1]
+
+    def test_unknown_levels_ignored(self):
+        assert levels_to_vector(["a"], {"zz": 5}) == [0]
+
+
+class TestDotProduct:
+    @given(levels, st.integers(0, 1 << 30))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_plaintext(self, paillier_key, pairs, seed):
+        u = [a for a, _ in pairs]
+        v = [b for _, b in pairs]
+        result = fine_grained_dot_product(u, v, keypair=paillier_key, rng=random.Random(seed))
+        assert result == sum(a * b for a, b in zip(u, v))
+
+    def test_interest_levels_weight_the_score(self, paillier_key, rng):
+        space = ["music", "sports", "food"]
+        alice = levels_to_vector(space, {"music": 5, "sports": 1})
+        enthusiast = levels_to_vector(space, {"music": 5})
+        casual = levels_to_vector(space, {"music": 1, "food": 9})
+        score_enthusiast = fine_grained_dot_product(alice, enthusiast, keypair=paillier_key, rng=rng)
+        score_casual = fine_grained_dot_product(alice, casual, keypair=paillier_key, rng=rng)
+        assert score_enthusiast > score_casual
+
+
+class TestDistance:
+    @given(levels, st.integers(0, 1 << 30))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_plaintext(self, paillier_key, pairs, seed):
+        u = [a for a, _ in pairs]
+        v = [b for _, b in pairs]
+        result = fine_grained_distance(u, v, keypair=paillier_key, rng=random.Random(seed))
+        assert result == sum((a - b) ** 2 for a, b in zip(u, v))
+
+    def test_identical_vectors_zero_distance(self, paillier_key, rng):
+        assert fine_grained_distance([1, 2, 3], [1, 2, 3], keypair=paillier_key, rng=rng) == 0
+
+    def test_length_mismatch(self, paillier_key):
+        import pytest
+
+        with pytest.raises(ValueError):
+            fine_grained_distance([1], [1, 2], keypair=paillier_key)

@@ -1,0 +1,62 @@
+"""Paillier cryptosystem tests: correctness + homomorphic laws."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counters import OpCounter
+
+small_ints = st.integers(min_value=0, max_value=10**12)
+
+
+class TestCorrectness:
+    def test_encrypt_decrypt_roundtrip(self, paillier_key, rng):
+        for m in (0, 1, 42, 10**9):
+            ct = paillier_key.public.encrypt(m, rng=rng)
+            assert paillier_key.decrypt(ct) == m
+
+    def test_encryption_randomized(self, paillier_key, rng):
+        c1 = paillier_key.public.encrypt(5, rng=rng)
+        c2 = paillier_key.public.encrypt(5, rng=rng)
+        assert c1 != c2
+        assert paillier_key.decrypt(c1) == paillier_key.decrypt(c2) == 5
+
+    def test_message_reduced_mod_n(self, paillier_key, rng):
+        n = paillier_key.public.n
+        ct = paillier_key.public.encrypt(n + 3, rng=rng)
+        assert paillier_key.decrypt(ct) == 3
+
+
+class TestHomomorphism:
+    @given(a=small_ints, b=small_ints, seed=st.integers(0, 1 << 30))
+    @settings(max_examples=15, deadline=None)
+    def test_additive(self, paillier_key, a, b, seed):
+        rng = random.Random(seed)
+        public = paillier_key.public
+        ct = public.add(public.encrypt(a, rng=rng), public.encrypt(b, rng=rng))
+        assert paillier_key.decrypt(ct) == (a + b) % public.n
+
+    @given(a=small_ints, k=st.integers(min_value=0, max_value=1000), seed=st.integers(0, 1 << 30))
+    @settings(max_examples=15, deadline=None)
+    def test_scalar_multiplication(self, paillier_key, a, k, seed):
+        rng = random.Random(seed)
+        public = paillier_key.public
+        ct = public.scalar_mul(public.encrypt(a, rng=rng), k)
+        assert paillier_key.decrypt(ct) == (a * k) % public.n
+
+
+class TestCostAccounting:
+    def test_encrypt_counts_expensive_ops(self, paillier_key, rng):
+        counter = OpCounter()
+        paillier_key.public.encrypt(7, rng=rng, counter=counter)
+        assert counter.get("E3") == 1  # r^n mod n^2
+        assert counter.get("M3") == 2
+
+    def test_decrypt_counts(self, paillier_key, rng):
+        counter = OpCounter()
+        ct = paillier_key.public.encrypt(7, rng=rng)
+        paillier_key.decrypt(ct, counter=counter)
+        assert counter.get("E3") == 1

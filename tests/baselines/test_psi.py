@@ -1,0 +1,113 @@
+"""PSI baselines: FNP04, FC10, DH-PSI(-CA) correctness and accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counters import OpCounter
+from repro.baselines.dh_psi import dh_psi, dh_psi_cardinality
+from repro.baselines.fc10 import fc10_psi
+from repro.baselines.fnp04 import fnp_psi
+
+UNIVERSE = [f"item{i}" for i in range(20)]
+
+sets_strategy = st.tuples(
+    st.lists(st.sampled_from(UNIVERSE), min_size=1, max_size=6, unique=True),
+    st.lists(st.sampled_from(UNIVERSE), min_size=1, max_size=6, unique=True),
+    st.integers(min_value=0, max_value=1 << 30),
+)
+
+
+class TestFnp:
+    @given(sets_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_intersection_correct(self, paillier_key, case):
+        client, server, seed = case
+        result, _ = fnp_psi(client, server, keypair=paillier_key, rng=random.Random(seed))
+        assert result == set(client) & set(server)
+
+    def test_disjoint_sets(self, paillier_key, rng):
+        result, _ = fnp_psi(["a", "b"], ["c", "d"], keypair=paillier_key, rng=rng)
+        assert result == set()
+
+    def test_transcript_sizes(self, paillier_key, rng):
+        _, transcript = fnp_psi(["a", "b"], ["c", "d", "e"], keypair=paillier_key, rng=rng)
+        assert len(transcript.encrypted_coefficients) == 3  # degree-2 polynomial
+        assert len(transcript.response_ciphertexts) == 3  # one per server item
+        assert transcript.communication_bits(256) == 6 * 2 * 256
+
+    def test_op_accounting(self, paillier_key, rng):
+        client_counter, server_counter = OpCounter(), OpCounter()
+        fnp_psi(
+            ["a"], ["b", "c"], keypair=paillier_key, rng=rng,
+            client_counter=client_counter, server_counter=server_counter,
+        )
+        assert client_counter.get("E3") > 0
+        assert server_counter.get("E3") > 0
+
+
+class TestFc10:
+    @given(sets_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_intersection_correct(self, rsa_key, case):
+        client, server, seed = case
+        result, _ = fc10_psi(client, server, keypair=rsa_key, rng=random.Random(seed))
+        assert result == set(client) & set(server)
+
+    def test_empty_intersection(self, rsa_key, rng):
+        result, _ = fc10_psi(["x"], ["y"], keypair=rsa_key, rng=rng)
+        assert result == set()
+
+    def test_linear_transcript(self, rsa_key, rng):
+        _, transcript = fc10_psi(["a", "b", "c"], ["d", "e"], keypair=rsa_key, rng=rng)
+        assert len(transcript.blinded_values) == 3
+        assert len(transcript.blind_signatures) == 3
+        assert len(transcript.server_tags) == 2
+
+    def test_server_pays_exponentiations(self, rsa_key, rng):
+        server_counter = OpCounter()
+        fc10_psi(["a", "b"], ["c"], keypair=rsa_key, rng=rng, server_counter=server_counter)
+        # one sign per server element + one per blinded client element
+        assert server_counter.get("E2") == 3
+
+
+class TestDhPsi:
+    @given(sets_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_psi_correct(self, dh_group, case):
+        client, server, seed = case
+        result = dh_psi(client, server, p=dh_group, rng=random.Random(seed))
+        assert result == set(client) & set(server)
+
+    @given(sets_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_cardinality_correct(self, dh_group, case):
+        client, server, seed = case
+        count = dh_psi_cardinality(client, server, p=dh_group, rng=random.Random(seed))
+        assert count == len(set(client) & set(server))
+
+    def test_cardinality_counts_ops(self, dh_group, rng):
+        client_counter, server_counter = OpCounter(), OpCounter()
+        dh_psi_cardinality(
+            ["a", "b"], ["b", "c"], p=dh_group, rng=rng,
+            client_counter=client_counter, server_counter=server_counter,
+        )
+        # client: 2 first-pass + 2 completing server values; server: 2+2.
+        assert client_counter.get("E2") == 4
+        assert server_counter.get("E2") == 4
+
+
+class TestCrossBaselineAgreement:
+    @given(sets_strategy)
+    @settings(max_examples=5, deadline=None)
+    def test_all_baselines_agree(self, paillier_key, rsa_key, dh_group, case):
+        client, server, seed = case
+        expected = set(client) & set(server)
+        fnp_result, _ = fnp_psi(client, server, keypair=paillier_key, rng=random.Random(seed))
+        fc_result, _ = fc10_psi(client, server, keypair=rsa_key, rng=random.Random(seed))
+        dh_result = dh_psi(client, server, p=dh_group, rng=random.Random(seed))
+        assert fnp_result == fc_result == dh_result == expected

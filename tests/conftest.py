@@ -1,0 +1,48 @@
+"""Shared fixtures: deterministic RNGs and amortized small keypairs.
+
+Key generation dominates baseline test time, so Paillier/RSA/ElGamal keys
+are session-scoped and deliberately small -- the protocols are exercised,
+not their concrete security level.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.elgamal import ElGamalKeyPair
+from repro.baselines.paillier import PaillierKeyPair
+from repro.baselines.rsa import RsaKeyPair
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Fresh deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def paillier_key() -> PaillierKeyPair:
+    """Small session-wide Paillier key (256-bit n)."""
+    return PaillierKeyPair.generate(256, rng=random.Random(11))
+
+
+@pytest.fixture(scope="session")
+def rsa_key() -> RsaKeyPair:
+    """Small session-wide RSA key (256-bit n)."""
+    return RsaKeyPair.generate(256, rng=random.Random(13))
+
+
+@pytest.fixture(scope="session")
+def elgamal_key() -> ElGamalKeyPair:
+    """Small session-wide ElGamal key (128-bit safe prime)."""
+    return ElGamalKeyPair.generate(128, rng=random.Random(17))
+
+
+@pytest.fixture(scope="session")
+def dh_group() -> int:
+    """Small safe-prime group for the DH-PSI tests."""
+    from repro.crypto.numbers import generate_safe_prime
+
+    return generate_safe_prime(128, rng=random.Random(19))

@@ -1,0 +1,143 @@
+"""High-level agent tests: the byte-level application facade."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.agent import SealedBottleAgent
+from repro.core.attributes import RequestProfile
+from repro.core.exceptions import SealedBottleError, SerializationError
+from repro.core.location import LatticeSpec
+
+
+def _agents():
+    rng_a = random.Random(1)
+    rng_b = random.Random(2)
+    alice = SealedBottleAgent("alice", ["interest:basketball", "city:nyc"], rng=rng_a)
+    bob = SealedBottleAgent(
+        "bob", ["interest:basketball", "city:nyc", "food:sushi"], rng=rng_b
+    )
+    return alice, bob
+
+
+class TestSearchFlow:
+    def test_full_byte_level_exchange(self):
+        alice, bob = _agents()
+        request = RequestProfile.exact(["interest:basketball", "city:nyc"])
+        datagram = alice.search(request, now_ms=0)
+
+        outbound, event = bob.handle_datagram(datagram, now_ms=1)
+        assert outbound is not None  # bob matched and replies
+        assert event.kind == "relay"
+
+        _, match_event = alice.handle_datagram(outbound, now_ms=2)
+        assert match_event is not None
+        assert match_event.kind == "match"
+        assert match_event.peer == "bob"
+        assert alice.matches()
+
+    def test_non_matching_agent_only_relays(self):
+        alice, _ = _agents()
+        stranger = SealedBottleAgent("eve", ["hobby:stamps"], rng=random.Random(3))
+        datagram = alice.search(RequestProfile.exact(["interest:basketball", "city:nyc"]))
+        outbound, event = stranger.handle_datagram(datagram, now_ms=1)
+        assert outbound is None
+        assert event.kind == "relay"
+
+    def test_own_broadcast_ignored(self):
+        alice, _ = _agents()
+        datagram = alice.search(RequestProfile.exact(["interest:basketball"]))
+        outbound, event = alice.handle_datagram(datagram, now_ms=1)
+        assert outbound is None
+        assert event is None
+
+    def test_unknown_datagram_rejected(self):
+        alice, _ = _agents()
+        with pytest.raises(SerializationError):
+            alice.handle_datagram(b"GARBAGE!", now_ms=0)
+
+    def test_stray_reply_ignored(self):
+        alice, bob = _agents()
+        datagram = alice.search(RequestProfile.exact(["interest:basketball", "city:nyc"]))
+        outbound, _ = bob.handle_datagram(datagram, now_ms=1)
+        third = SealedBottleAgent("carol", ["x:y"], rng=random.Random(5))
+        _, event = third.handle_datagram(outbound, now_ms=2)
+        assert event is None
+
+
+class TestSessions:
+    def test_message_after_match(self):
+        alice, bob = _agents()
+        request = RequestProfile.exact(["interest:basketball", "city:nyc"])
+        datagram = alice.search(request, now_ms=0)
+        reply, _ = bob.handle_datagram(datagram, now_ms=1)
+        _, match_event = alice.handle_datagram(reply, now_ms=2)
+        record = match_event.record
+
+        request_id = list(alice._initiators)[0]
+        framed = alice.send_message(record, request_id, b"coffee tomorrow?")
+        inbound = bob.handle_session(framed)
+        assert inbound is not None
+        assert inbound.kind == "message"
+        assert inbound.payload == b"coffee tomorrow?"
+
+    def test_second_message_reuses_session(self):
+        alice, bob = _agents()
+        request = RequestProfile.exact(["interest:basketball", "city:nyc"])
+        datagram = alice.search(request, now_ms=0)
+        reply, _ = bob.handle_datagram(datagram, now_ms=1)
+        _, match_event = alice.handle_datagram(reply, now_ms=2)
+        request_id = list(alice._initiators)[0]
+        first = alice.send_message(match_event.record, request_id, b"one")
+        second = alice.send_message(match_event.record, request_id, b"two")
+        assert bob.handle_session(first).payload == b"one"
+        assert bob.handle_session(second).payload == b"two"
+
+    def test_eavesdropper_cannot_read(self):
+        alice, bob = _agents()
+        eve = SealedBottleAgent("eve", ["hobby:stamps"], rng=random.Random(9))
+        request = RequestProfile.exact(["interest:basketball", "city:nyc"])
+        datagram = alice.search(request, now_ms=0)
+        reply, _ = bob.handle_datagram(datagram, now_ms=1)
+        eve.handle_datagram(datagram, now_ms=1)
+        _, match_event = alice.handle_datagram(reply, now_ms=2)
+        request_id = list(alice._initiators)[0]
+        framed = alice.send_message(match_event.record, request_id, b"secret")
+        assert eve.handle_session(framed) is None
+
+
+class TestVicinity:
+    def test_vicinity_search_between_agents(self):
+        spec = LatticeSpec(d=10.0)
+        alice = SealedBottleAgent(
+            "alice", [], lattice=spec, location=(100.0, 100.0), rng=random.Random(1)
+        )
+        # Bob's profile is his vicinity region around a nearby point.
+        bob_attrs = spec.vicinity_attributes(110.0, 95.0, 30.0)
+        bob = SealedBottleAgent("bob", bob_attrs, rng=random.Random(2))
+
+        datagram = alice.search_vicinity(search_range=30.0, theta=0.45, now_ms=0)
+        reply, _ = bob.handle_datagram(datagram, now_ms=1)
+        assert reply is not None
+        _, event = alice.handle_datagram(reply, now_ms=2)
+        assert event.kind == "match"
+
+    def test_vicinity_requires_location(self):
+        agent = SealedBottleAgent("x", ["a:b"])
+        with pytest.raises(SealedBottleError):
+            agent.search_vicinity(10.0, 0.5)
+
+    def test_update_location(self):
+        spec = LatticeSpec(d=5.0)
+        agent = SealedBottleAgent("x", [], lattice=spec, location=(0.0, 0.0))
+        agent.update_location(50.0, 50.0)
+        assert agent.location == (50.0, 50.0)
+
+    def test_update_attributes_rebuilds_participant(self):
+        agent = SealedBottleAgent("x", ["a:b"])
+        old_vector = agent._participant.vector.values
+        agent.update_attributes(["c:d", "e:f"])
+        assert agent._participant.vector.values != old_vector
+        assert len(agent.profile) == 2

@@ -1,0 +1,100 @@
+"""Profile / RequestProfile model tests (Sec. II-A definitions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import Profile, RequestProfile
+
+
+class TestProfile:
+    def test_normalizes_on_construction(self):
+        profile = Profile(["Interest:BasketBall", "interest:basketball"])
+        assert len(profile) == 1
+
+    def test_normalized_flag_skips_pipeline(self):
+        profile = Profile(["Interest:X"], normalized=True)
+        assert profile.attributes == ("Interest:X",)
+
+    def test_membership(self):
+        profile = Profile(["tag:a"], normalized=True)
+        assert "tag:a" in profile
+        assert "tag:b" not in profile
+
+    def test_intersection(self):
+        a = Profile(["tag:a", "tag:b"], normalized=True)
+        b = Profile(["tag:b", "tag:c"], normalized=True)
+        assert a.intersection(b) == frozenset({"tag:b"})
+
+    def test_similarity_to(self):
+        request = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
+        profile = Profile(["tag:a", "tag:z"], normalized=True)
+        assert profile.similarity_to(request) == 0.5
+
+    def test_frozen(self):
+        profile = Profile(["tag:a"], normalized=True)
+        with pytest.raises(AttributeError):
+            profile.attributes = ()
+
+
+class TestRequestProfile:
+    def test_alpha_beta_gamma_theta(self):
+        req = RequestProfile(
+            necessary=["n1", "n2"], optional=["o1", "o2", "o3"], beta=2, normalized=True
+        )
+        assert req.alpha == 2
+        assert req.beta == 2
+        assert req.gamma == 1
+        assert req.theta == pytest.approx(4 / 5)
+
+    def test_exact_request(self):
+        req = RequestProfile.exact(["a", "b"], normalized=True)
+        assert req.is_perfect()
+        assert req.theta == 1.0
+
+    def test_default_beta_is_perfect(self):
+        req = RequestProfile(necessary=["n"], optional=["o1", "o2"], normalized=True)
+        assert req.beta == 2
+        assert req.is_perfect()
+
+    def test_duplicate_optional_removed(self):
+        req = RequestProfile(necessary=["x"], optional=["x", "y"], beta=1, normalized=True)
+        assert req.optional == ("y",)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RequestProfile(necessary=[], optional=[], normalized=True)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            RequestProfile(necessary=["n"], optional=["o"], beta=2, normalized=True)
+
+    def test_rejects_zero_beta_without_necessary(self):
+        with pytest.raises(ValueError):
+            RequestProfile(necessary=[], optional=["o1", "o2"], beta=0, normalized=True)
+
+    def test_with_threshold(self):
+        req = RequestProfile.with_threshold(
+            necessary=["n"], optional=["o1", "o2", "o3"], theta=0.75, normalized=True
+        )
+        # m_t = 4, ceil(0.75*4) - 1 = 2
+        assert req.beta == 2
+        assert req.theta >= 0.75
+
+    def test_with_threshold_validates(self):
+        with pytest.raises(ValueError):
+            RequestProfile.with_threshold(["n"], [], theta=0.0, normalized=True)
+
+    def test_matches_ground_truth(self):
+        req = RequestProfile(
+            necessary=["n1"], optional=["o1", "o2", "o3"], beta=2, normalized=True
+        )
+        assert req.matches(Profile(["n1", "o1", "o2"], normalized=True))
+        assert req.matches(Profile(["n1", "o1", "o2", "o3"], normalized=True))
+        assert not req.matches(Profile(["o1", "o2", "o3"], normalized=True))  # missing necessary
+        assert not req.matches(Profile(["n1", "o1"], normalized=True))  # below beta
+
+    def test_matches_perfect(self):
+        req = RequestProfile.exact(["a", "b"], normalized=True)
+        assert req.matches(Profile(["a", "b", "c"], normalized=True))
+        assert not req.matches(Profile(["a"], normalized=True))

@@ -1,0 +1,60 @@
+"""Secure channel derivation tests (Sec. III-F)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.channel import SecureChannel, group_session_key, pair_session_key
+from repro.crypto.authenticated import AuthenticationError
+
+
+class TestKeyDerivation:
+    def test_pair_key_symmetric_inputs(self):
+        x, y = b"x" * 32, b"y" * 32
+        assert pair_session_key(x, y) == pair_session_key(x, y)
+
+    def test_pair_key_order_sensitive(self):
+        # x and y have fixed roles (initiator / matcher), so order matters.
+        assert pair_session_key(b"a" * 32, b"b" * 32) != pair_session_key(b"b" * 32, b"a" * 32)
+
+    def test_group_key_independent_of_y(self):
+        assert group_session_key(b"x" * 32) == group_session_key(b"x" * 32)
+
+    def test_pair_and_group_keys_differ(self):
+        x, y = b"x" * 32, b"y" * 32
+        assert pair_session_key(x, y) != group_session_key(x)
+
+    def test_different_x_different_keys(self):
+        assert group_session_key(b"a" * 32) != group_session_key(b"b" * 32)
+
+
+class TestSecureChannel:
+    def test_bidirectional(self):
+        key = pair_session_key(b"x" * 32, b"y" * 32)
+        alice, bob = SecureChannel(key), SecureChannel(key)
+        assert bob.receive(alice.send(b"ping")) == b"ping"
+        assert alice.receive(bob.send(b"pong")) == b"pong"
+
+    def test_counters(self):
+        channel = SecureChannel(b"k" * 32)
+        peer = SecureChannel(b"k" * 32)
+        peer.receive(channel.send(b"one"))
+        peer.receive(channel.send(b"two"))
+        assert channel.messages_sent == 2
+        assert peer.messages_received == 2
+
+    def test_wrong_key_rejected(self):
+        message = SecureChannel.for_pair(b"x" * 32, b"y" * 32).send(b"secret")
+        with pytest.raises(AuthenticationError):
+            SecureChannel.for_pair(b"x" * 32, b"z" * 32).receive(message)
+
+    def test_group_channel(self):
+        x = b"x" * 32
+        broadcast = SecureChannel.for_group(x).send(b"to all matchers")
+        assert SecureChannel.for_group(x).receive(broadcast) == b"to all matchers"
+
+    def test_failed_receive_not_counted(self):
+        channel = SecureChannel(b"k" * 32)
+        with pytest.raises(AuthenticationError):
+            channel.receive(b"\x00" * 64)
+        assert channel.messages_received == 0

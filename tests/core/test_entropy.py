@@ -1,0 +1,109 @@
+"""Entropy and φ-privacy policy tests (Def. 4-6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.entropy import (
+    AttributeDistribution,
+    EntropyPolicy,
+    k_anonymity_phi,
+    sensitive_attribute_phi,
+)
+
+
+class TestAttributeDistribution:
+    def test_uniform_entropy_is_log2(self):
+        dist = AttributeDistribution.uniform({"gender": 2, "city": 1024})
+        assert dist.attribute_entropy("gender:male") == pytest.approx(1.0)
+        assert dist.attribute_entropy("city:paris") == pytest.approx(10.0)
+
+    def test_empirical_entropy(self):
+        dist = AttributeDistribution({"coin": {"heads": 1, "tails": 1}})
+        assert dist.attribute_entropy("coin:heads") == pytest.approx(1.0)
+
+    def test_skewed_entropy_below_uniform(self):
+        dist = AttributeDistribution({"x": {"a": 99, "b": 1}})
+        assert dist.attribute_entropy("x:a") < 1.0
+
+    def test_unknown_category_uses_default(self):
+        dist = AttributeDistribution(default_entropy=12.5)
+        assert dist.attribute_entropy("mystery:thing") == 12.5
+
+    def test_uncategorized_attribute_uses_default(self):
+        dist = AttributeDistribution.uniform({"tag": 4}, default_entropy=7.0)
+        assert dist.attribute_entropy("plainword") == 7.0
+
+    def test_profile_entropy_sums_distinct(self):
+        dist = AttributeDistribution.uniform({"a": 2, "b": 4})
+        total = dist.profile_entropy(["a:x", "b:y", "a:x"])  # duplicate ignored
+        assert total == pytest.approx(1.0 + 2.0)
+
+    def test_rejects_empty_category(self):
+        with pytest.raises(ValueError):
+            AttributeDistribution.uniform({"bad": 0})
+
+
+class TestPhiPolicies:
+    def test_k_anonymity_phi(self):
+        assert k_anonymity_phi(1024, 4) == pytest.approx(8.0)
+        assert k_anonymity_phi(100, 100) == pytest.approx(0.0)
+
+    def test_k_anonymity_validates(self):
+        with pytest.raises(ValueError):
+            k_anonymity_phi(10, 11)
+
+    def test_sensitive_phi_is_min(self):
+        dist = AttributeDistribution.uniform({"hiv": 2, "city": 1024})
+        phi = sensitive_attribute_phi(dist, ["hiv:positive", "city:paris"])
+        assert phi == pytest.approx(1.0)
+
+    def test_sensitive_phi_requires_attributes(self):
+        with pytest.raises(ValueError):
+            sensitive_attribute_phi(AttributeDistribution(), [])
+
+
+class TestEntropyPolicy:
+    def _dist(self):
+        return AttributeDistribution.uniform({"tag": 256})  # 8 bits each
+
+    def test_allows_within_budget(self):
+        policy = EntropyPolicy(self._dist(), phi=16.0)
+        assert policy.allows(["tag:a", "tag:b"])
+        assert not policy.allows(["tag:a", "tag:b", "tag:c"])
+
+    def test_select_greedy_union(self):
+        policy = EntropyPolicy(self._dist(), phi=16.0)
+        sets = [
+            frozenset({"tag:a"}),
+            frozenset({"tag:a", "tag:b"}),  # union still 16 bits
+            frozenset({"tag:c"}),  # would push union to 24 bits
+        ]
+        assert policy.select(sets) == [0, 1]
+
+    def test_select_union_not_per_set(self):
+        # Two disjoint sets, each within budget, but union exceeds it.
+        policy = EntropyPolicy(self._dist(), phi=8.0)
+        sets = [frozenset({"tag:a"}), frozenset({"tag:b"})]
+        assert policy.select(sets) == [0]
+
+    def test_zero_budget_selects_empty_only(self):
+        policy = EntropyPolicy(self._dist(), phi=0.0)
+        assert policy.select([frozenset({"tag:a"})]) == []
+        assert policy.select([frozenset()]) == [0]
+
+    def test_rejects_negative_phi(self):
+        with pytest.raises(ValueError):
+            EntropyPolicy(self._dist(), phi=-1.0)
+
+    def test_math_consistency_with_k_anonymity(self):
+        # phi = log2(n/k) admits subsets expected to be k-anonymous: with
+        # 2^8-valued tags and n = 2^20 users, k = 16 allows two tags
+        # (16 bits = log2(2^20/16)).
+        phi = k_anonymity_phi(1 << 20, 16)
+        assert math.isclose(phi, 16.0)
+        policy = EntropyPolicy(self._dist(), phi=phi)
+        assert policy.allows(["tag:a", "tag:b"])
+        assert not policy.allows(["tag:a", "tag:b", "tag:c"])

@@ -1,0 +1,172 @@
+"""Hexagonal lattice and vicinity search tests (Sec. III-D)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Profile
+from repro.core.location import (
+    LatticePoint,
+    LatticeSpec,
+    vicinity_request,
+    vicinity_threshold_beta,
+)
+from repro.core.protocols import Initiator, Participant
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestLattice:
+    def test_primitive_vectors(self):
+        spec = LatticeSpec(d=2.0)
+        assert spec.point_xy(LatticePoint(1, 0)) == (2.0, 0.0)
+        x, y = spec.point_xy(LatticePoint(0, 1))
+        assert x == pytest.approx(1.0)
+        assert y == pytest.approx(math.sqrt(3.0))
+
+    def test_origin_offset(self):
+        spec = LatticeSpec(origin_x=10.0, origin_y=-5.0, d=1.0)
+        assert spec.point_xy(LatticePoint(0, 0)) == (10.0, -5.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            LatticeSpec(d=0.0)
+
+    @given(x=coords, y=coords)
+    @settings(max_examples=80, deadline=None)
+    def test_nearest_within_covering_radius(self, x, y):
+        # The hexagonal lattice covering radius is d/sqrt(3).
+        spec = LatticeSpec(d=1.0)
+        point = spec.nearest(x, y)
+        px, py = spec.point_xy(point)
+        assert math.hypot(px - x, py - y) <= 1.0 / math.sqrt(3.0) + 1e-6
+
+    @given(u1=st.integers(-20, 20), u2=st.integers(-20, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_lattice_points_are_fixed_points(self, u1, u2):
+        spec = LatticeSpec(d=1.5)
+        x, y = spec.point_xy(LatticePoint(u1, u2))
+        assert spec.nearest(x, y) == LatticePoint(u1, u2)
+
+    def test_fractional_inverts_point_xy(self):
+        spec = LatticeSpec(d=2.5)
+        x, y = spec.point_xy(LatticePoint(3, -2))
+        u1, u2 = spec.fractional(x, y)
+        assert u1 == pytest.approx(3.0)
+        assert u2 == pytest.approx(-2.0)
+
+
+class TestVicinitySet:
+    def test_contains_center(self):
+        spec = LatticeSpec(d=1.0)
+        points = spec.vicinity_set(0.1, 0.1, 2.0)
+        assert spec.nearest(0.1, 0.1) in points
+
+    def test_all_within_range(self):
+        spec = LatticeSpec(d=1.0)
+        center = spec.point_xy(spec.nearest(0.0, 0.0))
+        for pt in spec.vicinity_set(0.0, 0.0, 3.0):
+            px, py = spec.point_xy(pt)
+            assert math.hypot(px - center[0], py - center[1]) <= 3.0 + 1e-6
+
+    def test_sorted_and_deterministic(self):
+        spec = LatticeSpec(d=1.0)
+        a = spec.vicinity_set(5.0, 5.0, 2.0)
+        b = spec.vicinity_set(5.0, 5.0, 2.0)
+        assert a == b
+        assert a == sorted(a, key=lambda p: (p.u1, p.u2))
+
+    def test_cardinality_constant_across_locations(self):
+        # Same D and d => same |V| wherever the user stands (the property
+        # that turns theta into a fixed beta).
+        spec = LatticeSpec(d=1.0)
+        sizes = {
+            len(spec.vicinity_set(x, y, 3.0))
+            for x, y in [(0, 0), (10.3, -4.2), (100.7, 55.1)]
+        }
+        assert len(sizes) == 1
+
+    def test_paper_example_d3_gives_19_points(self):
+        # Fig. 3: D = 3d covers the centre + two rings... the hexagonal
+        # disc of radius 3d contains exactly the points with distance <= 3d.
+        spec = LatticeSpec(d=1.0)
+        points = spec.vicinity_set(0.0, 0.0, 3.0)
+        # Count lattice points within Euclidean distance 3 of the origin.
+        expected = 0
+        for u1 in range(-6, 7):
+            for u2 in range(-6, 7):
+                x = u1 + u2 / 2
+                y = u2 * math.sqrt(3) / 2
+                if math.hypot(x, y) <= 3.0 + 1e-9:
+                    expected += 1
+        assert len(points) == expected
+
+    def test_zero_range_is_center_only(self):
+        spec = LatticeSpec(d=1.0)
+        assert len(spec.vicinity_set(0.2, 0.1, 0.0)) == 1
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            LatticeSpec(d=1.0).vicinity_set(0, 0, -1.0)
+
+
+class TestVicinitySearch:
+    def test_threshold_beta(self):
+        assert vicinity_threshold_beta(19, 9 / 19) == 9
+        assert vicinity_threshold_beta(10, 1.0) == 10
+        with pytest.raises(ValueError):
+            vicinity_threshold_beta(10, 0.0)
+
+    def test_nearby_user_matches(self):
+        spec = LatticeSpec(d=1.0)
+        request = vicinity_request(spec, 0.0, 0.0, 3.0, theta=0.45)
+        initiator = Initiator(request, protocol=1, p=101)
+        package = initiator.create_request(now_ms=0)
+        # A user one cell away shares most lattice points.
+        nearby = Participant(
+            Profile(spec.vicinity_attributes(1.0, 0.0, 3.0), user_id="near", normalized=True)
+        )
+        reply = nearby.handle_request(package, now_ms=1)
+        assert reply is not None
+        assert initiator.handle_reply(reply, now_ms=2) is not None
+
+    def test_distant_user_does_not_match(self):
+        spec = LatticeSpec(d=1.0)
+        request = vicinity_request(spec, 0.0, 0.0, 3.0, theta=0.45)
+        initiator = Initiator(request, protocol=1, p=101)
+        package = initiator.create_request(now_ms=0)
+        distant = Participant(
+            Profile(spec.vicinity_attributes(40.0, 40.0, 3.0), user_id="far", normalized=True)
+        )
+        assert distant.handle_request(package, now_ms=1) is None
+
+    def test_cell_binding_shared_within_cell(self):
+        spec = LatticeSpec(d=10.0)
+        assert spec.cell_binding(0.1, 0.1) == spec.cell_binding(0.4, -0.2)
+
+    def test_cell_binding_differs_across_cells(self):
+        spec = LatticeSpec(d=1.0)
+        assert spec.cell_binding(0.0, 0.0) != spec.cell_binding(5.0, 5.0)
+
+    def test_bound_static_attributes_match_only_same_cell(self):
+        from repro.core.attributes import RequestProfile
+        from repro.core.matching import build_request, process_request
+
+        spec = LatticeSpec(d=10.0)
+        binding = spec.cell_binding(1.0, 1.0)
+        request = RequestProfile.exact(["tag:coffee"], normalized=True)
+        package, secret = build_request(request, protocol=1, binding=binding)
+        same_cell = process_request(
+            Profile(["tag:coffee"], normalized=True), package,
+            binding=spec.cell_binding(2.0, 0.5),
+        )
+        other_cell = process_request(
+            Profile(["tag:coffee"], normalized=True), package,
+            binding=spec.cell_binding(100.0, 100.0),
+        )
+        assert same_cell.x == secret.x
+        assert not other_cell.matched

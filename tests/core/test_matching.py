@@ -1,0 +1,177 @@
+"""Initiator/participant matching pipeline tests (Fig. 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.counters import OpCounter
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.exceptions import InvalidRequestError
+from repro.core.matching import (
+    CONFIRMATION,
+    build_request,
+    process_request,
+    seal_secret,
+    unseal_secret,
+)
+from repro.core.profile_vector import ParticipantVector
+
+
+def _build(request, protocol=1, seed=3, **kwargs):
+    return build_request(request, protocol=protocol, rng=random.Random(seed), **kwargs)
+
+
+class TestSealUnseal:
+    def test_protocol1_confirmation_roundtrip(self):
+        key, x = b"k" * 32, b"x" * 32
+        sealed = seal_secret(key, 1, x)
+        recovered, _ = unseal_secret(key, 1, sealed)
+        assert recovered == x
+
+    def test_protocol1_wrong_key_fails_confirmation(self):
+        sealed = seal_secret(b"k" * 32, 1, b"x" * 32)
+        recovered, _ = unseal_secret(b"w" * 32, 1, sealed)
+        assert recovered is None
+
+    def test_protocol2_no_oracle(self):
+        # Under protocol 2 every key "succeeds": no verifiable signal.
+        sealed = seal_secret(b"k" * 32, 2, b"x" * 32)
+        _, right = unseal_secret(b"k" * 32, 2, sealed)
+        _, wrong = unseal_secret(b"w" * 32, 2, sealed)
+        assert right == b"x" * 32
+        assert wrong != right
+        assert len(wrong) == 32
+
+    def test_rejects_bad_x_length(self):
+        with pytest.raises(ValueError):
+            seal_secret(b"k" * 32, 2, b"short")
+
+
+class TestBuildRequest:
+    def test_perfect_request_has_no_hint(self):
+        package, _ = _build(RequestProfile.exact(["a", "b"], normalized=True))
+        assert package.hint is None
+        assert package.gamma == 0
+
+    def test_fuzzy_request_has_hint(self):
+        request = RequestProfile(necessary=["n"], optional=["o1", "o2"], beta=1, normalized=True)
+        package, _ = _build(request)
+        assert package.hint is not None
+        assert package.hint.gamma == 1
+
+    def test_rejects_small_prime(self):
+        request = RequestProfile.exact([f"a{i}" for i in range(12)], normalized=True)
+        with pytest.raises(InvalidRequestError):
+            _build(request, p=11)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(InvalidRequestError):
+            _build(RequestProfile.exact(["a"], normalized=True), protocol=4)
+
+    def test_secret_matches_package(self):
+        request = RequestProfile.exact(["a", "b"], normalized=True)
+        package, secret = _build(request, protocol=1)
+        x, _ = unseal_secret(secret.request_key, 1, package.ciphertext)
+        assert x == secret.x
+
+    def test_initiator_cost_model(self):
+        # Paper Sec. IV-B1: m_t + 1 hashes, m_t mods, 1 encryption for a
+        # perfect-match request.
+        counter = OpCounter()
+        request = RequestProfile.exact(["a", "b", "c"], normalized=True)
+        build_request(request, protocol=2, rng=random.Random(0), counter=counter)
+        assert counter.get("H") == 4  # m_t attribute hashes + 1 key hash
+        assert counter.get("M") == 3
+        assert counter.get("E") == 2  # one 32-byte seal = 2 AES blocks
+
+    def test_deterministic_given_rng(self):
+        request = RequestProfile.exact(["a"], normalized=True)
+        p1, s1 = _build(request, seed=9)
+        p2, s2 = _build(request, seed=9)
+        assert p1 == p2
+        assert s1.x == s2.x
+
+
+class TestProcessRequest:
+    def test_perfect_match_protocol1(self):
+        request = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
+        package, secret = _build(request, protocol=1)
+        outcome = process_request(Profile(["tag:a", "tag:b", "tag:c"], normalized=True), package)
+        assert outcome.candidate
+        assert outcome.matched
+        assert outcome.x == secret.x
+
+    def test_non_candidate_short_circuits(self):
+        request = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
+        package, _ = _build(request, protocol=1)
+        counter = OpCounter()
+        outcome = process_request(
+            Profile(["tag:zz9"], normalized=True), package, counter=counter
+        )
+        assert not outcome.candidate
+        assert outcome.keys == []
+        assert counter.get("D") == 0  # never decrypted anything
+
+    def test_fuzzy_match_via_hint(self):
+        request = RequestProfile(
+            necessary=["tag:n"], optional=["tag:o1", "tag:o2", "tag:o3"], beta=2,
+            normalized=True,
+        )
+        package, secret = _build(request, protocol=1)
+        # Owns necessary + exactly beta optional: must recover the key.
+        profile = Profile(["tag:n", "tag:o1", "tag:o3", "tag:x"], normalized=True)
+        outcome = process_request(profile, package)
+        assert outcome.matched
+        assert outcome.x == secret.x
+
+    def test_below_threshold_never_matches(self):
+        request = RequestProfile(
+            necessary=["tag:n"], optional=["tag:o1", "tag:o2", "tag:o3"], beta=2,
+            normalized=True,
+        )
+        package, _ = _build(request, protocol=1)
+        profile = Profile(["tag:n", "tag:o1"], normalized=True)  # only 1 optional < beta
+        outcome = process_request(profile, package)
+        assert not outcome.matched
+
+    def test_missing_necessary_never_matches(self):
+        request = RequestProfile(
+            necessary=["tag:n"], optional=["tag:o1", "tag:o2"], beta=1, normalized=True
+        )
+        package, _ = _build(request, protocol=1)
+        profile = Profile(["tag:o1", "tag:o2"], normalized=True)
+        outcome = process_request(profile, package)
+        assert not outcome.matched
+
+    def test_accepts_cached_vector(self):
+        request = RequestProfile.exact(["tag:a"], normalized=True)
+        package, secret = _build(request, protocol=1)
+        vector = ParticipantVector.from_profile(Profile(["tag:a"], normalized=True))
+        outcome = process_request(vector, package)
+        assert outcome.x == secret.x
+
+    def test_recovered_vector_matches_request(self):
+        request = RequestProfile(
+            necessary=["tag:n"], optional=["tag:o1", "tag:o2"], beta=1, normalized=True
+        )
+        package, secret = _build(request, protocol=2)
+        profile = Profile(["tag:n", "tag:o1"], normalized=True)
+        outcome = process_request(profile, package)
+        assert tuple(secret.request_vector.values) in set(outcome.recovered_vectors)
+
+    def test_protocol2_returns_keys_without_verdict(self):
+        request = RequestProfile.exact(["tag:a"], normalized=True)
+        package, secret = _build(request, protocol=2)
+        outcome = process_request(Profile(["tag:a"], normalized=True), package)
+        assert outcome.candidate
+        assert outcome.x is None  # no oracle
+        assert secret.request_key in outcome.keys
+
+    def test_duplicate_vectors_deduped(self):
+        request = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
+        package, _ = _build(request, protocol=2)
+        profile = Profile(["tag:a", "tag:b"], normalized=True)
+        outcome = process_request(profile, package)
+        assert len(outcome.keys) == len(set(outcome.keys))

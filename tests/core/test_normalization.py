@@ -1,0 +1,122 @@
+"""Normalization pipeline tests (Sec. III-B requirements)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalization import (
+    normalize_attribute,
+    normalize_profile,
+    number_to_words,
+    singularize,
+)
+
+
+class TestNumberToWords:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "zero"),
+            (7, "seven"),
+            (13, "thirteen"),
+            (20, "twenty"),
+            (42, "forty two"),
+            (100, "one hundred"),
+            (101, "one hundred one"),
+            (999, "nine hundred ninety nine"),
+            (1000, "one thousand"),
+            (1984, "one thousand nine hundred eighty four"),
+            (1_000_000, "one million"),
+            (2_000_003, "two million three"),
+        ],
+    )
+    def test_spelling(self, value, expected):
+        assert number_to_words(value) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            number_to_words(-1)
+
+    def test_rejects_huge(self):
+        with pytest.raises(ValueError):
+            number_to_words(10**12)
+
+
+class TestSingularize:
+    @pytest.mark.parametrize(
+        "plural,singular",
+        [
+            ("cats", "cat"),
+            ("hobbies", "hobby"),
+            ("buses", "bus"),
+            ("boxes", "box"),
+            ("dishes", "dish"),
+            ("churches", "church"),
+            ("glass", "glass"),  # trailing 'ss' untouched
+            ("campus", "campus"),  # trailing 'us' untouched
+            ("tennis", "tennis"),  # trailing 'is' untouched
+            ("cat", "cat"),
+            ("a", "a"),
+        ],
+    )
+    def test_rules(self, plural, singular):
+        assert singularize(plural) == singular
+
+
+class TestNormalizeAttribute:
+    def test_case_folding(self):
+        assert normalize_attribute("BasketBall") == normalize_attribute("basketball")
+
+    def test_whitespace_removed(self):
+        assert normalize_attribute("computer  science") == normalize_attribute(
+            "computer science"
+        )
+
+    def test_punctuation_removed(self):
+        assert normalize_attribute("rock'n'roll!") == normalize_attribute("rocknroll")
+
+    def test_accents_stripped(self):
+        assert normalize_attribute("café") == normalize_attribute("cafe")
+
+    def test_numbers_to_words(self):
+        assert normalize_attribute("42") == normalize_attribute("forty two")
+
+    def test_plural_to_singular(self):
+        assert normalize_attribute("computer games") == normalize_attribute(
+            "computer game"
+        )
+
+    def test_abbreviation_expansion(self):
+        assert normalize_attribute("cs") == normalize_attribute("computer science")
+
+    def test_custom_abbreviations(self):
+        assert normalize_attribute("ml", {"ml": "machine learning"}) == (
+            normalize_attribute("machine learning")
+        )
+
+    def test_category_preserved(self):
+        normalized = normalize_attribute("Interest:BasketBall")
+        assert normalized == "interest:basketball"
+
+    def test_category_separator_distinguishes(self):
+        assert normalize_attribute("interest:jazz") != normalize_attribute("interestjazz")
+
+    @given(st.text(min_size=0, max_size=50))
+    @settings(max_examples=50)
+    def test_idempotent(self, text):
+        once = normalize_attribute(text)
+        assert normalize_attribute(once) == once
+
+
+class TestNormalizeProfile:
+    def test_deduplicates_equivalents(self):
+        result = normalize_profile(["Basketball", "basketball", "BASKETBALL!"])
+        assert len(result) == 1
+
+    def test_drops_empty(self):
+        assert normalize_profile(["", "   ", "ok"]) == ["ok"]
+
+    def test_preserves_first_seen_order(self):
+        assert normalize_profile(["zebra", "apple"]) == ["zebra", "apple"]

@@ -1,0 +1,98 @@
+"""Profile vector and key derivation tests (Eq. 2-3)."""
+
+from __future__ import annotations
+
+from repro.analysis.counters import OpCounter
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.profile_vector import ParticipantVector, RequestVector, profile_key
+from repro.crypto.hashes import hash_attribute
+
+
+class TestParticipantVector:
+    def test_sorted_ascending(self):
+        vector = ParticipantVector.from_profile(
+            Profile(["tag:c", "tag:a", "tag:b"], normalized=True)
+        )
+        assert list(vector.values) == sorted(vector.values)
+
+    def test_attribute_backmap(self):
+        vector = ParticipantVector.from_profile(Profile(["tag:a", "tag:b"], normalized=True))
+        for attr, value in zip(vector.attributes, vector.values):
+            assert hash_attribute(attr) == value
+
+    def test_binding_changes_vector(self):
+        profile = Profile(["tag:a"], normalized=True)
+        plain = ParticipantVector.from_profile(profile)
+        bound = ParticipantVector.from_profile(profile, binding=b"cell")
+        assert plain.values != bound.values
+
+    def test_counter_tallies_hashes(self):
+        counter = OpCounter()
+        ParticipantVector.from_profile(Profile(["a", "b", "c"], normalized=True), counter=counter)
+        assert counter.get("H") == 3
+
+    def test_own_key_matches_manual(self):
+        vector = ParticipantVector.from_profile(Profile(["tag:a"], normalized=True))
+        assert vector.key() == profile_key(vector.values)
+
+
+class TestRequestVector:
+    def test_globally_sorted_with_mask(self):
+        request = RequestProfile(
+            necessary=["tag:n"], optional=["tag:o1", "tag:o2"], beta=1, normalized=True
+        )
+        vector = RequestVector.from_request(request)
+        assert list(vector.values) == sorted(vector.values)
+        assert sum(vector.necessary_mask) == 1
+        assert len(vector) == 3
+
+    def test_alpha_gamma(self):
+        request = RequestProfile(
+            necessary=["n1", "n2"], optional=["o1", "o2", "o3"], beta=1, normalized=True
+        )
+        vector = RequestVector.from_request(request)
+        assert vector.alpha == 2
+        assert vector.gamma == 2
+
+    def test_necessary_mask_tracks_sorted_position(self):
+        request = RequestProfile(necessary=["tag:n"], optional=["tag:o"], beta=1, normalized=True)
+        vector = RequestVector.from_request(request)
+        n_hash = hash_attribute("tag:n")
+        for value, necessary in zip(vector.values, vector.necessary_mask):
+            assert necessary == (value == n_hash)
+
+    def test_optional_values_in_order(self):
+        request = RequestProfile(
+            necessary=["n"], optional=["o1", "o2", "o3"], beta=2, normalized=True
+        )
+        vector = RequestVector.from_request(request)
+        opts = vector.optional_values()
+        assert len(opts) == 3
+        assert list(opts) == sorted(opts)
+
+    def test_same_attributes_same_key_as_participant(self):
+        # The crux of the mechanism: a participant owning exactly the request
+        # attributes derives the identical key.
+        attrs = ["tag:a", "tag:b", "tag:c"]
+        request_vec = RequestVector.from_request(RequestProfile.exact(attrs, normalized=True))
+        participant_vec = ParticipantVector.from_profile(Profile(attrs, normalized=True))
+        assert request_vec.key() == participant_vec.key()
+
+    def test_binding_propagates(self):
+        request = RequestProfile.exact(["tag:a"], normalized=True)
+        assert RequestVector.from_request(request).values != (
+            RequestVector.from_request(request, binding=b"cell").values
+        )
+
+
+class TestProfileKey:
+    def test_distinct_vectors_distinct_keys(self):
+        assert profile_key([1, 2, 3]) != profile_key([1, 2, 4])
+
+    def test_key_is_aes256_sized(self):
+        assert len(profile_key([7])) == 32
+
+    def test_counter(self):
+        counter = OpCounter()
+        profile_key([1, 2], counter)
+        assert counter.get("H") == 1

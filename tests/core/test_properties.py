@@ -1,0 +1,140 @@
+"""Property-based end-to-end invariants of the matching mechanism.
+
+These are the contracts the whole paper rests on:
+
+1. **Completeness** -- any profile satisfying the match predicate (Eq. 1)
+   recovers the profile key and (Protocol 1) self-verifies.
+2. **Soundness** -- any profile below the threshold never produces a
+   verifiable reply the initiator accepts.
+3. **Key agreement** -- whenever a match verifies, both sides derive the
+   same session key.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.matching import build_request, process_request
+from repro.core.protocols import Initiator, Participant
+
+# A compact attribute universe makes remainder collisions *likely*, which is
+# exactly the stress the robust enumeration mode must survive.
+UNIVERSE = [f"tag:u{i}" for i in range(24)]
+
+
+@st.composite
+def scenario(draw):
+    """Random (request, participant profile) pair with known ground truth."""
+    m_t = draw(st.integers(min_value=1, max_value=6))
+    request_attrs = draw(
+        st.lists(st.sampled_from(UNIVERSE), min_size=m_t, max_size=m_t, unique=True)
+    )
+    alpha = draw(st.integers(min_value=0, max_value=m_t))
+    optional = request_attrs[alpha:]
+    if alpha == 0 and optional:
+        beta = draw(st.integers(min_value=1, max_value=len(optional)))
+    elif optional:
+        beta = draw(st.integers(min_value=0, max_value=len(optional)))
+    else:
+        beta = 0
+    if alpha == 0 and not optional:
+        alpha = m_t  # degenerate: make everything necessary
+    request = RequestProfile(
+        necessary=request_attrs[:alpha], optional=optional, beta=beta, normalized=True
+    )
+    m_k = draw(st.integers(min_value=1, max_value=10))
+    profile_attrs = draw(
+        st.lists(st.sampled_from(UNIVERSE), min_size=m_k, max_size=m_k, unique=True)
+    )
+    profile = Profile(profile_attrs, user_id="p", normalized=True)
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return request, profile, seed
+
+
+class TestCompleteness:
+    @given(scenario())
+    @settings(max_examples=80, deadline=None)
+    def test_matching_profile_recovers_key_protocol1(self, case):
+        request, profile, seed = case
+        package, secret = build_request(request, protocol=1, rng=random.Random(seed))
+        outcome = process_request(profile, package)
+        if request.matches(profile):
+            assert outcome.candidate
+            assert outcome.matched
+            assert outcome.x == secret.x
+
+    @given(scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_matching_profile_holds_key_protocol2(self, case):
+        request, profile, seed = case
+        package, secret = build_request(request, protocol=2, rng=random.Random(seed))
+        outcome = process_request(profile, package)
+        if request.matches(profile):
+            assert secret.request_key in outcome.keys
+
+
+class TestSoundness:
+    @given(scenario())
+    @settings(max_examples=80, deadline=None)
+    def test_non_matching_profile_never_verifies(self, case):
+        request, profile, seed = case
+        package, secret = build_request(request, protocol=1, rng=random.Random(seed))
+        outcome = process_request(profile, package)
+        if not request.matches(profile):
+            # SHA-256 collision aside, a wrong profile cannot hold the key.
+            assert not outcome.matched
+            assert secret.request_key not in outcome.keys
+
+
+class TestEndToEndAgreement:
+    @given(scenario(), st.sampled_from([1, 2]))
+    @settings(max_examples=50, deadline=None)
+    def test_protocol_run_agrees_with_ground_truth(self, case, protocol):
+        request, profile, seed = case
+        rng = random.Random(seed)
+        initiator = Initiator(request, protocol=protocol, rng=rng)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(profile, rng=rng)
+        reply = participant.handle_request(package, now_ms=1)
+        record = initiator.handle_reply(reply, now_ms=2) if reply else None
+        assert (record is not None) == request.matches(profile)
+
+    @given(scenario())
+    @settings(max_examples=40, deadline=None)
+    def test_session_keys_agree(self, case):
+        from repro.core.channel import SecureChannel
+
+        request, profile, seed = case
+        if not request.matches(profile):
+            return
+        rng = random.Random(seed)
+        initiator = Initiator(request, protocol=2, rng=rng)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(profile, rng=rng)
+        reply = participant.handle_request(package, now_ms=1)
+        record = initiator.handle_reply(reply, now_ms=2)
+        assert record is not None
+        message = SecureChannel(record.session_key).send(b"key agreement")
+        received = []
+        for key in participant.channel_keys(package.request_id):
+            try:
+                received.append(SecureChannel(key).receive(message))
+            except Exception:
+                continue
+        assert b"key agreement" in received
+
+
+class TestRemainderPruning:
+    @given(scenario())
+    @settings(max_examples=50, deadline=None)
+    def test_candidate_is_superset_of_matching(self, case):
+        """Fast check never prunes a true match (Theorem 1 corollary)."""
+        request, profile, seed = case
+        package, _ = build_request(request, protocol=2, rng=random.Random(seed))
+        outcome = process_request(profile, package)
+        if request.matches(profile):
+            assert outcome.candidate

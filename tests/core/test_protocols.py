@@ -1,0 +1,233 @@
+"""Protocol 1/2/3 message-flow tests (Sec. III-E)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.channel import SecureChannel
+from repro.core.entropy import AttributeDistribution, EntropyPolicy
+from repro.core.protocols import (
+    Initiator,
+    Participant,
+    Reply,
+    build_reply_element,
+    open_reply_element,
+)
+
+REQUEST = RequestProfile(
+    necessary=["tag:n"],
+    optional=["tag:o1", "tag:o2", "tag:o3"],
+    beta=2,
+    normalized=True,
+)
+MATCHING = Profile(["tag:n", "tag:o1", "tag:o2", "tag:q"], user_id="match", normalized=True)
+PERFECT = Profile(["tag:n", "tag:o1", "tag:o2", "tag:o3"], user_id="perfect", normalized=True)
+UNMATCHING = Profile(["tag:z1", "tag:z2"], user_id="miss", normalized=True)
+
+
+def _initiator(protocol, **kwargs):
+    return Initiator(REQUEST, protocol=protocol, rng=random.Random(1), **kwargs)
+
+
+class TestReplyElements:
+    def test_roundtrip(self):
+        x, y = b"x" * 32, b"y" * 32
+        element = build_reply_element(x, y, similarity=3)
+        assert open_reply_element(x, element) == (3, y)
+
+    def test_wrong_x_rejected(self):
+        element = build_reply_element(b"x" * 32, b"y" * 32, similarity=3)
+        assert open_reply_element(b"w" * 32, element) is None
+
+    def test_similarity_clamped(self):
+        element = build_reply_element(b"x" * 32, b"y" * 32, similarity=9999)
+        assert open_reply_element(b"x" * 32, element) == (255, b"y" * 32)
+
+    def test_wrong_size_rejected(self):
+        assert open_reply_element(b"x" * 32, b"short") is None
+
+    def test_bad_lengths_raise(self):
+        with pytest.raises(ValueError):
+            build_reply_element(b"x", b"y" * 32, 0)
+
+
+class TestProtocol1:
+    def test_end_to_end_match(self):
+        initiator = _initiator(1)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(MATCHING)
+        reply = participant.handle_request(package, now_ms=1)
+        assert reply is not None
+        assert len(reply.elements) == 1  # P1: single verified element
+        record = initiator.handle_reply(reply, now_ms=2)
+        assert record is not None
+        assert record.responder_id == "match"
+        assert record.similarity == 3  # owns n, o1, o2
+
+    def test_unmatching_user_stays_silent(self):
+        initiator = _initiator(1)
+        package = initiator.create_request(now_ms=0)
+        assert Participant(UNMATCHING).handle_request(package, now_ms=1) is None
+
+    def test_below_threshold_candidate_stays_silent(self):
+        initiator = _initiator(1)
+        package = initiator.create_request(now_ms=0)
+        below = Profile(["tag:n", "tag:o1"], user_id="below", normalized=True)
+        assert Participant(below).handle_request(package, now_ms=1) is None
+
+    def test_channel_established_both_sides(self):
+        initiator = _initiator(1)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(MATCHING)
+        reply = participant.handle_request(package, now_ms=1)
+        record = initiator.handle_reply(reply, now_ms=2)
+        message = SecureChannel(record.session_key).send(b"hi!")
+        keys = participant.channel_keys(package.request_id)
+        assert any(_try_receive(k, message) == b"hi!" for k in keys)
+
+    def test_best_match_prefers_higher_similarity(self):
+        initiator = _initiator(1)
+        package = initiator.create_request(now_ms=0)
+        r1 = Participant(MATCHING).handle_request(package, now_ms=1)
+        r2 = Participant(PERFECT).handle_request(package, now_ms=1)
+        initiator.handle_reply(r1, now_ms=2)
+        initiator.handle_reply(r2, now_ms=2)
+        assert initiator.best_match().responder_id == "perfect"
+
+
+class TestProtocol2:
+    def test_end_to_end_match(self):
+        initiator = _initiator(2)
+        package = initiator.create_request(now_ms=0)
+        reply = Participant(MATCHING).handle_request(package, now_ms=1)
+        assert reply is not None
+        record = initiator.handle_reply(reply, now_ms=2)
+        assert record is not None
+
+    def test_candidate_cannot_self_verify(self):
+        initiator = _initiator(2)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(MATCHING)
+        participant.handle_request(package, now_ms=1)
+        assert participant.last_outcome.x is None
+
+    def test_time_window_rejection(self):
+        initiator = _initiator(2, reply_window_ms=100)
+        package = initiator.create_request(now_ms=0)
+        reply = Participant(MATCHING).handle_request(package, now_ms=1)
+        record = initiator.handle_reply(reply, now_ms=500)
+        assert record is None
+        assert initiator.rejected[-1].reason == "outside time window"
+
+    def test_cardinality_threshold_rejection(self):
+        initiator = _initiator(2, max_reply_elements=2)
+        package = initiator.create_request(now_ms=0)
+        oversized = Reply(
+            request_id=package.request_id,
+            responder_id="flooder",
+            elements=tuple(build_reply_element(bytes([i]) * 32, b"y" * 32, 0) for i in range(5)),
+            sent_at_ms=1,
+        )
+        assert initiator.handle_reply(oversized, now_ms=2) is None
+        assert initiator.rejected[-1].reason == "reply set too large"
+
+    def test_unknown_request_id_rejected(self):
+        initiator = _initiator(2)
+        initiator.create_request(now_ms=0)
+        stray = Reply(request_id=b"12345678", responder_id="x", elements=(), sent_at_ms=1)
+        assert initiator.handle_reply(stray, now_ms=2) is None
+        assert initiator.rejected[-1].reason == "unknown request id"
+
+    def test_expired_request_ignored_by_participant(self):
+        initiator = _initiator(2, validity_ms=10)
+        package = initiator.create_request(now_ms=0)
+        assert Participant(MATCHING).handle_request(package, now_ms=1000) is None
+
+    def test_group_key_shared_with_all_matchers(self):
+        initiator = _initiator(2)
+        package = initiator.create_request(now_ms=0)
+        reply = Participant(PERFECT).handle_request(package, now_ms=1)
+        assert initiator.handle_reply(reply, now_ms=2) is not None
+        group = SecureChannel.for_group(initiator.secret.x)
+        broadcast = group.send(b"welcome to the community")
+        # The perfect matcher recovered x as one of its candidate x_j values.
+        matcher = Participant(PERFECT)
+        matcher.handle_request(package, now_ms=1)
+        xs = [x for x, _ in matcher._pending_secrets[package.request_id]]
+        assert any(
+            _try_receive_group(x, broadcast) == b"welcome to the community" for x in xs
+        )
+
+
+class TestProtocol3:
+    def _policy(self, phi):
+        return EntropyPolicy(AttributeDistribution.uniform({"tag": 1 << 12}), phi=phi)
+
+    def test_generous_budget_behaves_like_protocol2(self):
+        initiator = _initiator(3)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(MATCHING, entropy_policy=self._policy(1000.0))
+        reply = participant.handle_request(package, now_ms=1)
+        assert initiator.handle_reply(reply, now_ms=2) is not None
+
+    def test_zero_budget_silences_participant(self):
+        initiator = _initiator(3)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(MATCHING, entropy_policy=self._policy(0.0))
+        assert participant.handle_request(package, now_ms=1) is None
+
+    def test_no_policy_means_no_filtering(self):
+        initiator = _initiator(3)
+        package = initiator.create_request(now_ms=0)
+        reply = Participant(MATCHING).handle_request(package, now_ms=1)
+        assert reply is not None
+
+
+def _try_receive(key: bytes, message: bytes):
+    try:
+        return SecureChannel(key).receive(message)
+    except Exception:
+        return None
+
+
+def _try_receive_group(x: bytes, message: bytes):
+    try:
+        return SecureChannel.for_group(x).receive(message)
+    except Exception:
+        return None
+
+
+class TestParticipantDefences:
+    def test_duplicate_request_answered_once(self):
+        initiator = _initiator(2)
+        package = initiator.create_request(now_ms=0)
+        participant = Participant(MATCHING)
+        assert participant.handle_request(package, now_ms=1) is not None
+        assert participant.handle_request(package, now_ms=2) is None
+
+    @staticmethod
+    def _two_requests():
+        first = Initiator(REQUEST, protocol=2, rng=random.Random(101)).create_request(now_ms=0)
+        second = Initiator(REQUEST, protocol=2, rng=random.Random(202)).create_request(now_ms=0)
+        return first, second
+
+    def test_reply_throttle_blocks_within_interval(self):
+        participant = Participant(MATCHING, reply_min_interval_ms=1000)
+        first, second = self._two_requests()
+        assert participant.handle_request(first, now_ms=10) is not None
+        assert participant.handle_request(second, now_ms=20) is None
+
+    def test_reply_throttle_releases_after_interval(self):
+        participant = Participant(MATCHING, reply_min_interval_ms=100)
+        first, second = self._two_requests()
+        assert participant.handle_request(first, now_ms=10) is not None
+        assert participant.handle_request(second, now_ms=500) is not None
+
+    def test_throttle_disabled_by_default(self):
+        participant = Participant(MATCHING)
+        first, second = self._two_requests()
+        assert participant.handle_request(first, now_ms=1) is not None
+        assert participant.handle_request(second, now_ms=1) is not None

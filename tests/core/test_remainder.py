@@ -1,0 +1,211 @@
+"""Remainder vector, fast check and candidate enumeration tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.counters import OpCounter
+from repro.core.remainder import (
+    EnumerationBudget,
+    build_buckets,
+    enumerate_candidates,
+    is_candidate,
+    remainder_vector,
+)
+
+
+def _mask(necessary: int, total: int) -> tuple[bool, ...]:
+    """First *necessary* positions necessary (values here are pre-sorted)."""
+    return tuple(i < necessary for i in range(total))
+
+
+class TestRemainderVector:
+    def test_theorem1_soundness(self):
+        # r_i != r_j  =>  h_i != h_j for any prime p.
+        p = 11
+        for h_i in range(0, 200, 7):
+            for h_j in range(0, 200, 13):
+                if h_i % p != h_j % p:
+                    assert h_i != h_j
+
+    def test_values(self):
+        assert remainder_vector([23, 11, 7], 11) == (1, 0, 7)
+
+    def test_counter(self):
+        counter = OpCounter()
+        remainder_vector([1, 2, 3], 11, counter)
+        assert counter.get("M") == 3
+
+    def test_rejects_bad_prime(self):
+        with pytest.raises(ValueError):
+            remainder_vector([1], 1)
+
+
+class TestBuckets:
+    def test_groups_by_remainder(self):
+        participant = [11, 22, 24, 35]  # mod 11: 0, 0, 2, 2
+        buckets = build_buckets((0, 2, 5), participant, 11)
+        assert buckets[0] == [0, 1]
+        assert buckets[1] == [2, 3]
+        assert buckets[2] == []
+
+    def test_single_pass_mod_count(self):
+        counter = OpCounter()
+        build_buckets((0, 1, 2, 3), [10, 20, 30], 11, counter)
+        assert counter.get("M") == 3  # m_k reductions, not m_t * m_k
+
+
+class TestIsCandidate:
+    def test_exact_subset_is_candidate(self):
+        request = [100, 200, 300]
+        participant = sorted([100, 200, 300, 999])
+        remainders = remainder_vector(request, 11)
+        assert is_candidate(remainders, _mask(3, 3), 0, participant, 11)
+
+    def test_missing_necessary_rejected(self):
+        request = [100, 200]
+        participant = [200]  # 100 mod 11 = 1 missing (200 mod 11 = 2)
+        remainders = remainder_vector(request, 11)
+        assert not is_candidate(remainders, _mask(2, 2), 0, participant, 11)
+
+    def test_gamma_tolerates_missing_optional(self):
+        request = sorted([100, 215, 333])
+        participant = sorted([100, 215])
+        remainders = remainder_vector(request, 11)
+        mask = _mask(0, 3)
+        assert not is_candidate(remainders, mask, 0, participant, 11)
+        assert is_candidate(remainders, mask, 1, participant, 11)
+
+    def test_order_violation_rejected(self):
+        # Participant owns values whose remainders match but only in the
+        # wrong order: position 0 wants r=5, position 1 wants r=1; the only
+        # owner of r=5 sits *after* the only owner of r=1.
+        request = [16, 23]  # sorted; mod 11 -> (5, 1)
+        participant = [12, 27]  # mod 11 -> (1, 5): index of r=5 is 1, r=1 is 0
+        remainders = remainder_vector(request, 11)
+        # select pos0 -> idx1 (value 27), then pos1 needs idx > 1 with r=1: none.
+        assert not is_candidate(remainders, _mask(2, 2), 0, participant, 11)
+
+    def test_strict_mode_forces_nonempty_bucket_assignment(self):
+        # Position 1 optional with colliding bucket entry; strict mode must
+        # assign it, robust mode may skip it.
+        request = [100, 211]  # mod 11: (1, 2)
+        participant = [12, 13]  # mod 11: (1, 2) -- 13 collides with 211
+        remainders = remainder_vector(request, 11)
+        mask = (True, False)
+        assert is_candidate(remainders, mask, 1, participant, 11, mode="strict")
+        assert is_candidate(remainders, mask, 1, participant, 11, mode="robust")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            is_candidate((0,), (True,), 0, [11], 11, mode="bogus")
+
+
+class TestEnumerateCandidates:
+    def test_exact_match_enumerated(self):
+        request = sorted([1001, 2002, 3003])
+        participant = sorted(request + [4004])
+        remainders = remainder_vector(request, 11)
+        candidates = enumerate_candidates(remainders, _mask(3, 3), 0, participant, 11)
+        assert tuple(request) in {c.values for c in candidates}
+
+    def test_true_combination_present_under_collisions(self):
+        p = 11
+        request = sorted([100, 211])  # both ≡ 1 mod 11... 100%11=1, 211%11=2
+        participant = sorted([100, 111, 211])  # 111 ≡ 1 collides with 100
+        remainders = remainder_vector(request, p)
+        candidates = enumerate_candidates(remainders, _mask(2, 2), 0, participant, p)
+        assert tuple(request) in {c.values for c in candidates}
+
+    def test_unknown_positions_marked(self):
+        request = sorted([100, 215, 333])
+        participant = sorted([100, 215])
+        remainders = remainder_vector(request, 11)
+        candidates = enumerate_candidates(remainders, _mask(0, 3), 1, participant, 11)
+        assert any(c.unknown_indices for c in candidates)
+        for c in candidates:
+            assert len(c.unknown_indices) <= 1
+
+    def test_budget_caps_results(self):
+        # Adversarial request: every position accepts every participant value.
+        p = 11
+        participant = sorted(11 * i for i in range(1, 30))  # all ≡ 0 mod 11
+        remainders = tuple([0] * 5)
+        budget = EnumerationBudget(max_candidates=10, max_visits=10_000)
+        candidates = enumerate_candidates(
+            remainders, _mask(0, 5), 4, participant, p, budget=budget
+        )
+        assert len(candidates) <= 10
+        assert budget.exhausted
+
+    def test_visit_budget_caps_search(self):
+        p = 11
+        participant = sorted(11 * i for i in range(1, 40))
+        remainders = tuple([0] * 6)
+        budget = EnumerationBudget(max_candidates=10**9, max_visits=500)
+        enumerate_candidates(remainders, _mask(0, 6), 5, participant, p, budget=budget)
+        assert budget.exhausted
+
+    def test_no_candidates_for_stranger(self):
+        request = [5, 16, 27]  # all ≡ 5 mod 11
+        participant = [7, 18]  # all ≡ 7 mod 11
+        remainders = remainder_vector(request, 11)
+        assert enumerate_candidates(remainders, _mask(3, 3), 0, participant, 11) == []
+
+    def test_strict_vs_robust_candidate_sets(self):
+        # Robust mode is a superset of strict mode.
+        request = sorted([100, 211, 322])
+        participant = sorted([100, 111, 322])
+        remainders = remainder_vector(request, 11)
+        mask = _mask(1, 3)
+        strict = {
+            c.values
+            for c in enumerate_candidates(remainders, mask, 2, participant, 11, mode="strict")
+        }
+        robust = {
+            c.values
+            for c in enumerate_candidates(remainders, mask, 2, participant, 11, mode="robust")
+        }
+        assert strict <= robust
+
+
+class TestAgreementProperty:
+    @given(
+        data=st.data(),
+        n_request=st.integers(min_value=1, max_value=6),
+        n_participant=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fast_check_agrees_with_enumeration(self, data, n_request, n_participant):
+        """is_candidate is exactly 'enumeration finds >= 1 candidate'."""
+        p = 11
+        request = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=500),
+                    min_size=n_request,
+                    max_size=n_request,
+                    unique=True,
+                )
+            )
+        )
+        participant = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=500),
+                    min_size=n_participant,
+                    max_size=n_participant,
+                    unique=True,
+                )
+            )
+        )
+        alpha = data.draw(st.integers(min_value=0, max_value=n_request))
+        gamma = data.draw(st.integers(min_value=0, max_value=n_request - alpha))
+        mask = _mask(alpha, n_request)
+        remainders = remainder_vector(request, p)
+        for mode in ("strict", "robust"):
+            fast = is_candidate(remainders, mask, gamma, participant, p, mode=mode)
+            full = enumerate_candidates(remainders, mask, gamma, participant, p, mode=mode)
+            assert fast == (len(full) > 0)

@@ -1,0 +1,130 @@
+"""Request package wire-format tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import RequestProfile
+from repro.core.exceptions import SerializationError
+from repro.core.hint import build_hint_matrix
+from repro.core.matching import build_request
+from repro.core.request import RequestPackage
+
+
+def _package(protocol=2, hint=True, rng_seed=1) -> RequestPackage:
+    rng = random.Random(rng_seed)
+    request = RequestProfile(
+        necessary=["tag:n"],
+        optional=["tag:o1", "tag:o2", "tag:o3"],
+        beta=2 if hint else 3,
+        normalized=True,
+    )
+    package, _ = build_request(request, protocol=protocol, rng=rng)
+    return package
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("protocol", [1, 2, 3])
+    @pytest.mark.parametrize("with_hint", [True, False])
+    def test_encode_decode(self, protocol, with_hint):
+        package = _package(protocol, with_hint)
+        assert RequestPackage.decode(package.encode()) == package
+
+    def test_hint_presence(self):
+        assert _package(hint=True).hint is not None
+        assert _package(hint=False).hint is None
+
+    def test_derived_fields_survive(self):
+        package = _package()
+        decoded = RequestPackage.decode(package.encode())
+        assert decoded.m_t == package.m_t
+        assert decoded.alpha == package.alpha
+        assert decoded.gamma == package.gamma
+
+
+class TestValidation:
+    def test_rejects_bad_protocol(self):
+        pkg = _package()
+        with pytest.raises(SerializationError):
+            RequestPackage(
+                protocol=9, p=pkg.p, remainders=pkg.remainders,
+                necessary_mask=pkg.necessary_mask, beta=pkg.beta, hint=pkg.hint,
+                ciphertext=pkg.ciphertext, request_id=pkg.request_id,
+                ttl=pkg.ttl, expiry_ms=pkg.expiry_ms,
+            )
+
+    def test_rejects_length_mismatch(self):
+        pkg = _package()
+        with pytest.raises(SerializationError):
+            RequestPackage(
+                protocol=2, p=pkg.p, remainders=pkg.remainders,
+                necessary_mask=pkg.necessary_mask[:-1], beta=pkg.beta, hint=pkg.hint,
+                ciphertext=pkg.ciphertext, request_id=pkg.request_id,
+                ttl=pkg.ttl, expiry_ms=pkg.expiry_ms,
+            )
+
+    def test_rejects_unreduced_remainder(self):
+        pkg = _package()
+        with pytest.raises(SerializationError):
+            RequestPackage(
+                protocol=2, p=pkg.p, remainders=(pkg.p,) + pkg.remainders[1:],
+                necessary_mask=pkg.necessary_mask, beta=pkg.beta, hint=pkg.hint,
+                ciphertext=pkg.ciphertext, request_id=pkg.request_id,
+                ttl=pkg.ttl, expiry_ms=pkg.expiry_ms,
+            )
+
+    def test_rejects_bad_request_id(self):
+        pkg = _package()
+        with pytest.raises(SerializationError):
+            RequestPackage(
+                protocol=2, p=pkg.p, remainders=pkg.remainders,
+                necessary_mask=pkg.necessary_mask, beta=pkg.beta, hint=pkg.hint,
+                ciphertext=pkg.ciphertext, request_id=b"short",
+                ttl=pkg.ttl, expiry_ms=pkg.expiry_ms,
+            )
+
+    def test_decode_rejects_bad_magic(self):
+        with pytest.raises(SerializationError):
+            RequestPackage.decode(b"XXXX" + _package().encode()[4:])
+
+    @given(cut=st.integers(min_value=4, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_decode_rejects_truncation(self, cut):
+        data = _package().encode()
+        with pytest.raises(SerializationError):
+            RequestPackage.decode(data[: len(data) - cut])
+
+
+class TestSizeAccounting:
+    def test_perfect_match_request_is_small(self):
+        # Paper: ~190 B average for a 60%-similarity 6-attribute search.
+        package = _package(hint=False)
+        assert package.wire_size_bytes() < 120
+
+    def test_fuzzy_request_within_paper_bound(self):
+        package = _package(hint=True)
+        # (1-θ)32m_t² + (288-256θ)m_t + 256 bits plus framing.
+        assert package.wire_size_bytes() < 1024
+
+    def test_expiry(self):
+        package = _package()
+        assert not package.is_expired(package.expiry_ms)
+        assert package.is_expired(package.expiry_ms + 1)
+
+
+class TestHintSerialization:
+    def test_large_b_values_roundtrip(self, rng):
+        values = [(1 << 256) - 1 - i for i in range(4)]
+        hint = build_hint_matrix(values, gamma=2, rng=rng)
+        pkg = _package()
+        boxed = RequestPackage(
+            protocol=2, p=pkg.p, remainders=pkg.remainders,
+            necessary_mask=pkg.necessary_mask, beta=pkg.beta, hint=hint,
+            ciphertext=pkg.ciphertext, request_id=pkg.request_id,
+            ttl=pkg.ttl, expiry_ms=pkg.expiry_ms,
+        )
+        assert RequestPackage.decode(boxed.encode()).hint == hint

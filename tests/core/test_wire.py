@@ -1,0 +1,114 @@
+"""Reply and session-message wire-format tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import SerializationError
+from repro.core.protocols import Reply
+from repro.core.wire import (
+    decode_reply,
+    decode_session_message,
+    encode_reply,
+    encode_session_message,
+    reply_wire_size,
+)
+
+
+def _reply(n_elements=2, responder="bob"):
+    return Reply(
+        request_id=b"12345678",
+        responder_id=responder,
+        elements=tuple(bytes([i]) * 48 for i in range(n_elements)),
+        sent_at_ms=777,
+    )
+
+
+class TestReplyRoundTrip:
+    @given(
+        n=st.integers(min_value=0, max_value=10),
+        responder=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FFF), max_size=40
+        ),
+        sent=st.integers(min_value=0, max_value=2**63 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, n, responder, sent):
+        reply = Reply(
+            request_id=b"abcdefgh",
+            responder_id=responder,
+            elements=tuple(bytes([i % 256]) * 48 for i in range(n)),
+            sent_at_ms=sent,
+        )
+        assert decode_reply(encode_reply(reply)) == reply
+
+    def test_wire_size_matches(self):
+        reply = _reply(3)
+        assert len(encode_reply(reply)) == reply_wire_size(3, "bob")
+
+    def test_empty_elements(self):
+        reply = _reply(0)
+        assert decode_reply(encode_reply(reply)).elements == ()
+
+
+class TestReplyValidation:
+    def test_rejects_wrong_element_size(self):
+        reply = Reply(
+            request_id=b"12345678", responder_id="x",
+            elements=(b"short",), sent_at_ms=0,
+        )
+        with pytest.raises(SerializationError):
+            encode_reply(reply)
+
+    def test_rejects_long_responder(self):
+        with pytest.raises(SerializationError):
+            encode_reply(_reply(1, responder="x" * 300))
+
+    def test_rejects_bad_magic(self):
+        data = encode_reply(_reply())
+        with pytest.raises(SerializationError):
+            decode_reply(b"XXXX" + data[4:])
+
+    def test_rejects_truncation(self):
+        data = encode_reply(_reply(2))
+        with pytest.raises(SerializationError):
+            decode_reply(data[:-10])
+
+    def test_rejects_trailing_garbage(self):
+        data = encode_reply(_reply(1))
+        with pytest.raises(SerializationError):
+            decode_reply(data + b"junk")
+
+
+class TestSessionMessages:
+    def test_roundtrip(self):
+        framed = encode_session_message(b"chan0001", b"ciphertext bytes")
+        assert decode_session_message(framed) == (b"chan0001", b"ciphertext bytes")
+
+    def test_empty_payload(self):
+        framed = encode_session_message(b"chan0001", b"")
+        assert decode_session_message(framed) == (b"chan0001", b"")
+
+    def test_rejects_bad_channel_id(self):
+        with pytest.raises(SerializationError):
+            encode_session_message(b"short", b"x")
+
+    def test_rejects_oversized(self):
+        with pytest.raises(SerializationError):
+            encode_session_message(b"chan0001", b"x" * 70_000)
+
+    def test_rejects_truncated(self):
+        framed = encode_session_message(b"chan0001", b"payload")
+        with pytest.raises(SerializationError):
+            decode_session_message(framed[:-2])
+
+    def test_end_to_end_with_channel(self):
+        from repro.core.channel import SecureChannel
+
+        channel = SecureChannel(b"k" * 32)
+        framed = encode_session_message(b"req00001", channel.send(b"hi"))
+        channel_id, ciphertext = decode_session_message(framed)
+        assert channel_id == b"req00001"
+        assert SecureChannel(b"k" * 32).receive(ciphertext) == b"hi"

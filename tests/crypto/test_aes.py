@@ -1,0 +1,109 @@
+"""AES block cipher tests pinned to FIPS-197 appendix vectors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestFips197Vectors:
+    def test_aes128_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).encrypt_block(FIPS_PLAINTEXT) == expected
+
+    def test_aes192_appendix_c2(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+        assert AES(key).encrypt_block(FIPS_PLAINTEXT) == expected
+
+    def test_aes256_appendix_c3(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).encrypt_block(FIPS_PLAINTEXT) == expected
+
+    def test_aes128_decrypt_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES(key).decrypt_block(ciphertext) == FIPS_PLAINTEXT
+
+    def test_aes256_decrypt_appendix_c3(self):
+        key = bytes.fromhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        )
+        ciphertext = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+        assert AES(key).decrypt_block(ciphertext) == FIPS_PLAINTEXT
+
+    def test_aes128_nist_sp800_38a_ecb_block1(self):
+        # NIST SP 800-38A F.1.1 ECB-AES128.Encrypt, first block.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+    def test_aes256_nist_sp800_38a_ecb_block1(self):
+        # NIST SP 800-38A F.1.5 ECB-AES256.Encrypt, first block.
+        key = bytes.fromhex(
+            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+        )
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("f3eed1bdb5d2a03c064b5a7e3db181f8")
+        assert AES(key).encrypt_block(plaintext) == expected
+
+
+class TestKeyHandling:
+    @pytest.mark.parametrize("bad_len", [0, 1, 15, 17, 31, 33, 64])
+    def test_rejects_bad_key_length(self, bad_len):
+        with pytest.raises(ValueError):
+            AES(b"\x00" * bad_len)
+
+    @pytest.mark.parametrize("key_len,rounds", [(16, 10), (24, 12), (32, 14)])
+    def test_round_count(self, key_len, rounds):
+        assert AES(b"\x00" * key_len).rounds == rounds
+
+    @pytest.mark.parametrize("key_len,rounds", [(16, 10), (24, 12), (32, 14)])
+    def test_round_key_count(self, key_len, rounds):
+        assert len(AES(b"\x00" * key_len)._round_keys) == rounds + 1
+
+    def test_rejects_bad_block_length(self):
+        cipher = AES(b"\x00" * 16)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"\x00" * 15)
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(b"\x00" * 17)
+
+
+class TestRoundTrip:
+    @given(
+        key=st.binary(min_size=32, max_size=32),
+        block=st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_encrypt_decrypt_roundtrip(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_different_blocks_encrypt_differently(self, key):
+        cipher = AES(key)
+        a = cipher.encrypt_block(b"\x00" * 16)
+        b = cipher.encrypt_block(b"\x01" + b"\x00" * 15)
+        assert a != b
+
+    def test_key_sensitivity(self):
+        block = b"same plaintext!!"
+        c1 = AES(b"\x00" * 32).encrypt_block(block)
+        c2 = AES(b"\x01" + b"\x00" * 31).encrypt_block(block)
+        assert c1 != c2
+
+    def test_deterministic(self):
+        cipher = AES(b"k" * 32)
+        assert cipher.encrypt_block(b"p" * 16) == cipher.encrypt_block(b"p" * 16)

@@ -1,0 +1,69 @@
+"""Authenticated channel cipher tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.authenticated import AuthenticatedCipher, AuthenticationError
+
+
+class TestRoundTrip:
+    @given(plaintext=st.binary(min_size=0, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_encrypt_decrypt(self, plaintext):
+        cipher = AuthenticatedCipher(b"master secret")
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_fixed_nonce_deterministic(self):
+        cipher = AuthenticatedCipher(b"s")
+        a = cipher.encrypt(b"msg", nonce=b"12345678")
+        b = cipher.encrypt(b"msg", nonce=b"12345678")
+        assert a == b
+
+    def test_random_nonce_randomizes(self):
+        cipher = AuthenticatedCipher(b"s")
+        assert cipher.encrypt(b"msg") != cipher.encrypt(b"msg")
+
+    def test_rejects_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            AuthenticatedCipher(b"s").encrypt(b"msg", nonce=b"short")
+
+    def test_rejects_empty_secret(self):
+        with pytest.raises(ValueError):
+            AuthenticatedCipher(b"")
+
+
+class TestTamperResistance:
+    def test_bit_flip_detected_everywhere(self):
+        cipher = AuthenticatedCipher(b"secret")
+        message = cipher.encrypt(b"attack at dawn")
+        for position in range(len(message)):
+            tampered = bytearray(message)
+            tampered[position] ^= 0x80
+            with pytest.raises(AuthenticationError):
+                cipher.decrypt(bytes(tampered))
+
+    def test_truncation_detected(self):
+        cipher = AuthenticatedCipher(b"secret")
+        message = cipher.encrypt(b"attack at dawn")
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(message[:-1])
+
+    def test_too_short_message(self):
+        with pytest.raises(AuthenticationError):
+            AuthenticatedCipher(b"secret").decrypt(b"short")
+
+    def test_wrong_key_rejected(self):
+        message = AuthenticatedCipher(b"key-a").encrypt(b"hello")
+        with pytest.raises(AuthenticationError):
+            AuthenticatedCipher(b"key-b").decrypt(message)
+
+    def test_cross_message_splice_rejected(self):
+        cipher = AuthenticatedCipher(b"secret")
+        m1 = cipher.encrypt(b"first message!", nonce=b"AAAAAAAA")
+        m2 = cipher.encrypt(b"second message", nonce=b"BBBBBBBB")
+        spliced = m1[:8] + m2[8:]
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(spliced)

@@ -1,0 +1,116 @@
+"""Hash helpers: SHA-256 vectors, HMAC RFC 4231, attribute hashing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashes import (
+    HASH_BYTES,
+    bytes_to_int,
+    hash_attribute,
+    hash_vector_key,
+    hmac_sha256,
+    int_to_bytes,
+    sha256,
+    sha256_int,
+)
+
+
+class TestSha256:
+    def test_empty_vector(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc_vector(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_int_form_matches_bytes(self):
+        assert sha256_int(b"abc") == int.from_bytes(sha256(b"abc"), "big")
+
+    def test_int_is_256_bits(self):
+        assert sha256_int(b"x") < (1 << 256)
+
+
+class TestHmac:
+    def test_rfc4231_case1(self):
+        key = b"\x0b" * 20
+        data = b"Hi There"
+        expected = "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        assert hmac_sha256(key, data).hex() == expected
+
+    def test_rfc4231_case2(self):
+        expected = "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        assert hmac_sha256(b"Jefe", b"what do ya want for nothing?").hex() == expected
+
+    def test_rfc4231_case3_long_key_path(self):
+        # Key longer than the block size must be hashed first.
+        key = b"\xaa" * 131
+        data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        expected = "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        assert hmac_sha256(key, data).hex() == expected
+
+    def test_matches_stdlib(self):
+        import hashlib
+        import hmac as std_hmac
+
+        for key, msg in [(b"k", b"m"), (b"key" * 30, b"message" * 10)]:
+            assert hmac_sha256(key, msg) == std_hmac.new(key, msg, hashlib.sha256).digest()
+
+
+class TestIntConversions:
+    @given(value=st.integers(min_value=0, max_value=(1 << 256) - 1))
+    @settings(max_examples=50)
+    def test_roundtrip(self, value):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+    def test_fixed_width(self):
+        assert len(int_to_bytes(1)) == HASH_BYTES
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+
+class TestAttributeHashing:
+    def test_deterministic(self):
+        assert hash_attribute("tag:music") == hash_attribute("tag:music")
+
+    def test_distinct_attributes_distinct_hashes(self):
+        assert hash_attribute("tag:music") != hash_attribute("tag:movies")
+
+    def test_binding_changes_hash(self):
+        plain = hash_attribute("tag:music")
+        bound = hash_attribute("tag:music", binding=b"cell-42")
+        assert plain != bound
+
+    def test_different_bindings_differ(self):
+        assert hash_attribute("a", binding=b"x") != hash_attribute("a", binding=b"y")
+
+    def test_binding_is_unambiguous(self):
+        # "ab" + binding "c" must differ from "a" + binding "bc".
+        assert hash_attribute("ab", binding=b"c") != hash_attribute("a", binding=b"bc")
+
+
+class TestVectorKey:
+    def test_order_sensitive(self):
+        assert hash_vector_key([1, 2, 3]) != hash_vector_key([3, 2, 1])
+
+    def test_deterministic(self):
+        values = [sha256_int(bytes([i])) for i in range(5)]
+        assert hash_vector_key(values) == hash_vector_key(list(values))
+
+    def test_accepts_generator(self):
+        values = [5, 6, 7]
+        assert hash_vector_key(iter(values)) == hash_vector_key(values)
+
+    def test_key_width(self):
+        assert len(hash_vector_key([42])) == 32
+
+    def test_no_concatenation_ambiguity(self):
+        # Fixed-width serialization: [1, 2] must differ from [1*2^256 + 2]-ish splits.
+        assert hash_vector_key([1, 2]) != hash_vector_key([(1 << 256) - 1, 2])

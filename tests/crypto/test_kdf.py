@@ -1,0 +1,55 @@
+"""HKDF tests pinned to RFC 5869 vectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+
+
+class TestRfc5869:
+    def test_case1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, salt=salt, info=info, length=42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case1_prk(self):
+        ikm = b"\x0b" * 22
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+
+    def test_case3_empty_salt_and_info(self):
+        ikm = b"\x0b" * 22
+        okm = hkdf(ikm, salt=b"", info=b"", length=42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestBehaviour:
+    def test_length_control(self):
+        for length in (1, 16, 32, 64, 100):
+            assert len(hkdf(b"ikm", length=length)) == length
+
+    def test_info_separates_outputs(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+    def test_expand_prefix_consistency(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        assert hkdf_expand(prk, b"info", 64)[:32] == hkdf_expand(prk, b"info", 32)
+
+    def test_rejects_oversized_output(self):
+        prk = hkdf_extract(b"s", b"i")
+        with pytest.raises(ValueError):
+            hkdf_expand(prk, b"", 255 * 32 + 1)

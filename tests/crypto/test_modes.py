@@ -1,0 +1,145 @@
+"""Cipher modes and padding tests (incl. NIST SP 800-38A vectors)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.modes import (
+    PaddingError,
+    ctr_keystream,
+    decrypt_cbc,
+    decrypt_ctr,
+    decrypt_ecb,
+    encrypt_cbc,
+    encrypt_ctr,
+    encrypt_ecb,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+
+class TestPkcs7:
+    @pytest.mark.parametrize("length", range(0, 33))
+    def test_roundtrip_all_lengths(self, length):
+        data = bytes(range(length % 256))[:length]
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_always_adds_padding(self):
+        assert len(pkcs7_pad(b"\x00" * 16)) == 32
+
+    def test_pad_value_equals_pad_length(self):
+        padded = pkcs7_pad(b"abc")
+        assert padded[-1] == 13
+        assert padded[-13:] == bytes([13] * 13)
+
+    def test_unpad_rejects_empty(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"")
+
+    def test_unpad_rejects_unaligned(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x01" * 15)
+
+    def test_unpad_rejects_zero_byte(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x00" * 16)
+
+    def test_unpad_rejects_oversized_byte(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x00" * 15 + b"\x11")
+
+    def test_unpad_rejects_inconsistent_bytes(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"\x00" * 14 + b"\x01\x02")
+
+
+class TestEcb:
+    def test_roundtrip(self):
+        key = b"k" * 32
+        plaintext = b"0123456789abcdef" * 3
+        assert decrypt_ecb(key, encrypt_ecb(key, plaintext)) == plaintext
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            encrypt_ecb(b"k" * 32, b"short")
+        with pytest.raises(ValueError):
+            decrypt_ecb(b"k" * 32, b"short")
+
+    def test_identical_blocks_leak(self):
+        # ECB's known property -- documented, and why it is only used for
+        # random key-sized payloads in the protocols.
+        ct = encrypt_ecb(b"k" * 32, b"A" * 16 + b"A" * 16)
+        assert ct[:16] == ct[16:]
+
+
+class TestCbc:
+    def test_nist_sp800_38a_cbc_aes128(self):
+        # NIST SP 800-38A F.2.1 CBC-AES128.Encrypt, first block (padding
+        # stripped by comparing the prefix).
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected_block1 = bytes.fromhex("7649abac8119b246cee98e9b12e9197d")
+        assert encrypt_cbc(key, plaintext, iv)[:16] == expected_block1
+
+    @given(plaintext=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, plaintext):
+        key, iv = b"k" * 32, b"i" * 16
+        assert decrypt_cbc(key, encrypt_cbc(key, plaintext, iv), iv) == plaintext
+
+    def test_iv_changes_ciphertext(self):
+        key = b"k" * 32
+        pt = b"hello cbc world!"
+        assert encrypt_cbc(key, pt, b"\x00" * 16) != encrypt_cbc(key, pt, b"\x01" * 16)
+
+    def test_rejects_bad_iv_length(self):
+        with pytest.raises(ValueError):
+            encrypt_cbc(b"k" * 32, b"data", b"short")
+
+    def test_wrong_key_usually_fails_padding(self):
+        key = b"k" * 32
+        ct = encrypt_cbc(key, b"some secret data", b"i" * 16)
+        failures = 0
+        for i in range(8):
+            try:
+                decrypt_cbc(bytes([i]) * 32, ct, b"i" * 16)
+            except PaddingError:
+                failures += 1
+        assert failures >= 6  # padding check catches almost all wrong keys
+
+
+class TestCtr:
+    @given(plaintext=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, plaintext):
+        key, nonce = b"k" * 32, b"n" * 8
+        assert decrypt_ctr(key, encrypt_ctr(key, plaintext, nonce), nonce) == plaintext
+
+    def test_length_preserving(self):
+        assert len(encrypt_ctr(b"k" * 32, b"abc", b"n" * 8)) == 3
+
+    def test_keystream_deterministic(self):
+        assert ctr_keystream(b"k" * 32, b"n" * 8, 40) == ctr_keystream(b"k" * 32, b"n" * 8, 40)
+
+    def test_keystream_extends_consistently(self):
+        short = ctr_keystream(b"k" * 32, b"n" * 8, 10)
+        long = ctr_keystream(b"k" * 32, b"n" * 8, 50)
+        assert long[:10] == short
+
+    def test_nonce_changes_stream(self):
+        assert ctr_keystream(b"k" * 32, b"a" * 8, 16) != ctr_keystream(b"k" * 32, b"b" * 8, 16)
+
+    def test_rejects_bad_nonce(self):
+        with pytest.raises(ValueError):
+            ctr_keystream(b"k" * 32, b"toolongnonce", 16)
+
+    def test_malleable_by_design(self):
+        # Wrong-key decryption must succeed and return garbage -- the
+        # property Protocols 2/3 depend on (no decryption oracle).
+        ct = encrypt_ctr(b"k" * 32, b"\x00" * 32, b"n" * 8)
+        garbage = decrypt_ctr(b"w" * 32, ct, b"n" * 8)
+        assert len(garbage) == 32
+        assert garbage != b"\x00" * 32

@@ -1,0 +1,118 @@
+"""Number theory utilities: primality, inverses, CRT, Jacobi."""
+
+from __future__ import annotations
+
+import random
+from math import gcd
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numbers import (
+    crt_pair,
+    generate_prime,
+    generate_safe_prime,
+    invmod,
+    is_probable_prime,
+    jacobi,
+    lcm,
+    random_coprime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 257, 65537, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 15, 100, 561, 1105, 1729, 2**32 - 1, 65537 * 257]
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_accepts_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites(self, n):
+        assert not is_probable_prime(n)
+
+    def test_rejects_carmichael_numbers(self):
+        # Fermat pseudoprimes that Miller-Rabin must still reject.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not is_probable_prime(carmichael)
+
+    def test_negative_numbers(self):
+        assert not is_probable_prime(-7)
+
+
+class TestGeneration:
+    def test_prime_has_requested_bits(self, rng):
+        for bits in (16, 32, 64):
+            p = generate_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_rejects_tiny_request(self, rng):
+        with pytest.raises(ValueError):
+            generate_prime(4, rng=rng)
+
+    def test_safe_prime_structure(self, rng):
+        p = generate_safe_prime(32, rng=rng)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+    def test_deterministic_given_seed(self):
+        assert generate_prime(32, rng=random.Random(5)) == generate_prime(
+            32, rng=random.Random(5)
+        )
+
+
+class TestInvmod:
+    @given(a=st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=50)
+    def test_inverse_property(self, a):
+        m = 2**61 - 1  # prime modulus: everything nonzero is invertible
+        if a % m == 0:
+            return
+        assert (a * invmod(a, m)) % m == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ValueError):
+            invmod(6, 9)
+
+    def test_inverse_of_one(self):
+        assert invmod(1, 97) == 1
+
+
+class TestCrt:
+    @given(x=st.integers(min_value=0, max_value=97 * 89 - 1))
+    @settings(max_examples=50)
+    def test_recombination(self, x):
+        p, q = 97, 89
+        assert crt_pair(x % p, p, x % q, q) % (p * q) == x
+
+
+class TestJacobi:
+    def test_quadratic_residues_mod_prime(self):
+        p = 97
+        residues = {pow(x, 2, p) for x in range(1, p)}
+        for a in range(1, p):
+            expected = 1 if a in residues else -1
+            assert jacobi(a, p) == expected
+
+    def test_zero_when_shared_factor(self):
+        assert jacobi(15, 9) == 0
+
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            jacobi(3, 8)
+
+
+class TestMisc:
+    def test_lcm(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 13) == 91
+
+    def test_random_coprime(self, rng):
+        m = 360
+        for _ in range(20):
+            r = random_coprime(m, rng=rng)
+            assert 1 <= r < m
+            assert gcd(r, m) == 1

@@ -1,0 +1,49 @@
+"""HMAC-DRBG determinism and distribution sanity tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert HmacDrbg(42).generate(64) == HmacDrbg(42).generate(64)
+
+    def test_different_seeds_differ(self):
+        assert HmacDrbg(1).generate(32) != HmacDrbg(2).generate(32)
+
+    def test_bytes_seed_supported(self):
+        assert HmacDrbg(b"seed").generate(16) == HmacDrbg(b"seed").generate(16)
+
+    def test_stream_advances(self):
+        drbg = HmacDrbg(7)
+        assert drbg.generate(16) != drbg.generate(16)
+
+
+class TestIntegers:
+    def test_randint_bits_range(self):
+        drbg = HmacDrbg(3)
+        for bits in (1, 8, 13, 64, 256):
+            for _ in range(10):
+                assert 0 <= drbg.randint_bits(bits) < (1 << bits)
+
+    def test_randrange_bounds(self):
+        drbg = HmacDrbg(4)
+        for _ in range(200):
+            value = drbg.randrange(10, 20)
+            assert 10 <= value < 20
+
+    def test_randrange_single_arg(self):
+        drbg = HmacDrbg(5)
+        assert all(0 <= drbg.randrange(7) < 7 for _ in range(50))
+
+    def test_randrange_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(6).randrange(5, 5)
+
+    def test_randrange_covers_range(self):
+        drbg = HmacDrbg(8)
+        seen = {drbg.randrange(4) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}

@@ -1,0 +1,81 @@
+"""Pure-Python SHA-256 against FIPS 180-4 vectors and hashlib."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import Sha256, sha256_pure
+
+
+class TestFipsVectors:
+    @pytest.mark.parametrize(
+        "message,expected",
+        [
+            (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+            (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"a" * 1_000_000,
+                "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0",
+            ),
+        ],
+    )
+    def test_known_digests(self, message, expected):
+        assert sha256_pure(message).hex() == expected
+
+    def test_exactly_one_block(self):
+        message = b"x" * 64
+        assert sha256_pure(message) == hashlib.sha256(message).digest()
+
+    def test_padding_boundary_55_56_57(self):
+        # 55/56/57 bytes straddle the length-field padding boundary.
+        for n in (55, 56, 57, 63, 64, 65, 119, 120, 121):
+            message = bytes(range(n % 251)) * (n // 251 + 1)
+            message = message[:n]
+            assert sha256_pure(message) == hashlib.sha256(message).digest()
+
+
+class TestIncremental:
+    def test_chunked_update_equals_oneshot(self):
+        hasher = Sha256()
+        hasher.update(b"hello ")
+        hasher.update(b"world")
+        assert hasher.digest() == sha256_pure(b"hello world")
+
+    def test_digest_is_idempotent(self):
+        hasher = Sha256(b"data")
+        first = hasher.digest()
+        assert hasher.digest() == first
+
+    def test_update_after_digest(self):
+        hasher = Sha256(b"ab")
+        hasher.digest()
+        hasher.update(b"c")
+        assert hasher.digest() == sha256_pure(b"abc")
+
+    def test_hexdigest(self):
+        assert Sha256(b"abc").hexdigest() == hashlib.sha256(b"abc").hexdigest()
+
+
+class TestAgainstHashlib:
+    @given(st.binary(min_size=0, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_hashlib(self, data):
+        assert sha256_pure(data) == hashlib.sha256(data).digest()
+
+    @given(st.lists(st.binary(min_size=0, max_size=100), min_size=0, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_matches_hashlib(self, chunks):
+        ours = Sha256()
+        theirs = hashlib.sha256()
+        for chunk in chunks:
+            ours.update(chunk)
+            theirs.update(chunk)
+        assert ours.digest() == theirs.digest()

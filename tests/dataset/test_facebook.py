@@ -1,0 +1,51 @@
+"""Facebook-like structured population generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.facebook import FacebookGenerator
+
+
+@pytest.fixture(scope="module")
+def population():
+    return FacebookGenerator(n_users=1000, seed=12).generate()
+
+
+class TestStructure:
+    def test_every_user_has_all_categories(self, population):
+        for user in population[:100]:
+            prefixes = {tag.split("v")[0] for tag in user.tags if "v" in tag}
+            assert {"school", "city", "employer", "hometown"} <= prefixes
+
+    def test_interest_count(self, population):
+        for user in population[:100]:
+            interests = [t for t in user.tags if t.startswith("int")]
+            assert len(interests) == 3
+
+    def test_no_keywords(self, population):
+        assert all(u.keywords == () for u in population)
+
+    def test_deterministic(self):
+        a = FacebookGenerator(n_users=30, seed=5).generate()
+        b = FacebookGenerator(n_users=30, seed=5).generate()
+        assert a == b
+
+    def test_custom_categories(self):
+        gen = FacebookGenerator(
+            n_users=20, category_sizes={"team": 10}, interests_per_user=1, seed=1
+        )
+        users = gen.generate()
+        for user in users:
+            assert any(t.startswith("team") for t in user.tags)
+
+    def test_category_values_follow_zipf_head(self, population):
+        from collections import Counter
+
+        cities = Counter(t for u in population for t in u.tags if t.startswith("cityv"))
+        most_common = cities.most_common(1)[0][1]
+        assert most_common > len(population) * 0.05
+
+    def test_profile_integration(self, population):
+        profile = population[0].profile()
+        assert len(profile) == len(population[0].tags)

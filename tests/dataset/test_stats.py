@@ -1,0 +1,92 @@
+"""Population statistics tests (Figures 4-5 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.facebook import FacebookGenerator
+from repro.dataset.schema import UserRecord
+from repro.dataset.stats import (
+    attribute_count_distribution,
+    profile_collision_cdf,
+    shared_attribute_counts,
+    unique_profile_fraction,
+)
+from repro.dataset.weibo import WeiboGenerator
+
+
+def _user(uid, tags, keywords=()):
+    return UserRecord(
+        user_id=uid, year_of_birth=1990, gender="female",
+        tags=tuple(tags), keywords=tuple(keywords),
+    )
+
+
+class TestCollisionCdf:
+    def test_all_unique(self):
+        users = [_user(f"u{i}", [f"t{i}"]) for i in range(10)]
+        cdf = profile_collision_cdf(users, include_keywords=False)
+        assert cdf[0] == 1.0
+
+    def test_all_identical(self):
+        users = [_user(f"u{i}", ["same"]) for i in range(5)]
+        cdf = profile_collision_cdf(users, include_keywords=False, max_collisions=10)
+        assert cdf[0] == 0.0
+        assert cdf[4] == 1.0  # all users live in a 5-collision profile
+
+    def test_monotone_nondecreasing(self):
+        users = [_user(f"u{i}", [f"t{i % 3}"]) for i in range(9)]
+        cdf = profile_collision_cdf(users, include_keywords=False)
+        assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+
+    def test_keywords_split_collisions(self):
+        users = [
+            _user("a", ["t"], ["k1"]),
+            _user("b", ["t"], ["k2"]),
+        ]
+        without = profile_collision_cdf(users, include_keywords=False)
+        with_kw = profile_collision_cdf(users, include_keywords=True)
+        assert without[0] == 0.0
+        assert with_kw[0] == 1.0
+
+    def test_empty_population(self):
+        assert profile_collision_cdf([], include_keywords=False) == [0.0] * 10
+
+
+class TestPaperFigure4Claim:
+    """Both populations must reproduce the >90% uniqueness claim."""
+
+    def test_weibo_like_over_90_percent_unique(self):
+        users = WeiboGenerator(n_users=3000, tag_vocabulary=30_000, seed=4).generate()
+        assert unique_profile_fraction(users, include_keywords=False) > 0.9
+
+    def test_weibo_with_keywords_even_more_unique(self):
+        users = WeiboGenerator(n_users=3000, tag_vocabulary=30_000, seed=4).generate()
+        without = unique_profile_fraction(users, include_keywords=False)
+        with_kw = unique_profile_fraction(users, include_keywords=True)
+        assert with_kw >= without
+
+    def test_facebook_like_over_90_percent_unique(self):
+        users = FacebookGenerator(n_users=3000, seed=4).generate()
+        assert unique_profile_fraction(users, include_keywords=False) > 0.9
+
+
+class TestAttributeDistribution:
+    def test_histogram(self):
+        users = [_user("a", ["x"]), _user("b", ["x", "y"]), _user("c", ["z"])]
+        assert attribute_count_distribution(users) == {1: 2, 2: 1}
+
+    def test_sorted_keys(self):
+        users = WeiboGenerator(n_users=300, tag_vocabulary=3000, seed=1).generate()
+        histogram = attribute_count_distribution(users)
+        assert list(histogram) == sorted(histogram)
+
+
+class TestSharedCounts:
+    def test_ground_truth(self):
+        users = [
+            _user("a", ["t1", "t2"]),
+            _user("b", ["t2", "t3"]),
+            _user("c", ["t9"]),
+        ]
+        assert shared_attribute_counts(["t1", "t2"], users) == [2, 1, 0]

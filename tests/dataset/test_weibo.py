@@ -1,0 +1,86 @@
+"""Weibo-calibrated generator tests: marginals match the paper's claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.weibo import WEIBO_CALIBRATION, WeiboGenerator
+
+
+@pytest.fixture(scope="module")
+def population():
+    return WeiboGenerator(
+        n_users=2000, tag_vocabulary=20_000, keyword_vocabulary=25_000, seed=42
+    ).generate()
+
+
+class TestCalibration:
+    def test_paper_constants_recorded(self):
+        assert WEIBO_CALIBRATION["tag_vocabulary"] == 560_419
+        assert WEIBO_CALIBRATION["keyword_vocabulary"] == 713_747
+        assert WEIBO_CALIBRATION["users"] == 2_320_000
+
+    def test_mean_tags_about_six(self, population):
+        mean = sum(len(u.tags) for u in population) / len(population)
+        assert 5.0 <= mean <= 7.0
+
+    def test_max_tags_bounded(self, population):
+        assert max(len(u.tags) for u in population) <= 20
+        assert min(len(u.tags) for u in population) >= 1
+
+    def test_mean_keywords_about_seven(self, population):
+        mean = sum(len(u.keywords) for u in population) / len(population)
+        assert 5.5 <= mean <= 8.5
+
+    def test_max_keywords_bounded(self, population):
+        assert max(len(u.keywords) for u in population) <= 129
+
+    def test_keyword_tail_is_heavy(self, population):
+        # Lognormal tail: some users should far exceed the mean.
+        assert max(len(u.keywords) for u in population) >= 20
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self):
+        a = WeiboGenerator(n_users=50, tag_vocabulary=500, seed=7).generate()
+        b = WeiboGenerator(n_users=50, tag_vocabulary=500, seed=7).generate()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = WeiboGenerator(n_users=50, tag_vocabulary=500, seed=7).generate()
+        b = WeiboGenerator(n_users=50, tag_vocabulary=500, seed=8).generate()
+        assert a != b
+
+
+class TestStructure:
+    def test_unique_user_ids(self, population):
+        assert len({u.user_id for u in population}) == len(population)
+
+    def test_tags_distinct_per_user(self, population):
+        for user in population[:200]:
+            assert len(set(user.tags)) == len(user.tags)
+
+    def test_zipf_head_is_popular(self, population):
+        from collections import Counter
+
+        counts = Counter(t for u in population for t in u.tags)
+        top = counts.most_common(1)[0][1]
+        assert top > len(population) * 0.05  # the head tag is common
+
+    def test_cohort_filter(self, population):
+        generator = WeiboGenerator()
+        six = generator.users_with_tag_count(population, 6)
+        assert six
+        assert all(len(u.tags) == 6 for u in six)
+
+    def test_profile_conversion(self, population):
+        user = population[0]
+        profile = user.profile()
+        assert len(profile) == len(user.tags)
+        with_kw = user.profile(include_keywords=True)
+        assert len(with_kw) == len(user.tags) + len(user.keywords)
+
+    def test_demographics_attributes(self, population):
+        profile = population[0].profile(include_demographics=True)
+        assert any(a.startswith("birth:") for a in profile.attributes)
+        assert any(a.startswith("gender:") for a in profile.attributes)

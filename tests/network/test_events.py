@@ -1,0 +1,59 @@
+"""Event queue tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.events import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(30, lambda: order.append("c"))
+        queue.schedule(10, lambda: order.append("a"))
+        queue.schedule(20, lambda: order.append("b"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_stable_tie_break(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("first", "second", "third"):
+            queue.schedule(5, lambda t=tag: order.append(t))
+        queue.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances(self):
+        queue = EventQueue(start_ms=100)
+        seen = []
+        queue.schedule(50, lambda: seen.append(queue.now_ms))
+        queue.run()
+        assert seen == [150]
+
+    def test_nested_scheduling(self):
+        queue = EventQueue()
+        hits = []
+
+        def outer():
+            hits.append(("outer", queue.now_ms))
+            queue.schedule(5, lambda: hits.append(("inner", queue.now_ms)))
+
+        queue.schedule(10, outer)
+        queue.run()
+        assert hits == [("outer", 10), ("inner", 15)]
+
+    def test_until_bound(self):
+        queue = EventQueue()
+        hits = []
+        queue.schedule(10, lambda: hits.append(1))
+        queue.schedule(100, lambda: hits.append(2))
+        executed = queue.run(until_ms=50)
+        assert executed == 1
+        assert hits == [1]
+        assert len(queue) == 1
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)

@@ -1,0 +1,89 @@
+"""Random-waypoint mobility tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.mobility import RandomWaypoint
+
+NODES = [f"n{i}" for i in range(10)]
+
+
+class TestMovement:
+    def test_positions_stay_in_unit_square(self):
+        model = RandomWaypoint(NODES, seed=1)
+        for _ in range(50):
+            model.step(1.0)
+            for x, y in model.positions().values():
+                assert 0.0 <= x <= 1.0
+                assert 0.0 <= y <= 1.0
+
+    def test_nodes_actually_move(self):
+        model = RandomWaypoint(NODES, seed=2, pause_s=0.0)
+        before = model.positions()
+        model.step(5.0)
+        after = model.positions()
+        moved = sum(1 for n in NODES if before[n] != after[n])
+        assert moved >= len(NODES) // 2
+
+    def test_speed_bounded(self):
+        model = RandomWaypoint(NODES, seed=3, min_speed=0.01, max_speed=0.05, pause_s=0.0)
+        dt = 0.5
+        before = model.positions()
+        model.step(dt)
+        after = model.positions()
+        for node in NODES:
+            dist = math.dist(before[node], after[node])
+            assert dist <= 0.05 * dt + 1e-9
+
+    def test_deterministic_with_seed(self):
+        a = RandomWaypoint(NODES, seed=7)
+        b = RandomWaypoint(NODES, seed=7)
+        a.step(10.0)
+        b.step(10.0)
+        assert a.positions() == b.positions()
+
+    def test_pause_halts_motion(self):
+        model = RandomWaypoint(["x"], seed=4, pause_s=1000.0)
+        # Walk the node to its first waypoint so it enters the pause state.
+        model.step(200.0)
+        at_waypoint = model.positions()["x"]
+        model.step(1.0)
+        assert model.positions()["x"] == at_waypoint
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(NODES, min_speed=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(NODES, min_speed=0.5, max_speed=0.1)
+        model = RandomWaypoint(NODES, seed=1)
+        with pytest.raises(ValueError):
+            model.step(-1.0)
+
+
+class TestTopologySnapshots:
+    def test_adjacency_symmetric(self):
+        model = RandomWaypoint(NODES, seed=5)
+        adjacency = model.snapshot_topology(0.3)
+        for node, neighbours in adjacency.items():
+            for other in neighbours:
+                assert node in adjacency[other]
+
+    def test_radius_zero_isolates(self):
+        model = RandomWaypoint(NODES, seed=6)
+        adjacency = model.snapshot_topology(0.0)
+        assert all(not neighbours for neighbours in adjacency.values())
+
+    def test_radius_sqrt2_connects_all(self):
+        model = RandomWaypoint(NODES, seed=6)
+        adjacency = model.snapshot_topology(1.5)
+        assert all(len(n) == len(NODES) - 1 for n in adjacency.values())
+
+    def test_topology_changes_over_time(self):
+        model = RandomWaypoint(NODES, seed=8, pause_s=0.0, max_speed=0.2)
+        first = model.snapshot_topology(0.25)
+        model.step(20.0)
+        second = model.snapshot_topology(0.25)
+        assert first != second

@@ -1,0 +1,74 @@
+"""Mobile scenario engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.scenario import MobileScenario, ScenarioSummary, SearchReport
+
+
+class TestSearchReport:
+    def test_precision_recall(self):
+        report = SearchReport(
+            time_s=0, searcher="a",
+            truly_nearby={"b", "c"}, matched={"b", "d"},
+        )
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+
+    def test_empty_matched_is_full_precision(self):
+        report = SearchReport(time_s=0, searcher="a", truly_nearby={"b"}, matched=set())
+        assert report.precision == 1.0
+        assert report.recall == 0.0
+
+    def test_nobody_nearby_is_full_recall(self):
+        report = SearchReport(time_s=0, searcher="a", truly_nearby=set(), matched=set())
+        assert report.recall == 1.0
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        scenario = MobileScenario(
+            n_nodes=12, area_m=200.0, cell_m=10.0, search_range_m=50.0,
+            theta=0.45, seed=5,
+        )
+        return scenario.run(duration_s=90.0, search_interval_s=30.0, dt_s=5.0)
+
+    def test_searches_happen(self, summary: ScenarioSummary):
+        assert summary.searches == 3
+
+    def test_private_matching_tracks_proximity(self, summary: ScenarioSummary):
+        # The lattice quantization loses some boundary cases; the bulk of
+        # matches must still be genuinely nearby users.
+        assert summary.mean_precision >= 0.6
+        assert summary.mean_recall >= 0.5
+
+    def test_time_advances(self):
+        scenario = MobileScenario(n_nodes=3, seed=1)
+        scenario.step(10.0)
+        assert scenario.time_s == 10.0
+
+    def test_positions_scaled_to_area(self):
+        scenario = MobileScenario(n_nodes=5, area_m=300.0, seed=2)
+        for x, y in scenario.positions_m().values():
+            assert 0.0 <= x <= 300.0
+            assert 0.0 <= y <= 300.0
+
+    def test_matches_move_with_the_users(self):
+        """A search after lots of motion sees a different nearby set."""
+        scenario = MobileScenario(
+            n_nodes=10, area_m=150.0, search_range_m=60.0, theta=0.4,
+            speed_mps=(2.0, 5.0), seed=9,
+        )
+        first = scenario.run_search("phone0")
+        scenario.step(120.0)
+        second = scenario.run_search("phone0")
+        assert first.truly_nearby != second.truly_nearby or first.matched != second.matched
+
+    def test_deterministic(self):
+        a = MobileScenario(n_nodes=8, seed=4).run(duration_s=60.0)
+        b = MobileScenario(n_nodes=8, seed=4).run(duration_s=60.0)
+        assert [(r.searcher, r.matched) for r in a.reports] == [
+            (r.searcher, r.matched) for r in b.reports
+        ]

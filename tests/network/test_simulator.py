@@ -1,0 +1,145 @@
+"""Ad-hoc network simulator tests: flooding, replies, defences."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant
+from repro.network.simulator import AdHocNetwork, RateLimiter
+from repro.network.topology import complete_topology, grid_topology, line_topology
+
+
+def _network(adjacency, match_nodes=(), initiator_node="n0", attrs=("tag:a", "tag:b")):
+    participants = {}
+    for i, node in enumerate(adjacency):
+        if node == initiator_node:
+            participants[node] = None
+        elif node in match_nodes:
+            participants[node] = Participant(
+                Profile(list(attrs), user_id=node, normalized=True)
+            )
+        else:
+            participants[node] = Participant(
+                Profile([f"tag:z{i}"], user_id=node, normalized=True)
+            )
+    return AdHocNetwork(adjacency, participants, rng=random.Random(1))
+
+
+def _initiator(attrs=("tag:a", "tag:b"), **kwargs):
+    return Initiator(
+        RequestProfile.exact(list(attrs), normalized=True),
+        protocol=kwargs.pop("protocol", 2),
+        rng=random.Random(2),
+        **kwargs,
+    )
+
+
+class TestFlooding:
+    def test_reaches_all_nodes_on_grid(self):
+        adjacency, _ = grid_topology(5, 4)
+        network = _network(adjacency)
+        result = network.run_friending("n0", _initiator(ttl=20))
+        assert result.metrics.nodes_reached == len(adjacency) - 1
+
+    def test_ttl_limits_depth_on_line(self):
+        adjacency, _ = line_topology(10)
+        network = _network(adjacency)
+        result = network.run_friending("n0", _initiator(ttl=3))
+        assert result.metrics.nodes_reached == 3  # exactly ttl hops down the line
+
+    def test_duplicates_suppressed(self):
+        adjacency, _ = complete_topology(8)
+        network = _network(adjacency)
+        result = network.run_friending("n0", _initiator(ttl=5))
+        assert result.metrics.nodes_reached == 7
+        assert result.metrics.dropped_duplicate > 0
+
+    def test_byte_accounting(self):
+        adjacency, _ = line_topology(3)
+        network = _network(adjacency)
+        initiator = _initiator(ttl=5)
+        result = network.run_friending("n0", initiator)
+        assert result.metrics.bytes_broadcast > 0
+        assert result.metrics.broadcasts >= 2
+
+
+class TestMatching:
+    def test_multi_hop_match_found(self):
+        adjacency, _ = line_topology(6)
+        network = _network(adjacency, match_nodes={"n5"})
+        result = network.run_friending("n0", _initiator(ttl=10))
+        assert result.matched_ids == ["n5"]
+        assert result.metrics.replies == 1
+        assert result.metrics.unicasts == 5  # reply travels 5 hops back
+
+    def test_multiple_matches(self):
+        adjacency, _ = grid_topology(4, 4)
+        network = _network(adjacency, match_nodes={"n5", "n15"})
+        result = network.run_friending("n0", _initiator(ttl=20))
+        assert sorted(result.matched_ids) == ["n15", "n5"]
+
+    def test_no_match_no_replies(self):
+        adjacency, _ = grid_topology(3, 3)
+        network = _network(adjacency)
+        result = network.run_friending("n0", _initiator(ttl=20))
+        assert result.matches == []
+        assert result.metrics.replies == 0
+
+    def test_reply_latency_recorded(self):
+        adjacency, _ = line_topology(4)
+        network = _network(adjacency, match_nodes={"n3"})
+        result = network.run_friending("n0", _initiator(ttl=10))
+        assert len(result.metrics.reply_latency_ms) == 1
+        assert result.metrics.reply_latency_ms[0] > 0
+
+    def test_expired_request_dropped(self):
+        adjacency, _ = line_topology(20)
+        network = AdHocNetwork(
+            adjacency,
+            {n: None if n == "n0" else Participant(Profile(["tag:q"], user_id=n, normalized=True))
+             for n in adjacency},
+            hop_latency_ms=100,
+        )
+        initiator = _initiator(ttl=30, validity_ms=250)
+        result = network.run_friending("n0", initiator)
+        assert result.metrics.dropped_expired > 0
+        assert result.metrics.nodes_reached < 19
+
+
+class TestRateLimiter:
+    def test_allows_within_budget(self):
+        limiter = RateLimiter(max_events=3, window_ms=1000)
+        assert all(limiter.allow("peer", t) for t in (0, 10, 20))
+
+    def test_blocks_over_budget(self):
+        limiter = RateLimiter(max_events=2, window_ms=1000)
+        limiter.allow("peer", 0)
+        limiter.allow("peer", 1)
+        assert not limiter.allow("peer", 2)
+
+    def test_window_slides(self):
+        limiter = RateLimiter(max_events=1, window_ms=100)
+        assert limiter.allow("peer", 0)
+        assert not limiter.allow("peer", 50)
+        assert limiter.allow("peer", 200)
+
+    def test_per_peer_isolation(self):
+        limiter = RateLimiter(max_events=1, window_ms=1000)
+        assert limiter.allow("a", 0)
+        assert limiter.allow("b", 0)
+
+
+class TestValidation:
+    def test_unknown_initiator_node(self):
+        adjacency, _ = line_topology(3)
+        network = _network(adjacency)
+        with pytest.raises(ValueError):
+            network.run_friending("n99", _initiator())
+
+    def test_unknown_participant_node(self):
+        adjacency, _ = line_topology(3)
+        with pytest.raises(ValueError):
+            AdHocNetwork(adjacency, {"ghost": None})

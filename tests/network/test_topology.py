@@ -1,0 +1,81 @@
+"""Topology generator tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.network.topology import (
+    complete_topology,
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+)
+
+
+def _is_connected(adjacency):
+    graph = nx.Graph()
+    graph.add_nodes_from(adjacency)
+    for node, neighbours in adjacency.items():
+        for other in neighbours:
+            graph.add_edge(node, other)
+    return nx.is_connected(graph)
+
+
+class TestRandomGeometric:
+    def test_connected_by_default(self):
+        adjacency, _ = random_geometric_topology(40, radius=0.15, seed=3)
+        assert _is_connected(adjacency)
+
+    def test_symmetric_edges(self):
+        adjacency, _ = random_geometric_topology(30, radius=0.3, seed=1)
+        for node, neighbours in adjacency.items():
+            for other in neighbours:
+                assert node in adjacency[other]
+
+    def test_positions_in_unit_square(self):
+        _, positions = random_geometric_topology(20, seed=2)
+        for x, y in positions.values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_deterministic_with_seed(self):
+        a, _ = random_geometric_topology(25, seed=9)
+        b, _ = random_geometric_topology(25, seed=9)
+        assert a == b
+
+
+class TestGrid:
+    def test_shape(self):
+        adjacency, _ = grid_topology(4, 3)
+        assert len(adjacency) == 12
+
+    def test_corner_has_two_neighbours(self):
+        adjacency, _ = grid_topology(4, 3)
+        assert len(adjacency["n0"]) == 2
+
+    def test_interior_has_four_neighbours(self):
+        adjacency, _ = grid_topology(3, 3)
+        assert len(adjacency["n4"]) == 4
+
+    def test_connected(self):
+        adjacency, _ = grid_topology(5, 5)
+        assert _is_connected(adjacency)
+
+
+class TestLine:
+    def test_endpoints(self):
+        adjacency, _ = line_topology(5)
+        assert adjacency["n0"] == ["n1"]
+        assert adjacency["n4"] == ["n3"]
+
+    def test_middle(self):
+        adjacency, _ = line_topology(5)
+        assert adjacency["n2"] == ["n1", "n3"]
+
+
+class TestComplete:
+    def test_everyone_connected(self):
+        adjacency, _ = complete_topology(6)
+        for node, neighbours in adjacency.items():
+            assert len(neighbours) == 5
+            assert node not in neighbours

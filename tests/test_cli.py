@@ -1,0 +1,57 @@
+"""CLI smoke tests for every subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize("protocol", ["1", "2", "3"])
+    def test_demo_protocols(self, protocol):
+        args = build_parser().parse_args(["demo", "--protocol", protocol])
+        assert args.protocol == int(protocol)
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--protocol", "9"])
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "match: replied -> verified" in out
+        assert "stranger: relays silently" in out
+
+    def test_demo_protocol2(self, capsys):
+        assert main(["demo", "--protocol", "2"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_population(self, capsys):
+        assert main(["population", "--users", "300", "--vocabulary", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "population summary" in out
+        assert "unique profiles" in out
+        assert "collision CDF" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--nodes", "25", "--theta", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "friending episode" in out
+        assert "matches" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
