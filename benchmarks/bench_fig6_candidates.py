@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 
 from repro.analysis.reporting import render_series
-from repro.core.attributes import Profile, RequestProfile
+from repro.core.attributes import RequestProfile
 from repro.core.matching import build_request
 from repro.core.profile_vector import ParticipantVector
 from repro.core.remainder import is_candidate

@@ -12,9 +12,8 @@ import random
 import time
 
 from repro.analysis.reporting import render_table
-from repro.core.attributes import Profile, RequestProfile
 from repro.core.hint import build_hint_matrix, solve_candidate
-from repro.core.profile_vector import ParticipantVector, RequestVector, profile_key
+from repro.core.profile_vector import ParticipantVector, profile_key
 from repro.core.remainder import remainder_vector
 
 PAPER_LAPTOP_MEAN_MS = {

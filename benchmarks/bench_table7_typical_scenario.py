@@ -23,7 +23,7 @@ from repro.baselines.fc10 import fc10_psi
 from repro.baselines.fnp04 import fnp_psi
 from repro.baselines.paillier import PaillierKeyPair
 from repro.baselines.rsa import RsaKeyPair
-from repro.core.attributes import Profile, RequestProfile
+from repro.core.attributes import RequestProfile
 from repro.core.protocols import Initiator, Participant
 from repro.crypto.numbers import generate_safe_prime
 from repro.dataset.weibo import WeiboGenerator

@@ -24,6 +24,7 @@ from repro.dataset.stats import (
     unique_profile_fraction,
 )
 from repro.dataset.weibo import WeiboGenerator
+from repro.network.engine import FriendingEngine
 from repro.network.simulator import AdHocNetwork
 from repro.network.topology import random_geometric_topology
 
@@ -46,12 +47,20 @@ def build_parser() -> argparse.ArgumentParser:
     population.add_argument("--vocabulary", type=int, default=20_000)
     population.add_argument("--seed", type=int, default=2013)
 
-    simulate = sub.add_parser("simulate", help="friending episode over a MANET")
+    simulate = sub.add_parser("simulate", help="friending episode(s) over a MANET")
     simulate.add_argument("--nodes", type=int, default=50)
     simulate.add_argument("--radius", type=float, default=0.25)
     simulate.add_argument("--theta", type=float, default=0.6)
     simulate.add_argument("--protocol", type=int, choices=(1, 2, 3), default=2)
     simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--episodes", type=int, default=1,
+        help="number of overlapping episodes from distinct initiators",
+    )
+    simulate.add_argument(
+        "--arrival-ms", type=int, default=50,
+        help="stagger between consecutive episode starts (ms)",
+    )
 
     sub.add_parser("tables", help="regenerate measured PPL tables I and II")
     return parser
@@ -125,6 +134,14 @@ def _cmd_population(args) -> int:
     return 0
 
 
+def _prime_exceeding(n: int) -> int:
+    """Smallest prime strictly greater than max(n, 10)."""
+    candidate = max(n, 10) + 1
+    while any(candidate % d == 0 for d in range(2, int(candidate**0.5) + 1)):
+        candidate += 1
+    return candidate
+
+
 def _cmd_simulate(args) -> int:
     rng = random.Random(args.seed)
     users = WeiboGenerator(
@@ -132,28 +149,78 @@ def _cmd_simulate(args) -> int:
     ).generate()
     adjacency, _ = random_geometric_topology(args.nodes, args.radius, seed=args.seed)
     nodes = list(adjacency)
-    participants = {}
-    for node, user in zip(nodes, users):
-        participants[node] = Participant(
+    episodes = max(1, args.episodes)
+    if episodes > len(nodes):
+        print(f"error: --episodes {episodes} exceeds the {len(nodes)} nodes", file=sys.stderr)
+        return 2
+
+    def request_for(user):
+        return RequestProfile.with_threshold(
+            necessary=(), optional=[f"tag:{t}" for t in user.tags],
+            theta=args.theta, normalized=True,
+        )
+
+    def initiator_for(user):
+        # The remainder prime must exceed the request size m_t, which here
+        # is however many tags the target user happens to have.
+        request = request_for(user)
+        return Initiator(
+            request, protocol=args.protocol, p=_prime_exceeding(len(user.tags)), rng=rng
+        )
+
+    if episodes == 1:
+        participants = {}
+        for node, user in zip(nodes, users):
+            participants[node] = Participant(
+                Profile(user.profile().attributes, user_id=node, normalized=True), rng=rng
+            )
+        participants[nodes[0]] = None
+        target = users[min(len(users) - 1, args.nodes // 2)]
+        initiator = initiator_for(target)
+        network = AdHocNetwork(adjacency, participants, rng=rng)
+        result = network.run_friending(nodes[0], initiator)
+        metrics = result.metrics.as_dict()
+        print(render_table(
+            f"friending episode (n={args.nodes}, theta={args.theta}, protocol {args.protocol})",
+            ["metric", "value"],
+            [[k, v] for k, v in metrics.items() if v]
+            + [["matches", ", ".join(result.matched_ids) or "none"]],
+        ))
+        return 0
+
+    # Concurrent mode: every node is a participant; episode initiators are
+    # spread across the network and each requests a different user's tags.
+    participants = {
+        node: Participant(
             Profile(user.profile().attributes, user_id=node, normalized=True), rng=rng
         )
-    participants[nodes[0]] = None
-
-    target = users[min(len(users) - 1, args.nodes // 2)]
-    request = RequestProfile.with_threshold(
-        necessary=(), optional=[f"tag:{t}" for t in target.tags],
-        theta=args.theta, normalized=True,
-    )
-    initiator = Initiator(request, protocol=args.protocol, rng=rng)
+        for node, user in zip(nodes, users)
+    }
     network = AdHocNetwork(adjacency, participants, rng=rng)
-    result = network.run_friending(nodes[0], initiator)
+    stride = max(1, len(nodes) // episodes)
+    launches = []
+    for i in range(episodes):
+        initiator_node = nodes[(i * stride) % len(nodes)]
+        target = users[(i * stride + len(users) // 2) % len(users)]
+        launches.append((initiator_node, initiator_for(target)))
+    result = FriendingEngine(network).run_staggered(launches, arrival_ms=args.arrival_ms)
 
-    metrics = result.metrics.as_dict()
     print(render_table(
-        f"friending episode (n={args.nodes}, theta={args.theta}, protocol {args.protocol})",
+        f"concurrent friending (n={args.nodes}, episodes={episodes}, "
+        f"arrival={args.arrival_ms}ms, protocol {args.protocol})",
         ["metric", "value"],
-        [[k, v] for k, v in metrics.items() if v]
-        + [["matches", ", ".join(result.matched_ids) or "none"]],
+        [[k, v] for k, v in result.aggregate.as_dict().items() if v],
+    ))
+    print()
+    rows = [
+        [ep.episode, ep.initiator_node, ep.started_at_ms,
+         ep.completed_at_ms, ", ".join(ep.matched_ids) or "none"]
+        for ep in result.episodes
+    ]
+    print(render_table(
+        "per-episode outcomes",
+        ["episode", "initiator", "start ms", "done ms", "matches"],
+        rows,
     ))
     return 0
 

@@ -12,14 +12,14 @@ machinery from the rest of :mod:`repro.core`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.attributes import Profile, RequestProfile
 from repro.core.channel import SecureChannel
 from repro.core.entropy import EntropyPolicy
 from repro.core.exceptions import SealedBottleError, SerializationError
 from repro.core.location import LatticeSpec, vicinity_request
-from repro.core.protocols import Initiator, MatchRecord, Participant, Reply
+from repro.core.protocols import Initiator, MatchRecord, Participant
 from repro.core.request import REQUEST_MAGIC, RequestPackage
 from repro.core.wire import (
     REPLY_MAGIC,

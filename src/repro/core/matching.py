@@ -27,6 +27,7 @@ from repro.core.hint import build_hint_matrix, solve_candidate
 from repro.core.profile_vector import ParticipantVector, RequestVector, profile_key
 from repro.core.remainder import (
     EnumerationBudget,
+    buckets_for,
     is_candidate,
     iter_candidates,
     remainder_vector,
@@ -194,6 +195,22 @@ def process_request(
         vector = profile
     outcome = MatchOutcome(candidate=False, budget=budget or EnumerationBudget())
 
+    optional_positions = [i for i, nec in enumerate(package.necessary_mask) if not nec]
+    # An attacker-controlled package may carry a hint whose dimensions do
+    # not cover the optional positions; no candidate can ever be solved
+    # against it, so reject before doing any work (and never let the
+    # mismatch surface as a raw ValueError from the solver).
+    if package.hint is not None and (
+        package.hint.gamma + package.hint.beta != len(optional_positions)
+    ):
+        return outcome
+
+    # One bucketing pass serves both the fast check and the enumeration;
+    # the mod half is cached on the vector and shared across episodes.
+    buckets = buckets_for(
+        package.remainders, vector.remainder_index(package.p, counter)
+    )
+
     # Fast check: most unmatched users stop here after m_k mod operations.
     if not is_candidate(
         package.remainders,
@@ -203,6 +220,7 @@ def process_request(
         package.p,
         mode=mode,
         counter=counter,
+        buckets=buckets,
     ):
         return outcome
 
@@ -216,9 +234,8 @@ def process_request(
         mode=mode,
         budget=outcome.budget,
         counter=counter,
+        buckets=buckets,
     )
-
-    optional_positions = [i for i, nec in enumerate(package.necessary_mask) if not nec]
     seen: set[tuple[int, ...]] = set()
     for candidate in candidates:
         values = list(candidate.values)

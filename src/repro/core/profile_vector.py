@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.analysis.counters import NULL_COUNTER, OpCounter
 from repro.core.attributes import Profile, RequestProfile
+from repro.core.remainder import bucket_index
 from repro.crypto.hashes import hash_attribute, hash_vector_key
 
 __all__ = ["ParticipantVector", "RequestVector", "profile_key"]
@@ -62,6 +63,25 @@ class ParticipantVector:
     def key(self, counter: OpCounter = NULL_COUNTER) -> bytes:
         """The participant's own profile key ``K_k = H(H_k)``."""
         return profile_key(self.values, counter)
+
+    def remainder_index(self, p: int, counter: OpCounter = NULL_COUNTER) -> dict[int, list[int]]:
+        """Cached remainder-bucket map of this vector modulo *p*.
+
+        The mod pass depends only on the (binding-specific) vector and the
+        prime, so interleaved episodes sharing a prime reuse one pass; the
+        cache dies with the vector, i.e. whenever attributes or the location
+        binding change.  Cache hits add no mod operations to *counter*.
+        """
+        cache: dict[int, dict[int, list[int]]]
+        try:
+            cache = object.__getattribute__(self, "_remainder_cache")
+        except AttributeError:
+            cache = {}
+            object.__setattr__(self, "_remainder_cache", cache)
+        index = cache.get(p)
+        if index is None:
+            index = cache[p] = bucket_index(self.values, p, counter)
+        return index
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.counters import NULL_COUNTER, OpCounter
 from repro.core.attributes import Profile, RequestProfile
@@ -38,7 +38,7 @@ from repro.core.matching import (
 from repro.core.profile_vector import ParticipantVector
 from repro.core.remainder import EnumerationBudget
 from repro.core.request import RequestPackage
-from repro.crypto.modes import decrypt_ecb, encrypt_ecb
+from repro.crypto.modes import decrypt_ecb, encrypt_ecb, encrypt_ecb_under_keys
 
 __all__ = [
     "ACK",
@@ -85,14 +85,22 @@ class RejectedReply:
     reason: str
 
 
+def _reply_plaintext(similarity: int, y: bytes) -> bytes:
+    """The reply-element payload ``ack || similarity || y`` (one layout)."""
+    if len(y) != SECRET_LEN:
+        raise ValueError("y must be 32 bytes")
+    plaintext = ACK + bytes([min(similarity, 255)]) + y
+    assert len(plaintext) == _REPLY_PLAINTEXT_LEN
+    return plaintext
+
+
 def build_reply_element(
     x_candidate: bytes, y: bytes, similarity: int, counter: OpCounter = NULL_COUNTER
 ) -> bytes:
     """Encrypt ``(ack, similarity, y)`` under one candidate ``x_j``."""
-    if len(x_candidate) != SECRET_LEN or len(y) != SECRET_LEN:
-        raise ValueError("x and y must be 32 bytes")
-    plaintext = ACK + bytes([min(similarity, 255)]) + y
-    assert len(plaintext) == _REPLY_PLAINTEXT_LEN
+    if len(x_candidate) != SECRET_LEN:
+        raise ValueError("x must be 32 bytes")
+    plaintext = _reply_plaintext(similarity, y)
     counter.add("E", len(plaintext) // 16)
     return encrypt_ecb(x_candidate, plaintext)
 
@@ -325,11 +333,18 @@ class Participant:
         if not keys:
             return None
         y = self._random_secret()
-        elements = []
-        for key in keys:
-            _, x_candidate = unseal_secret(key, package.protocol, package.ciphertext, self.counter)
-            elements.append(build_reply_element(x_candidate, y, 0, self.counter))
-            self._pending_secrets.setdefault(package.request_id, []).append((x_candidate, y))
+        x_candidates = [
+            unseal_secret(key, package.protocol, package.ciphertext, self.counter)[1]
+            for key in keys
+        ]
+        # Every element seals the same (ack, similarity=0, y) payload, one
+        # candidate key each -- the batched ECB hot path.
+        plaintext = _reply_plaintext(0, y)
+        self.counter.add("E", (len(plaintext) // 16) * len(x_candidates))
+        elements = encrypt_ecb_under_keys(x_candidates, plaintext)
+        self._pending_secrets.setdefault(package.request_id, []).extend(
+            (x_candidate, y) for x_candidate in x_candidates
+        )
         return Reply(
             request_id=package.request_id,
             responder_id=self.profile.user_id,

@@ -36,6 +36,8 @@ from repro.analysis.counters import NULL_COUNTER, OpCounter
 __all__ = [
     "CandidateVector",
     "remainder_vector",
+    "bucket_index",
+    "buckets_for",
     "build_buckets",
     "is_candidate",
     "iter_candidates",
@@ -55,22 +57,49 @@ def remainder_vector(values: Sequence[int], p: int, counter: OpCounter = NULL_CO
     return tuple(h % p for h in values)
 
 
-def build_buckets(
-    remainders: Sequence[int],
+def bucket_index(
     participant_values: Sequence[int],
     p: int,
     counter: OpCounter = NULL_COUNTER,
-) -> list[list[int]]:
-    """For each request position, indices of own hashes with that remainder.
+) -> dict[int, list[int]]:
+    """Group own-hash indices by remainder modulo *p* (the m_k mod pass).
 
-    The participant reduces each own hash once (m_k mod operations) and
-    groups indices by remainder, so the per-position lookup is O(1).
+    This is the request-independent half of bucketing: it depends only on
+    the participant's vector and the prime, so concurrent episodes sharing
+    a prime can reuse one pass (see
+    :meth:`repro.core.profile_vector.ParticipantVector.remainder_index`).
     """
     counter.add("M", len(participant_values))
     by_remainder: dict[int, list[int]] = {}
     for idx, h in enumerate(participant_values):
         by_remainder.setdefault(h % p, []).append(idx)
-    return [by_remainder.get(r, []) for r in remainders]
+    return by_remainder
+
+
+def buckets_for(
+    remainders: Sequence[int], index: dict[int, list[int]]
+) -> list[list[int]]:
+    """Per-request-position buckets from a precomputed remainder index."""
+    return [index.get(r) or [] for r in remainders]
+
+
+def build_buckets(
+    remainders: Sequence[int],
+    participant_values: Sequence[int],
+    p: int,
+    counter: OpCounter = NULL_COUNTER,
+    *,
+    index: dict[int, list[int]] | None = None,
+) -> list[list[int]]:
+    """For each request position, indices of own hashes with that remainder.
+
+    The participant reduces each own hash once (m_k mod operations) and
+    groups indices by remainder, so the per-position lookup is O(1).  Pass
+    *index* (from :func:`bucket_index`) to skip the mod pass entirely.
+    """
+    if index is None:
+        index = bucket_index(participant_values, p, counter)
+    return buckets_for(remainders, index)
 
 
 @dataclass(frozen=True)
@@ -107,15 +136,18 @@ def is_candidate(
     *,
     mode: str = "robust",
     counter: OpCounter = NULL_COUNTER,
+    buckets: list[list[int]] | None = None,
 ) -> bool:
     """Fast check: can any candidate profile vector be formed at all?
 
     Runs a dominance-pruned dynamic program over request positions: for
     each number of unknowns used, keep the minimal own-vector index that a
-    feasible prefix can end at.  O(m_t * γ * log m_k).
+    feasible prefix can end at.  O(m_t * γ * log m_k).  Pass *buckets* to
+    reuse a bucketing pass already done by the caller.
     """
     _check_mode(mode)
-    buckets = build_buckets(remainders, participant_values, p, counter)
+    if buckets is None:
+        buckets = build_buckets(remainders, participant_values, p, counter)
     # state[u] = minimal last own-index used by a feasible prefix with u unknowns
     state: dict[int, int] = {0: -1}
     for pos, bucket in enumerate(buckets):
@@ -151,6 +183,7 @@ def iter_candidates(
     mode: str = "robust",
     budget: EnumerationBudget | None = None,
     counter: OpCounter = NULL_COUNTER,
+    buckets: list[list[int]] | None = None,
 ):
     """Lazily yield candidate profile vectors in *deviation order*.
 
@@ -170,7 +203,8 @@ def iter_candidates(
     _check_mode(mode)
     if budget is None:
         budget = EnumerationBudget()
-    buckets = build_buckets(remainders, participant_values, p, counter)
+    if buckets is None:
+        buckets = build_buckets(remainders, participant_values, p, counter)
     m_t = len(remainders)
     values = participant_values
 

@@ -47,6 +47,11 @@ class RequestPackage:
             raise SerializationError("remainder vector and mask lengths differ")
         if len(self.request_id) != 8:
             raise SerializationError("request id must be 8 bytes")
+        # The sealed message is AES-ECB output over a 32-byte secret (with a
+        # 16-byte confirmation prefix under Protocol 1): anything empty or
+        # unaligned can never unseal and would crash trial decryption.
+        if not self.ciphertext or len(self.ciphertext) % 16:
+            raise SerializationError("sealed message must be non-empty AES blocks")
         if any(r >= self.p for r in self.remainders):
             raise SerializationError("remainder not reduced modulo p")
 

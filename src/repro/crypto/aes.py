@@ -16,11 +16,50 @@ comparison (Tables IV, V, VII) is preserved in shape.
 
 from __future__ import annotations
 
-__all__ = ["AES", "BLOCK_SIZE"]
+from collections import OrderedDict
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "configure_schedule_cache",
+    "schedule_cache_stats",
+]
 
 BLOCK_SIZE = 16
 
 _ROUNDS_BY_KEY_LEN = {16: 10, 24: 12, 32: 14}
+
+# Bounded LRU of expanded key schedules.  Trial decryption retries the same
+# handful of keys thousands of times per friending episode (the initiator
+# opens every reply element under one x; popular profiles repeat candidate
+# keys across participants), so skipping re-expansion is a large share of
+# the symmetric-side cost.  Round keys are never mutated after expansion,
+# so sharing them between cipher instances is safe.
+_SCHEDULE_CACHE: OrderedDict[bytes, list[list[int]]] = OrderedDict()
+_SCHEDULE_CACHE_MAX = 1024
+_SCHEDULE_HITS = 0
+_SCHEDULE_MISSES = 0
+
+
+def configure_schedule_cache(maxsize: int) -> None:
+    """Resize the shared key-schedule LRU; ``0`` disables caching entirely."""
+    global _SCHEDULE_CACHE_MAX, _SCHEDULE_HITS, _SCHEDULE_MISSES
+    if maxsize < 0:
+        raise ValueError("cache size must be >= 0")
+    _SCHEDULE_CACHE_MAX = maxsize
+    _SCHEDULE_CACHE.clear()
+    _SCHEDULE_HITS = 0
+    _SCHEDULE_MISSES = 0
+
+
+def schedule_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the key-schedule LRU (for benchmarks)."""
+    return {
+        "hits": _SCHEDULE_HITS,
+        "misses": _SCHEDULE_MISSES,
+        "size": len(_SCHEDULE_CACHE),
+        "maxsize": _SCHEDULE_CACHE_MAX,
+    }
 
 
 def _build_sbox() -> tuple[list[int], list[int]]:
@@ -108,11 +147,25 @@ class AES:
     """
 
     def __init__(self, key: bytes):
+        global _SCHEDULE_HITS, _SCHEDULE_MISSES
         if len(key) not in _ROUNDS_BY_KEY_LEN:
             raise ValueError(f"AES key must be 16/24/32 bytes, got {len(key)}")
         self.key = bytes(key)
         self.rounds = _ROUNDS_BY_KEY_LEN[len(key)]
-        self._round_keys = self._expand_key(self.key)
+        if _SCHEDULE_CACHE_MAX:
+            cached = _SCHEDULE_CACHE.get(self.key)
+            if cached is not None:
+                _SCHEDULE_CACHE.move_to_end(self.key)
+                _SCHEDULE_HITS += 1
+                self._round_keys = cached
+                return
+            _SCHEDULE_MISSES += 1
+            self._round_keys = self._expand_key(self.key)
+            _SCHEDULE_CACHE[self.key] = self._round_keys
+            while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_MAX:
+                _SCHEDULE_CACHE.popitem(last=False)
+        else:
+            self._round_keys = self._expand_key(self.key)
 
     def _expand_key(self, key: bytes) -> list[list[int]]:
         """FIPS-197 key schedule, returning one 16-byte list per round key."""

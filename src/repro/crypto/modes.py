@@ -11,6 +11,8 @@ properties:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.crypto.aes import AES, BLOCK_SIZE
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "pkcs7_unpad",
     "encrypt_ecb",
     "decrypt_ecb",
+    "encrypt_ecb_under_keys",
+    "decrypt_ecb_under_keys",
     "encrypt_cbc",
     "decrypt_cbc",
     "ctr_keystream",
@@ -68,6 +72,38 @@ def decrypt_ecb(key: bytes, ciphertext: bytes) -> bytes:
         raise ValueError("ECB requires block-aligned ciphertext")
     cipher = AES(key)
     return b"".join(cipher.decrypt_block(b) for b in _blocks(ciphertext))
+
+
+def encrypt_ecb_under_keys(keys: Sequence[bytes], plaintext: bytes) -> list[bytes]:
+    """ECB-encrypt one block-aligned plaintext under each of *keys*.
+
+    The batched hot path of reply-element construction: a Protocol 2/3
+    candidate seals the same ``(ack, similarity, y)`` payload under every
+    candidate key it recovered.  Splitting the plaintext into blocks once
+    amortizes the framing work across the whole key set.
+    """
+    if len(plaintext) % BLOCK_SIZE:
+        raise ValueError("ECB requires block-aligned plaintext")
+    blocks = list(_blocks(plaintext))
+    return [
+        b"".join(cipher.encrypt_block(b) for b in blocks)
+        for cipher in map(AES, keys)
+    ]
+
+
+def decrypt_ecb_under_keys(keys: Sequence[bytes], ciphertext: bytes) -> list[bytes]:
+    """ECB-decrypt one block-aligned ciphertext under each of *keys*.
+
+    Trial decryption of the sealed message under a candidate key set --
+    the participant-side counterpart of :func:`encrypt_ecb_under_keys`.
+    """
+    if len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ECB requires block-aligned ciphertext")
+    blocks = list(_blocks(ciphertext))
+    return [
+        b"".join(cipher.decrypt_block(b) for b in blocks)
+        for cipher in map(AES, keys)
+    ]
 
 
 def encrypt_cbc(key: bytes, plaintext: bytes, iv: bytes) -> bytes:

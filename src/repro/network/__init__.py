@@ -8,30 +8,48 @@ suppression, per-hop latency, request expiry, per-neighbor rate limiting
 (the paper's DoS defence), and byte-level accounting of every transmission.
 """
 
-from repro.network.events import EventQueue
-from repro.network.metrics import NetworkMetrics
+from repro.network.events import (
+    BroadcastEvent,
+    EventQueue,
+    ReceiveEvent,
+    ReplyHopEvent,
+    TopologyRefreshEvent,
+)
+from repro.network.metrics import AggregateMetrics, NetworkMetrics, percentile
 from repro.network.topology import (
     complete_topology,
     grid_topology,
     line_topology,
     random_geometric_topology,
 )
-from repro.network.simulator import AdHocNetwork, FriendingResult, RateLimiter
+from repro.network.simulator import AdHocNetwork, FriendingResult, Node, RateLimiter
+from repro.network.engine import EngineResult, EpisodeResult, EpisodeSpec, FriendingEngine
 from repro.network.mobility import RandomWaypoint
 from repro.network.scenario import MobileScenario, ScenarioSummary, SearchReport
 
 __all__ = [
     "AdHocNetwork",
+    "AggregateMetrics",
+    "BroadcastEvent",
+    "EngineResult",
+    "EpisodeResult",
+    "EpisodeSpec",
     "EventQueue",
+    "FriendingEngine",
     "FriendingResult",
     "MobileScenario",
     "NetworkMetrics",
+    "Node",
     "RandomWaypoint",
     "RateLimiter",
+    "ReceiveEvent",
+    "ReplyHopEvent",
     "ScenarioSummary",
     "SearchReport",
+    "TopologyRefreshEvent",
     "complete_topology",
     "grid_topology",
     "line_topology",
+    "percentile",
     "random_geometric_topology",
 ]

@@ -1,0 +1,345 @@
+"""Concurrent multi-episode friending engine.
+
+The paper's typical scenario (Table VII) assumes many users friending
+*simultaneously* in one network.  This engine runs N overlapping episodes --
+each its own initiator, request package and metrics -- through a single
+:class:`~repro.network.events.EventQueue` over one shared set of
+:class:`~repro.network.simulator.Node` objects:
+
+- episodes start at staggered times (Poisson-ish arrival is just a choice
+  of ``start_ms`` values);
+- per-node flood state is keyed by request id, so floods interleave
+  without cross-talk while genuinely shared resources (the per-neighbour
+  rate limiter, each participant's disclosure ledger) stay shared;
+- optional mid-run topology refresh re-snapshots a mobility model so the
+  network moves underneath long runs.
+
+Per-episode results carry the usual :class:`NetworkMetrics`; the engine
+additionally reports aggregate throughput and reply-latency percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.core.protocols import Initiator, MatchRecord, Reply
+from repro.network.events import (
+    BroadcastEvent,
+    EventQueue,
+    ReceiveEvent,
+    ReplyHopEvent,
+    TopologyRefreshEvent,
+)
+from repro.network.metrics import AggregateMetrics, NetworkMetrics, percentile
+from repro.network.simulator import (
+    REPLY_ELEMENT_BYTES,
+    REPLY_OVERHEAD_BYTES,
+    AdHocNetwork,
+)
+
+__all__ = ["EpisodeSpec", "EpisodeResult", "EngineResult", "FriendingEngine"]
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """One episode to schedule: who initiates, from where, and when."""
+
+    initiator_node: str
+    initiator: Initiator
+    start_ms: int = 0
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of one episode inside a multi-episode run."""
+
+    episode: int
+    initiator_node: str
+    initiator: Initiator
+    started_at_ms: int
+    completed_at_ms: int
+    metrics: NetworkMetrics
+    replies: list[Reply] = field(default_factory=list)
+
+    @property
+    def matches(self) -> list[MatchRecord]:
+        return list(self.initiator.matches)
+
+    @property
+    def matched_ids(self) -> list[str]:
+        return [m.responder_id for m in self.initiator.matches]
+
+
+@dataclass
+class EngineResult:
+    """All episodes of one engine run plus the aggregate view."""
+
+    episodes: list[EpisodeResult]
+    aggregate: AggregateMetrics
+    completed_at_ms: int
+    topology_refreshes: int = 0
+
+
+class _Episode:
+    """Mutable in-flight state of one episode."""
+
+    __slots__ = ("spec", "index", "package", "package_bytes", "rid", "metrics",
+                 "replies", "last_event_ms")
+
+    def __init__(self, spec: EpisodeSpec, index: int):
+        self.spec = spec
+        self.index = index
+        self.package = spec.initiator.create_request(now_ms=spec.start_ms)
+        self.package_bytes = self.package.wire_size_bytes()
+        self.rid = self.package.request_id
+        self.metrics = NetworkMetrics()
+        self.replies: list[Reply] = []
+        self.last_event_ms = spec.start_ms
+
+
+class FriendingEngine:
+    """Schedules overlapping friending episodes over one `AdHocNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The shared node set and latency model.
+    mobility / radio_radius / refresh_interval_ms:
+        When all three are given, the engine steps *mobility* every
+        *refresh_interval_ms* of simulated time and rewires the network
+        from a unit-disk snapshot at *radio_radius* -- episodes launched
+        before a refresh finish flooding over the new links.
+    """
+
+    def __init__(
+        self,
+        network: AdHocNetwork,
+        *,
+        mobility=None,
+        radio_radius: float | None = None,
+        refresh_interval_ms: int | None = None,
+    ):
+        if (mobility is None) != (refresh_interval_ms is None):
+            raise ValueError("mobility and refresh_interval_ms must be given together")
+        if mobility is not None and radio_radius is None:
+            raise ValueError("topology refresh needs a radio_radius")
+        if refresh_interval_ms is not None and refresh_interval_ms <= 0:
+            raise ValueError("refresh interval must be positive")
+        self.network = network
+        self.mobility = mobility
+        self.radio_radius = radio_radius
+        self.refresh_interval_ms = refresh_interval_ms
+        self.topology_refreshes = 0
+        self._episodes: list[_Episode] = []
+        self._queue: EventQueue | None = None
+        self._pending_episode_events = 0
+        self._refresh_horizon_ms = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def run_staggered(
+        self,
+        launches: list[tuple[str, Initiator]],
+        *,
+        arrival_ms: int = 50,
+        start_ms: int = 0,
+        until_ms: int | None = None,
+    ) -> EngineResult:
+        """Launch one episode per ``(node, initiator)`` pair, *arrival_ms* apart."""
+        specs = [
+            EpisodeSpec(initiator_node=node, initiator=initiator,
+                        start_ms=start_ms + i * arrival_ms)
+            for i, (node, initiator) in enumerate(launches)
+        ]
+        return self.run(specs, until_ms=until_ms)
+
+    def run(self, specs: list[EpisodeSpec], *, until_ms: int | None = None) -> EngineResult:
+        """Run every episode to completion (or *until_ms*) in one queue."""
+        if not specs:
+            raise ValueError("need at least one episode")
+        for spec in specs:
+            if spec.initiator_node not in self.network.nodes:
+                raise ValueError(f"unknown initiator node {spec.initiator_node!r}")
+
+        first_start = min(spec.start_ms for spec in specs)
+        queue = self._queue = EventQueue(first_start)
+        self._episodes = [_Episode(spec, i) for i, spec in enumerate(specs)]
+        self.topology_refreshes = 0
+        self._pending_episode_events = 0
+
+        for episode in self._episodes:
+            # The initiator's own node never re-processes its own request.
+            origin = self.network.nodes[episode.spec.initiator_node]
+            origin.seen.add(episode.rid)
+            origin.hops[episode.rid] = 0
+            self._schedule(
+                episode.spec.start_ms - first_start,
+                BroadcastEvent(episode.index, episode.spec.initiator_node,
+                               episode.package.ttl),
+            )
+
+        if self.mobility is not None:
+            self._schedule_refreshes(first_start, until_ms)
+
+        queue.run(until_ms=until_ms)
+
+        episodes = [
+            EpisodeResult(
+                episode=ep.index,
+                initiator_node=ep.spec.initiator_node,
+                initiator=ep.spec.initiator,
+                started_at_ms=ep.spec.start_ms,
+                completed_at_ms=ep.last_event_ms,
+                metrics=ep.metrics,
+                replies=ep.replies,
+            )
+            for ep in self._episodes
+        ]
+        # Aggregate throughput runs to the last *episode* event: trailing
+        # topology-refresh ticks keep the queue alive but do no episode work.
+        last_episode_event = max(ep.last_event_ms for ep in self._episodes)
+        return EngineResult(
+            episodes=episodes,
+            aggregate=self._aggregate(episodes, first_start, last_episode_event),
+            completed_at_ms=queue.now_ms,
+            topology_refreshes=self.topology_refreshes,
+        )
+
+    # -- event handling -----------------------------------------------------
+
+    def _dispatch(self, event) -> None:
+        if isinstance(event, ReceiveEvent):
+            self._pending_episode_events -= 1
+            self._on_receive(event)
+        elif isinstance(event, BroadcastEvent):
+            self._pending_episode_events -= 1
+            self._on_broadcast(event)
+        elif isinstance(event, ReplyHopEvent):
+            self._pending_episode_events -= 1
+            self._on_reply_hop(event)
+        elif isinstance(event, TopologyRefreshEvent):
+            self._on_topology_refresh(event)
+        else:  # pragma: no cover -- the engine only schedules the above
+            raise TypeError(f"unknown event {event!r}")
+
+    def _schedule(self, delay_ms: int, event) -> None:
+        assert self._queue is not None
+        if not isinstance(event, TopologyRefreshEvent):
+            self._pending_episode_events += 1
+        self._queue.schedule(delay_ms, partial(self._dispatch, event))
+
+    def _on_broadcast(self, event: BroadcastEvent) -> None:
+        episode = self._episodes[event.episode]
+        node = self.network.nodes[event.node]
+        episode.metrics.broadcasts += 1
+        episode.metrics.bytes_broadcast += episode.package_bytes
+        episode.last_event_ms = self._queue.now_ms
+        for neighbour in node.neighbours:
+            self._schedule(
+                self.network.hop_latency_ms,
+                ReceiveEvent(event.episode, neighbour, event.node, event.ttl),
+            )
+
+    def _on_receive(self, event: ReceiveEvent) -> None:
+        episode = self._episodes[event.episode]
+        node = self.network.nodes[event.node]
+        queue = self._queue
+        episode.last_event_ms = queue.now_ms
+        if episode.rid in node.seen:
+            episode.metrics.dropped_duplicate += 1
+            return
+        if episode.package.is_expired(queue.now_ms):
+            episode.metrics.dropped_expired += 1
+            return
+        if not node.limiter.allow(event.from_node, queue.now_ms):
+            episode.metrics.dropped_rate_limited += 1
+            return
+        node.seen.add(episode.rid)
+        node.parent[episode.rid] = event.from_node
+        hops = self.network.nodes[event.from_node].hops.get(episode.rid, 0) + 1
+        node.hops[episode.rid] = hops
+        episode.metrics.nodes_reached += 1
+
+        participant = node.participant
+        if participant is not None:
+            reply = participant.handle_request(episode.package, now_ms=queue.now_ms)
+            outcome = participant.last_outcome
+            if outcome is not None and outcome.candidate:
+                episode.metrics.candidates += 1
+            if reply is not None:
+                episode.metrics.replies += 1
+                self._schedule(
+                    self.network.processing_latency_ms,
+                    ReplyHopEvent(event.episode, reply, event.node, hops),
+                )
+        if event.ttl > 1:
+            self._schedule(
+                self.network.processing_latency_ms,
+                BroadcastEvent(event.episode, event.node, event.ttl - 1),
+            )
+        else:
+            # TTL exhausted: the packet was received and fully processed
+            # (the node may even have replied); what is dropped is the
+            # re-broadcast that would otherwise go out -- count exactly one
+            # suppression here, at the point of suppression.
+            episode.metrics.dropped_ttl += 1
+
+    def _on_reply_hop(self, event: ReplyHopEvent) -> None:
+        episode = self._episodes[event.episode]
+        episode.last_event_ms = self._queue.now_ms
+        if event.remaining_hops <= 0:
+            episode.spec.initiator.handle_reply(event.reply, self._queue.now_ms)
+            episode.metrics.reply_latency_ms.append(
+                self._queue.now_ms - episode.spec.start_ms
+            )
+            episode.replies.append(event.reply)
+            return
+        episode.metrics.unicasts += 1
+        episode.metrics.bytes_unicast += (
+            REPLY_OVERHEAD_BYTES + len(event.reply.elements) * REPLY_ELEMENT_BYTES
+        )
+        self._schedule(
+            self.network.hop_latency_ms,
+            ReplyHopEvent(event.episode, event.reply, event.via,
+                          event.remaining_hops - 1),
+        )
+
+    def _on_topology_refresh(self, event: TopologyRefreshEvent) -> None:
+        self.mobility.step(event.interval_ms / 1000)
+        self.network.update_topology(self.mobility.snapshot_topology(self.radio_radius))
+        self.topology_refreshes += 1
+        # Re-arm only while episode work is still in flight and the horizon
+        # allows: the queue must drain once the last flood/reply settles.
+        if (
+            self._pending_episode_events > 0
+            and self._queue.now_ms + event.interval_ms <= self._refresh_horizon_ms
+        ):
+            self._schedule(event.interval_ms, event)
+
+    def _schedule_refreshes(self, first_start: int, until_ms: int | None) -> None:
+        horizon = until_ms
+        if horizon is None:
+            horizon = max(ep.package.expiry_ms for ep in self._episodes)
+        self._refresh_horizon_ms = horizon
+        interval = self.refresh_interval_ms
+        if first_start + interval <= horizon:
+            self._schedule(interval, TopologyRefreshEvent(interval))
+
+    # -- aggregation --------------------------------------------------------
+
+    @staticmethod
+    def _aggregate(
+        episodes: list[EpisodeResult], first_start: int, end_ms: int
+    ) -> AggregateMetrics:
+        total = NetworkMetrics()
+        for episode in episodes:
+            total.merge(episode.metrics)
+        return AggregateMetrics(
+            episodes=len(episodes),
+            matches=sum(len(ep.initiator.matches) for ep in episodes),
+            sim_duration_ms=end_ms - first_start,
+            total=total,
+            latency_p50_ms=percentile(total.reply_latency_ms, 50),
+            latency_p95_ms=percentile(total.reply_latency_ms, 95),
+        )

@@ -1,11 +1,65 @@
-"""Minimal discrete-event queue driving the network simulator."""
+"""Discrete-event queue and the typed events of a friending episode.
+
+The queue itself is payload-agnostic (time-ordered callbacks); the event
+dataclasses below are the vocabulary the multi-episode engine speaks.  Each
+carries the episode index it belongs to, so any number of overlapping
+episodes can share one queue and one set of nodes.
+"""
 
 from __future__ import annotations
 
 import heapq
 from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
 
-__all__ = ["EventQueue"]
+__all__ = [
+    "EventQueue",
+    "BroadcastEvent",
+    "ReceiveEvent",
+    "ReplyHopEvent",
+    "TopologyRefreshEvent",
+]
+
+
+@dataclass(frozen=True)
+class BroadcastEvent:
+    """Node *node* transmits episode *episode*'s request to all neighbours."""
+
+    episode: int
+    node: str
+    ttl: int
+
+
+@dataclass(frozen=True)
+class ReceiveEvent:
+    """One copy of the request arrives at *node* from *from_node*."""
+
+    episode: int
+    node: str
+    from_node: str
+    ttl: int
+
+
+@dataclass(frozen=True)
+class ReplyHopEvent:
+    """A reply travels one hop back towards the episode's initiator.
+
+    ``reply`` is a :class:`repro.core.protocols.Reply`; typed loosely so the
+    event vocabulary stays free of protocol-layer imports.
+    """
+
+    episode: int
+    reply: Any
+    via: str
+    remaining_hops: int
+
+
+@dataclass(frozen=True)
+class TopologyRefreshEvent:
+    """Mid-run topology refresh tick (mobility re-snapshot)."""
+
+    interval_ms: int
 
 
 class EventQueue:

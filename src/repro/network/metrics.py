@@ -2,9 +2,22 @@
 
 from __future__ import annotations
 
+import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-__all__ = ["NetworkMetrics"]
+__all__ = ["AggregateMetrics", "NetworkMetrics", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of *values* (``0.0`` on empty input)."""
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return float(ordered[rank - 1])
 
 
 @dataclass
@@ -34,6 +47,21 @@ class NetworkMetrics:
         """All bytes put on the air."""
         return self.bytes_broadcast + self.bytes_unicast
 
+    def merge(self, other: "NetworkMetrics") -> None:
+        """Accumulate *other* into this instance (engine-level aggregation)."""
+        self.broadcasts += other.broadcasts
+        self.unicasts += other.unicasts
+        self.bytes_broadcast += other.bytes_broadcast
+        self.bytes_unicast += other.bytes_unicast
+        self.nodes_reached += other.nodes_reached
+        self.candidates += other.candidates
+        self.replies += other.replies
+        self.dropped_duplicate += other.dropped_duplicate
+        self.dropped_ttl += other.dropped_ttl
+        self.dropped_expired += other.dropped_expired
+        self.dropped_rate_limited += other.dropped_rate_limited
+        self.reply_latency_ms.extend(other.reply_latency_ms)
+
     def as_dict(self) -> dict[str, float]:
         """Flat summary for reporting."""
         return {
@@ -55,3 +83,39 @@ class NetworkMetrics:
                 else 0.0
             ),
         }
+
+
+@dataclass
+class AggregateMetrics:
+    """Cross-episode summary of one multi-episode engine run.
+
+    Simulated throughput is episodes per simulated second (first broadcast
+    to last event); wall-clock throughput is the benchmark's concern and is
+    measured outside the engine.
+    """
+
+    episodes: int
+    matches: int
+    sim_duration_ms: int
+    total: NetworkMetrics
+    latency_p50_ms: float
+    latency_p95_ms: float
+
+    @property
+    def episodes_per_sim_sec(self) -> float:
+        if self.sim_duration_ms <= 0:
+            return 0.0
+        return self.episodes / (self.sim_duration_ms / 1000)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary for reporting, prefixed to avoid metric-name clashes."""
+        summary = {
+            "episodes": self.episodes,
+            "matches": self.matches,
+            "sim_duration_ms": self.sim_duration_ms,
+            "episodes_per_sim_sec": round(self.episodes_per_sim_sec, 3),
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+        }
+        summary.update(self.total.as_dict())
+        return summary

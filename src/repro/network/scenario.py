@@ -137,6 +137,61 @@ class MobileScenario:
         attrs = self.spec.vicinity_attributes(x, y, self.search_range_m)
         return Participant(Profile(attrs, user_id=node, normalized=True), rng=self.rng)
 
+    def run_concurrent_searches(
+        self,
+        searchers: list[str],
+        *,
+        radio_range_m: float = 100.0,
+        arrival_ms: int = 50,
+        protocol: int = 1,
+    ) -> list[SearchReport]:
+        """Several users search at once over the *actual* radio topology.
+
+        Unlike :meth:`run_search` (oracle delivery to every node), this
+        floods each request through a unit-disk MANET snapshot via the
+        concurrent engine, so requests compete for the same relays and a
+        vicinity search can also fail simply because the flood never
+        reached a nearby phone.
+        """
+        from repro.core.protocols import Initiator
+        from repro.network.engine import FriendingEngine
+        from repro.network.simulator import AdHocNetwork
+
+        positions = self.positions_m()
+        adjacency = self.mobility.snapshot_topology(radio_range_m / self.area_m)
+        participants = {node: self._participant_for(node) for node in self.node_ids}
+
+        now_ms = int(self.time_s * 1000)
+        launches = []
+        for searcher in searchers:
+            sx, sy = positions[searcher]
+            request = vicinity_request(self.spec, sx, sy, self.search_range_m, self.theta)
+            launches.append(
+                (searcher, Initiator(request, protocol=protocol, p=self.p, rng=self.rng))
+            )
+
+        network = AdHocNetwork(adjacency, participants)
+        result = FriendingEngine(network).run_staggered(
+            launches, arrival_ms=arrival_ms, start_ms=now_ms
+        )
+
+        reports = []
+        for episode in result.episodes:
+            searcher = episode.initiator_node
+            sx, sy = positions[searcher]
+            truly_nearby = {
+                node
+                for node in self.node_ids
+                if node != searcher
+                and math.dist(positions[node], (sx, sy)) <= self.search_range_m
+            }
+            reports.append(SearchReport(
+                time_s=self.time_s, searcher=searcher,
+                truly_nearby=truly_nearby,
+                matched=set(episode.matched_ids) - {searcher},
+            ))
+        return reports
+
     def run_search(self, searcher: str) -> SearchReport:
         """One location-private vicinity search by *searcher*, right now."""
         positions = self.positions_m()

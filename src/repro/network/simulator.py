@@ -6,22 +6,32 @@ re-broadcasts while the TTL and validity window allow; candidate replies
 travel back to the initiator hop-by-hop along the reverse flooding path.
 The simulator accounts every transmission at the byte level, which is what
 the paper's communication evaluation (Table VII, Sec. IV-B2) reports.
+
+The event logic itself lives in :mod:`repro.network.engine`, which can run
+many overlapping episodes through one queue; :meth:`AdHocNetwork.run_friending`
+is the single-episode convenience wrapper.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 
 from repro.core.protocols import Initiator, MatchRecord, Participant, Reply
-from repro.core.request import RequestPackage
-from repro.network.events import EventQueue
 from repro.network.metrics import NetworkMetrics
 
-__all__ = ["AdHocNetwork", "FriendingResult", "RateLimiter", "REPLY_OVERHEAD_BYTES"]
+__all__ = [
+    "AdHocNetwork",
+    "FriendingResult",
+    "Node",
+    "RateLimiter",
+    "REPLY_OVERHEAD_BYTES",
+    "REPLY_ELEMENT_BYTES",
+]
 
 REPLY_OVERHEAD_BYTES = 12  # request id (8) + element count (2) + framing (2)
-_REPLY_ELEMENT_BYTES = 48
+REPLY_ELEMENT_BYTES = 48
 
 
 class RateLimiter:
@@ -34,18 +44,46 @@ class RateLimiter:
     def __init__(self, max_events: int = 5, window_ms: int = 10_000):
         self.max_events = max_events
         self.window_ms = window_ms
-        self._history: dict[str, list[int]] = {}
+        self._history: dict[str, deque[int]] = {}
 
     def allow(self, peer: str, now_ms: int) -> bool:
         """Record an event from *peer*; False when the peer is over budget."""
-        events = self._history.setdefault(peer, [])
+        events = self._history.setdefault(peer, deque())
         cutoff = now_ms - self.window_ms
         while events and events[0] < cutoff:
-            events.pop(0)
+            events.popleft()
         if len(events) >= self.max_events:
             return False
         events.append(now_ms)
         return True
+
+
+class Node:
+    """One radio node: identity, links, and per-request flood state.
+
+    The flood state is keyed by request id, so a node can take part in any
+    number of overlapping episodes: ``seen`` suppresses duplicate copies,
+    ``parent``/``hops`` record the reverse path each request flooded in on,
+    and the limiter is *shared* across episodes -- it models the node's
+    per-neighbour traffic budget, not per-request bookkeeping.
+    """
+
+    __slots__ = ("node_id", "participant", "neighbours", "limiter", "seen", "parent", "hops")
+
+    def __init__(
+        self,
+        node_id: str,
+        participant: Participant | None,
+        neighbours: list[str],
+        limiter: RateLimiter | None = None,
+    ):
+        self.node_id = node_id
+        self.participant = participant
+        self.neighbours = list(neighbours)
+        self.limiter = limiter or RateLimiter(max_events=50, window_ms=10_000)
+        self.seen: set[bytes] = set()
+        self.parent: dict[bytes, str] = {}
+        self.hops: dict[bytes, int] = {}
 
 
 @dataclass
@@ -60,16 +98,6 @@ class FriendingResult:
     @property
     def matched_ids(self) -> list[str]:
         return [m.responder_id for m in self.matches]
-
-
-@dataclass
-class _NodeState:
-    participant: Participant | None
-    neighbours: list[str]
-    seen: set[bytes] = field(default_factory=set)
-    limiter: RateLimiter = field(default_factory=RateLimiter)
-    parent: dict[bytes, str] = field(default_factory=dict)
-    hops: dict[bytes, int] = field(default_factory=dict)
 
 
 class AdHocNetwork:
@@ -103,10 +131,11 @@ class AdHocNetwork:
         self.hop_latency_ms = hop_latency_ms
         self.processing_latency_ms = processing_latency_ms
         self.rng = rng or random.Random()
-        self._states = {
-            node: _NodeState(
-                participant=participants.get(node),
-                neighbours=list(neigh),
+        self.nodes = {
+            node: Node(
+                node,
+                participants.get(node),
+                neigh,
                 limiter=RateLimiter(
                     max_events=rate_limit.max_events if rate_limit else 50,
                     window_ms=rate_limit.window_ms if rate_limit else 10_000,
@@ -114,6 +143,19 @@ class AdHocNetwork:
             )
             for node, neigh in adjacency.items()
         }
+
+    def update_topology(self, adjacency: dict[str, list[str]]) -> None:
+        """Swap neighbour lists mid-run (mobility refresh); state is kept.
+
+        Only nodes present at construction are rewired; a refresh cannot
+        add or remove nodes.
+        """
+        unknown = set(adjacency) - set(self.nodes)
+        if unknown:
+            raise ValueError(f"refresh references unknown nodes: {sorted(unknown)}")
+        for node_id, neigh in adjacency.items():
+            self.nodes[node_id].neighbours = list(neigh)
+        self.adjacency.update({n: list(v) for n, v in adjacency.items()})
 
     def run_friending(
         self,
@@ -124,85 +166,17 @@ class AdHocNetwork:
         deadline_ms: int | None = None,
     ) -> FriendingResult:
         """Run one full episode and return matches plus metrics."""
-        if initiator_node not in self._states:
-            raise ValueError(f"unknown initiator node {initiator_node!r}")
-        queue = EventQueue(start_ms)
-        metrics = NetworkMetrics()
-        replies: list[Reply] = []
-        package = initiator.create_request(now_ms=start_ms)
-        package_bytes = package.wire_size_bytes()
-        rid = package.request_id
+        from repro.network.engine import EpisodeSpec, FriendingEngine
 
-        origin = self._states[initiator_node]
-        origin.seen.add(rid)
-        origin.hops[rid] = 0
-
-        def deliver_reply(reply: Reply, via: str, remaining_hops: int) -> None:
-            if remaining_hops <= 0:
-                record = initiator.handle_reply(reply, queue.now_ms)
-                metrics.reply_latency_ms.append(queue.now_ms - start_ms)
-                replies.append(reply)
-                if record is not None:
-                    pass  # recorded inside the initiator
-                return
-            metrics.unicasts += 1
-            metrics.bytes_unicast += (
-                REPLY_OVERHEAD_BYTES + len(reply.elements) * _REPLY_ELEMENT_BYTES
-            )
-            queue.schedule(
-                self.hop_latency_ms,
-                lambda: deliver_reply(reply, via, remaining_hops - 1),
-            )
-
-        def broadcast_from(node: str, ttl: int) -> None:
-            state = self._states[node]
-            metrics.broadcasts += 1
-            metrics.bytes_broadcast += package_bytes
-            for neighbour in state.neighbours:
-                queue.schedule(
-                    self.hop_latency_ms,
-                    lambda nb=neighbour, src=node, t=ttl: receive(nb, src, t),
-                )
-
-        def receive(node: str, from_node: str, ttl: int) -> None:
-            state = self._states[node]
-            if rid in state.seen:
-                metrics.dropped_duplicate += 1
-                return
-            if package.is_expired(queue.now_ms):
-                metrics.dropped_expired += 1
-                return
-            if not state.limiter.allow(from_node, queue.now_ms):
-                metrics.dropped_rate_limited += 1
-                return
-            state.seen.add(rid)
-            state.parent[rid] = from_node
-            hops = self._states[from_node].hops.get(rid, 0) + 1
-            state.hops[rid] = hops
-            metrics.nodes_reached += 1
-
-            participant = state.participant
-            if participant is not None:
-                reply = participant.handle_request(package, now_ms=queue.now_ms)
-                outcome = participant.last_outcome
-                if outcome is not None and outcome.candidate:
-                    metrics.candidates += 1
-                if reply is not None:
-                    metrics.replies += 1
-                    queue.schedule(
-                        self.processing_latency_ms,
-                        lambda r=reply, h=hops: deliver_reply(r, node, h),
-                    )
-            if ttl > 1:
-                queue.schedule(self.processing_latency_ms, lambda: broadcast_from(node, ttl - 1))
-            else:
-                metrics.dropped_ttl += 1
-
-        broadcast_from(initiator_node, package.ttl)
-        queue.run(until_ms=deadline_ms)
+        engine = FriendingEngine(self)
+        result = engine.run(
+            [EpisodeSpec(initiator_node=initiator_node, initiator=initiator, start_ms=start_ms)],
+            until_ms=deadline_ms,
+        )
+        episode = result.episodes[0]
         return FriendingResult(
             matches=list(initiator.matches),
-            metrics=metrics,
-            replies=replies,
-            completed_at_ms=queue.now_ms,
+            metrics=episode.metrics,
+            replies=episode.replies,
+            completed_at_ms=result.completed_at_ms,
         )

@@ -10,7 +10,6 @@ from repro.analysis.counters import OpCounter
 from repro.core.attributes import Profile, RequestProfile
 from repro.core.exceptions import InvalidRequestError
 from repro.core.matching import (
-    CONFIRMATION,
     build_request,
     process_request,
     seal_secret,
@@ -175,3 +174,45 @@ class TestProcessRequest:
         profile = Profile(["tag:a", "tag:b"], normalized=True)
         outcome = process_request(profile, package)
         assert len(outcome.keys) == len(set(outcome.keys))
+
+
+class TestMalformedHint:
+    """Attacker-mutated packages with inconsistent hints fail cleanly."""
+
+    def _package_with_bad_hint(self):
+        from repro.core.hint import build_hint_matrix
+        from repro.core.request import RequestPackage
+
+        rng = random.Random(5)
+        # Hint sized for 4 optional positions, package exposing only 2.
+        hint = build_hint_matrix([rng.getrandbits(256) for _ in range(4)], gamma=2, rng=rng)
+        return RequestPackage(
+            protocol=2, p=11,
+            remainders=(1, 2, 3),
+            necessary_mask=(True, False, False),
+            beta=1, hint=hint,
+            ciphertext=b"\x00" * 32,
+            request_id=b"badhint!", ttl=4, expiry_ms=1 << 40,
+        )
+
+    def test_mismatched_hint_width_is_not_a_candidate(self):
+        package = self._package_with_bad_hint()
+        outcome = process_request(Profile(["tag:a", "tag:b"], normalized=True), package)
+        assert not outcome.candidate
+        assert outcome.keys == []
+
+
+class TestBucketReuse:
+    def test_repeated_processing_reuses_the_mod_pass(self):
+        request = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
+        package, _ = _build(request, protocol=2)
+        vector = ParticipantVector.from_profile(Profile(["tag:a", "tag:b"], normalized=True))
+
+        first_counter = OpCounter()
+        first = process_request(vector, package, counter=first_counter)
+        second_counter = OpCounter()
+        second = process_request(vector, package, counter=second_counter)
+
+        assert first.keys == second.keys
+        # The m_k mod pass ran once (cached on the vector afterwards).
+        assert first_counter.get("M") > second_counter.get("M")

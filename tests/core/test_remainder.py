@@ -9,9 +9,12 @@ from hypothesis import strategies as st
 from repro.analysis.counters import OpCounter
 from repro.core.remainder import (
     EnumerationBudget,
+    bucket_index,
+    buckets_for,
     build_buckets,
     enumerate_candidates,
     is_candidate,
+    iter_candidates,
     remainder_vector,
 )
 
@@ -209,3 +212,35 @@ class TestAgreementProperty:
             fast = is_candidate(remainders, mask, gamma, participant, p, mode=mode)
             full = enumerate_candidates(remainders, mask, gamma, participant, p, mode=mode)
             assert fast == (len(full) > 0)
+
+
+class TestBucketIndex:
+    def test_index_matches_direct_bucketing(self):
+        values = [3, 14, 25, 17, 8]
+        p = 11
+        remainders = remainder_vector(values, p)
+        index = bucket_index(values, p)
+        assert buckets_for(remainders, index) == build_buckets(remainders, values, p)
+
+    def test_prebuilt_buckets_give_identical_results(self):
+        values = (10, 21, 33, 47, 52)
+        request = (10, 33, 52)
+        p = 11
+        remainders = remainder_vector(request, p)
+        mask = (True, False, False)
+        buckets = build_buckets(remainders, values, p)
+        assert is_candidate(remainders, mask, 1, values, p) == is_candidate(
+            remainders, mask, 1, values, p, buckets=buckets
+        )
+        direct = [c.values for c in enumerate_candidates(remainders, mask, 1, values, p)]
+        via_index = []
+        budget = EnumerationBudget()
+        for candidate in iter_candidates(
+            remainders, mask, 1, values, p, budget=budget, buckets=buckets
+        ):
+            via_index.append(candidate.values)
+        assert direct == via_index
+
+    def test_missing_remainder_maps_to_empty_bucket(self):
+        index = bucket_index([5], 7)
+        assert buckets_for((3,), index) == [[]]

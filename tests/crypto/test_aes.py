@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.aes import (
+    AES,
+    BLOCK_SIZE,
+    configure_schedule_cache,
+    schedule_cache_stats,
+)
 
 FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
 
@@ -107,3 +112,67 @@ class TestRoundTrip:
     def test_deterministic(self):
         cipher = AES(b"k" * 32)
         assert cipher.encrypt_block(b"p" * 16) == cipher.encrypt_block(b"p" * 16)
+
+
+class TestScheduleCache:
+    """The key-schedule LRU must be transparent and bounded."""
+
+    def teardown_method(self):
+        configure_schedule_cache(1024)
+
+    def test_cached_and_uncached_agree(self):
+        key = b"cache-test-key.................."[:32]
+        block = b"some plaintext!!"
+        configure_schedule_cache(0)
+        uncached = AES(key).encrypt_block(block)
+        configure_schedule_cache(16)
+        assert AES(key).encrypt_block(block) == uncached
+        assert AES(key).decrypt_block(uncached) == block
+
+    def test_hits_recorded_on_reuse(self):
+        configure_schedule_cache(16)
+        key = b"h" * 32
+        AES(key)
+        AES(key)
+        stats = schedule_cache_stats()
+        assert stats["misses"] >= 1
+        assert stats["hits"] >= 1
+
+    def test_lru_stays_bounded(self):
+        configure_schedule_cache(4)
+        for i in range(10):
+            AES(bytes([i]) * 32)
+        assert schedule_cache_stats()["size"] <= 4
+
+    def test_disabled_cache_stores_nothing(self):
+        configure_schedule_cache(0)
+        AES(b"d" * 32)
+        assert schedule_cache_stats()["size"] == 0
+
+
+class TestEcbUnderKeys:
+    def test_encrypt_matches_per_key_ecb(self):
+        from repro.crypto.modes import encrypt_ecb, encrypt_ecb_under_keys
+
+        keys = [bytes([i]) * 32 for i in range(3)]
+        plaintext = b"p" * 48
+        assert encrypt_ecb_under_keys(keys, plaintext) == [
+            encrypt_ecb(k, plaintext) for k in keys
+        ]
+
+    def test_decrypt_matches_per_key_ecb(self):
+        from repro.crypto.modes import decrypt_ecb, decrypt_ecb_under_keys, encrypt_ecb
+
+        keys = [bytes([i]) * 32 for i in range(3)]
+        ciphertext = encrypt_ecb(keys[0], b"q" * 32)
+        assert decrypt_ecb_under_keys(keys, ciphertext) == [
+            decrypt_ecb(k, ciphertext) for k in keys
+        ]
+
+    def test_rejects_unaligned_input(self):
+        from repro.crypto.modes import decrypt_ecb_under_keys, encrypt_ecb_under_keys
+
+        with pytest.raises(ValueError):
+            encrypt_ecb_under_keys([b"k" * 32], b"short")
+        with pytest.raises(ValueError):
+            decrypt_ecb_under_keys([b"k" * 32], b"short")

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.dataset.facebook import FacebookGenerator
 from repro.dataset.schema import UserRecord

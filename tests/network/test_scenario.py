@@ -72,3 +72,31 @@ class TestScenario:
         assert [(r.searcher, r.matched) for r in a.reports] == [
             (r.searcher, r.matched) for r in b.reports
         ]
+
+
+class TestConcurrentSearches:
+    def test_reports_for_every_searcher(self):
+        scenario = MobileScenario(
+            n_nodes=8, area_m=150.0, search_range_m=30.0, theta=0.5, seed=6
+        )
+        searchers = ["phone0", "phone3", "phone7"]
+        reports = scenario.run_concurrent_searches(searchers, radio_range_m=120.0)
+        assert [r.searcher for r in reports] == searchers
+        for report in reports:
+            assert report.searcher not in report.matched
+            assert 0.0 <= report.precision <= 1.0
+            assert 0.0 <= report.recall <= 1.0
+
+    def test_deterministic(self):
+        def run():
+            scenario = MobileScenario(
+                n_nodes=8, area_m=120.0, search_range_m=30.0, theta=0.5, seed=11
+            )
+            return [
+                (r.searcher, frozenset(r.matched))
+                for r in scenario.run_concurrent_searches(
+                    ["phone1", "phone4"], radio_range_m=100.0
+                )
+            ]
+
+        assert run() == run()

@@ -55,3 +55,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table I" in out
         assert "Table II" in out
+
+
+class TestConcurrentSimulate:
+    def test_simulate_multiple_episodes(self, capsys):
+        assert main([
+            "simulate", "--nodes", "24", "--episodes", "4", "--arrival-ms", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "concurrent friending" in out
+        assert "per-episode outcomes" in out
+        assert "episodes_per_sim_sec" in out
+
+    def test_too_many_episodes_rejected(self, capsys):
+        assert main(["simulate", "--nodes", "5", "--episodes", "50"]) == 2
