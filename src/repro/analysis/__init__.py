@@ -4,11 +4,39 @@ from repro.analysis.counters import OpCounter, NULL_COUNTER
 from repro.analysis.reporting import render_table, render_series
 from repro.analysis.tradeoffs import PrimeChoice, recommend_prime
 
+_EXPERIMENT_EXPORTS = (
+    "ExperimentPlan",
+    "ScenarioSpec",
+    "SpecError",
+    "load_plan",
+    "render_markdown_report",
+    "run_plan",
+    "run_scenario",
+)
+
+
+def __getattr__(name):
+    # The experiment runner sits *above* the protocol stack (it drives the
+    # engine), while the counters here sit below it; importing it eagerly
+    # would close a cycle through repro.core, so resolve it on first use.
+    if name in _EXPERIMENT_EXPORTS:
+        from repro.analysis import experiments
+
+        return getattr(experiments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "NULL_COUNTER",
+    "ExperimentPlan",
     "OpCounter",
     "PrimeChoice",
+    "ScenarioSpec",
+    "SpecError",
+    "load_plan",
     "recommend_prime",
+    "render_markdown_report",
     "render_series",
     "render_table",
+    "run_plan",
+    "run_scenario",
 ]

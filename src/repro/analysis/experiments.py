@@ -1,0 +1,554 @@
+"""Config-driven experiment runner: ScenarioSpec sweeps over the engine.
+
+Table VII-style comparisons used to mean hand-running individual
+``bench_*`` scripts.  This module replaces that with a declarative
+pipeline:
+
+1. A :class:`ScenarioSpec` describes one city-scale friending scenario —
+   population size, protocol (1/2/3), attacker mix, mobility model and
+   episode arrival rate — and validates itself on construction.
+2. :func:`load_plan` reads a JSON file holding either a single spec or a
+   ``base`` + ``sweep`` parameter grid, and expands the grid into the
+   cartesian product of concrete specs.
+3. :func:`run_scenario` builds the population over a
+   :func:`~repro.network.topology.SpatialGrid`-backed topology, runs the
+   :class:`~repro.network.engine.FriendingEngine`, and emits one JSON
+   record per scenario in the same shape as
+   ``benchmarks/bench_engine_throughput.py``'s ``PERF_RECORD``.
+4. :func:`run_plan` sweeps every spec and writes two artifacts: a JSON
+   file of records and a rendered markdown report.
+
+Determinism: everything a record reports except the ``wall_seconds`` /
+``topology_seconds`` timings and the byte counts contributed by forged
+attacker replies is a pure function of the spec (the spec's ``seed``
+drives population, placement, mobility and protocol RNGs).  Attacker
+*counts* are deterministic too; only the random bytes inside forged
+elements vary.  All simulated times are milliseconds (``*_ms``);
+throughput is episodes per simulated second.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import time
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant, Reply
+from repro.network.engine import FriendingEngine
+from repro.network.mobility import RandomWaypoint, StaticPlacement
+from repro.network.simulator import AdHocNetwork
+
+__all__ = [
+    "SpecError",
+    "ScenarioSpec",
+    "ExperimentPlan",
+    "load_plan",
+    "run_scenario",
+    "run_plan",
+    "render_markdown_report",
+    "MOBILITY_MODELS",
+    "ATTACKER_KINDS",
+]
+
+MOBILITY_MODELS = ("static", "random_waypoint")
+ATTACKER_KINDS = ("cheating", "flooder")
+
+_SWEEPABLE = (
+    "nodes", "protocol", "episodes", "arrival_rate_per_s", "mobility",
+    "radio_radius", "refresh_interval_ms", "communities",
+    "tags_per_community", "seed", "until_ms",
+)
+
+
+class SpecError(ValueError):
+    """A scenario spec failed validation; the message names the field."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative friending scenario for the experiment runner.
+
+    Fields and units
+    ----------------
+    name:
+        Label used in records, reports and artifact names.
+    nodes:
+        Population size (radio nodes; every node is a phone).
+    protocol:
+        Paper protocol id — 1, 2 or 3 (Sec. III-E reply disciplines).
+    episodes:
+        Concurrent friending episodes launched into the one network.
+    arrival_rate_per_s:
+        Episode arrival rate in episodes per simulated second; the engine
+        staggers launches ``1000 / rate`` simulated ms apart.
+    mobility:
+        ``"static"`` (fixed uniform placement) or ``"random_waypoint"``.
+    radio_radius:
+        Radio range as a fraction of the city's side length; expected
+        degree is ``nodes · π · radius²``.
+    refresh_interval_ms:
+        Optional mid-run topology refresh period in simulated ms; requires
+        ``mobility="random_waypoint"``.
+    attackers:
+        Attacker mix, mapping kind → population fraction.  ``"cheating"``
+        nodes forge match claims with random keys (rejected by the ACK
+        check); ``"flooder"`` nodes send oversized acknowledge sets
+        (rejected unopened by the cardinality threshold).  Fractions must
+        sum to at most 1.
+    communities / tags_per_community:
+        Honest profiles are split into interest communities (node *i*
+        belongs to ``i mod communities``).  Each episode's initiator
+        requests *its own node's* community tags; initiators are spread
+        through the population at stride ``nodes // episodes``, so
+        episode *e* requests community
+        ``(e * stride mod nodes) mod communities``.
+    seed:
+        Master seed; see the module docstring for what it pins down.
+    until_ms:
+        Optional hard stop on the simulated clock.
+    """
+
+    name: str = "scenario"
+    nodes: int = 100
+    protocol: int = 2
+    episodes: int = 4
+    arrival_rate_per_s: float = 20.0
+    mobility: str = "static"
+    radio_radius: float = 0.1
+    refresh_interval_ms: int | None = None
+    attackers: Mapping[str, float] = field(default_factory=dict)
+    communities: int = 8
+    tags_per_community: int = 3
+    seed: int = 0
+    until_ms: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise SpecError("name must be a non-empty string")
+        if not isinstance(self.nodes, int) or self.nodes < 2:
+            raise SpecError(f"nodes must be an integer >= 2, got {self.nodes!r}")
+        if self.protocol not in (1, 2, 3):
+            raise SpecError(
+                f"protocol must be 1, 2 or 3 (Sec. III-E), got {self.protocol!r}"
+            )
+        if not isinstance(self.episodes, int) or self.episodes < 1:
+            raise SpecError(f"episodes must be an integer >= 1, got {self.episodes!r}")
+        if self.episodes > self.nodes:
+            raise SpecError(
+                f"episodes ({self.episodes}) cannot exceed nodes ({self.nodes})"
+            )
+        if not isinstance(self.arrival_rate_per_s, (int, float)) or not (
+            self.arrival_rate_per_s > 0
+        ):
+            raise SpecError(
+                "arrival_rate_per_s must be a positive number "
+                f"(episodes per simulated second), got {self.arrival_rate_per_s!r}"
+            )
+        if self.mobility not in MOBILITY_MODELS:
+            raise SpecError(
+                f"unknown mobility model {self.mobility!r}; "
+                f"choose one of {', '.join(MOBILITY_MODELS)}"
+            )
+        if not isinstance(self.radio_radius, (int, float)) or not 0 < self.radio_radius <= 1:
+            raise SpecError(
+                f"radio_radius must be in (0, 1] (fraction of the city side), "
+                f"got {self.radio_radius!r}"
+            )
+        if self.refresh_interval_ms is not None:
+            if self.mobility != "random_waypoint":
+                raise SpecError("refresh_interval_ms requires mobility=random_waypoint")
+            if not isinstance(self.refresh_interval_ms, int) or self.refresh_interval_ms <= 0:
+                raise SpecError(
+                    f"refresh_interval_ms must be a positive integer (simulated ms), "
+                    f"got {self.refresh_interval_ms!r}"
+                )
+        if not isinstance(self.attackers, Mapping):
+            raise SpecError("attackers must map attacker kind -> fraction")
+        for kind, fraction in self.attackers.items():
+            if kind not in ATTACKER_KINDS:
+                raise SpecError(
+                    f"unknown attacker kind {kind!r}; "
+                    f"choose from {', '.join(ATTACKER_KINDS)}"
+                )
+            if not isinstance(fraction, (int, float)) or not 0 <= fraction <= 1:
+                raise SpecError(
+                    f"attacker fraction for {kind!r} must be in [0, 1], got {fraction!r}"
+                )
+        if sum(self.attackers.values()) > 1:
+            raise SpecError("attacker fractions must sum to at most 1")
+        if not isinstance(self.communities, int) or self.communities < 1:
+            raise SpecError(f"communities must be an integer >= 1, got {self.communities!r}")
+        if not isinstance(self.tags_per_community, int) or self.tags_per_community < 2:
+            raise SpecError(
+                f"tags_per_community must be an integer >= 2, got {self.tags_per_community!r}"
+            )
+        if self.until_ms is not None and (
+            not isinstance(self.until_ms, int) or self.until_ms <= 0
+        ):
+            raise SpecError(f"until_ms must be a positive integer, got {self.until_ms!r}")
+
+    @property
+    def arrival_ms(self) -> int:
+        """Stagger between episode launches, in simulated milliseconds."""
+        return max(1, round(1000 / self.arrival_rate_per_s))
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build and validate a spec from parsed JSON; unknown keys fail."""
+        if not isinstance(raw, Mapping):
+            raise SpecError(f"a scenario spec must be a JSON object, got {type(raw).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise SpecError(
+                f"unknown spec field(s) {sorted(unknown)}; known fields: {sorted(known)}"
+            )
+        return cls(**dict(raw))
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable view of the spec (for provenance in artifacts)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["attackers"] = dict(self.attackers)
+        return out
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A named list of concrete scenario specs ready to run."""
+
+    name: str
+    specs: tuple[ScenarioSpec, ...]
+
+
+def _expand_sweep(name: str, base: Mapping[str, Any], sweep: Mapping[str, Any]) -> ExperimentPlan:
+    if not sweep:
+        return ExperimentPlan(name=name, specs=(ScenarioSpec.from_dict({**base, "name": name}),))
+    for key, values in sweep.items():
+        if key not in _SWEEPABLE:
+            raise SpecError(
+                f"cannot sweep {key!r}; sweepable fields: {sorted(_SWEEPABLE)}"
+            )
+        if not isinstance(values, list) or not values:
+            raise SpecError(f"sweep values for {key!r} must be a non-empty JSON list")
+    keys = sorted(sweep)
+    specs = []
+    for combo in itertools.product(*(sweep[k] for k in keys)):
+        assignment = dict(zip(keys, combo))
+        label = ",".join(f"{k}={assignment[k]}" for k in keys)
+        specs.append(ScenarioSpec.from_dict({**base, **assignment, "name": f"{name}/{label}"}))
+    return ExperimentPlan(name=name, specs=tuple(specs))
+
+
+def load_plan(source: str | Path | Mapping[str, Any]) -> ExperimentPlan:
+    """Load an experiment plan from a JSON file path or a parsed mapping.
+
+    Two layouts are accepted (see ``docs/experiments.md``):
+
+    - a single :class:`ScenarioSpec` object, or
+    - ``{"name": ..., "base": {spec fields}, "sweep": {field: [values]}}``,
+      which expands into the cartesian product of the sweep lists.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        try:
+            raw = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise SpecError(f"spec file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec file {path} is not valid JSON: {exc}") from None
+    else:
+        raw = source
+    if not isinstance(raw, Mapping):
+        raise SpecError("the spec file must hold a JSON object")
+    if "base" in raw or "sweep" in raw:
+        extra = set(raw) - {"name", "base", "sweep"}
+        if extra:
+            raise SpecError(f"unknown top-level key(s) in sweep plan: {sorted(extra)}")
+        name = raw.get("name", "experiment")
+        base = raw.get("base", {})
+        if not isinstance(base, Mapping):
+            raise SpecError("base must be a JSON object of spec fields")
+        return _expand_sweep(name, base, raw.get("sweep", {}))
+    spec = ScenarioSpec.from_dict(raw)
+    return ExperimentPlan(name=spec.name, specs=(spec,))
+
+
+class _CheatingNode:
+    """Engine-facing adapter: forge a match claim for every request seen.
+
+    Reply elements are sealed under random keys, so the initiator's ACK
+    verification rejects them (Sec. IV-A3) — the attack shows up as reply
+    traffic and rejected replies, never as matches.
+    """
+
+    last_outcome = None
+
+    def __init__(self, user_id: str, *, n_elements: int = 1):
+        from repro.attacks.cheating import CheatingParticipant
+
+        self._cheater = CheatingParticipant(user_id=user_id)
+        self._n_elements = n_elements
+
+    def handle_request(self, package, now_ms: int = 0) -> Reply | None:
+        forged = self._cheater.forge_random_reply(package, n_elements=self._n_elements)
+        return Reply(
+            request_id=forged.request_id,
+            responder_id=forged.responder_id,
+            elements=forged.elements,
+            sent_at_ms=now_ms,
+        )
+
+
+class _FloodingNode(_CheatingNode):
+    """Dictionary-style flooder: oversized acknowledge sets.
+
+    The element count deliberately exceeds the initiator's cardinality
+    threshold, so replies are rejected *unopened* (Protocol 2/3 step 3)
+    but still cost the network their transmission bytes.
+    """
+
+    def __init__(self, user_id: str, *, n_elements: int = 64):
+        super().__init__(user_id, n_elements=n_elements)
+
+
+def _largest_component_fraction(adjacency: Mapping[str, list[str]]) -> float:
+    """Fraction of nodes in the largest connected component."""
+    from repro.network.topology import _components
+
+    if not adjacency:
+        return 1.0
+    return max(len(c) for c in _components(dict(adjacency))) / len(adjacency)
+
+
+def _build_population(spec: ScenarioSpec, rng: random.Random):
+    """Participants, attacker assignment and episode launches for *spec*."""
+    node_ids = [f"n{i}" for i in range(spec.nodes)]
+
+    def community_attrs(i: int) -> list[str]:
+        community = i % spec.communities
+        tags = [f"c{community}:tag{j}" for j in range(spec.tags_per_community)]
+        return tags + [f"noise:n{i}"]
+
+    # Episode initiators come first so attacker sampling can't claim them.
+    stride = max(1, spec.nodes // spec.episodes)
+    initiator_indices = [(e * stride) % spec.nodes for e in range(spec.episodes)]
+    initiator_nodes = {node_ids[i] for i in initiator_indices}
+
+    attacker_rng = random.Random(spec.seed + 0x5EED)
+    pool = [n for n in node_ids if n not in initiator_nodes]
+    assignment: dict[str, str] = {}
+    for kind in ATTACKER_KINDS:
+        fraction = spec.attackers.get(kind, 0)
+        count = min(len(pool), round(fraction * spec.nodes))
+        chosen = attacker_rng.sample(pool, count)
+        for node in chosen:
+            assignment[node] = kind
+        pool = [n for n in pool if n not in assignment]
+
+    participants: dict[str, Any] = {}
+    for i, node in enumerate(node_ids):
+        kind = assignment.get(node)
+        if kind == "cheating":
+            participants[node] = _CheatingNode(node)
+        elif kind == "flooder":
+            participants[node] = _FloodingNode(node)
+        else:
+            participants[node] = Participant(
+                Profile(community_attrs(i), user_id=node, normalized=True), rng=rng
+            )
+
+    launches: list[tuple[str, Initiator]] = []
+    for e, idx in enumerate(initiator_indices):
+        community = idx % spec.communities
+        tags = [f"c{community}:tag{j}" for j in range(spec.tags_per_community)]
+        request = RequestProfile(
+            necessary=[tags[0]], optional=tags[1:], beta=1, normalized=True
+        )
+        launches.append((
+            node_ids[idx],
+            Initiator(request, protocol=spec.protocol, rng=random.Random(spec.seed * 1000 + e)),
+        ))
+    attacker_counts = {
+        kind: sum(1 for k in assignment.values() if k == kind) for kind in ATTACKER_KINDS
+    }
+    return node_ids, participants, launches, attacker_counts
+
+
+def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
+    """Run one scenario end to end and return its JSON record.
+
+    The record carries the same measurement keys as
+    ``benchmarks/bench_engine_throughput.py`` (``nodes``, ``episodes``,
+    ``wall_seconds``, ``episodes_per_wall_sec``, ``episodes_per_sim_sec``,
+    ``sim_duration_ms``, ``matches``, ``latency_p50_ms``,
+    ``latency_p95_ms``, ``total_bytes``) plus scenario provenance.
+    """
+    rng = random.Random(spec.seed)
+    node_ids, participants, launches, attacker_counts = _build_population(spec, rng)
+
+    if spec.mobility == "random_waypoint":
+        mobility = RandomWaypoint(node_ids, seed=spec.seed)
+    else:
+        mobility = StaticPlacement(node_ids, seed=spec.seed)
+
+    topo_start = time.perf_counter()
+    adjacency = mobility.snapshot_topology(spec.radio_radius)
+    topology_seconds = time.perf_counter() - topo_start
+
+    # A mobility snapshot is deliberately *not* stitched into one component
+    # (mid-run refreshes would undo any artificial links), so a sparse spec
+    # can legitimately describe a fragmented city.  Record the connectivity
+    # so such runs can never masquerade as healthy measurements.
+    mean_degree = sum(len(v) for v in adjacency.values()) / max(1, len(adjacency))
+    component_fraction = _largest_component_fraction(adjacency)
+    warnings = []
+    if component_fraction < 0.9:
+        warnings.append(
+            f"network is fragmented: largest component holds only "
+            f"{component_fraction:.0%} of nodes (mean degree {mean_degree:.1f}); "
+            f"floods cannot reach most of the population -- consider a larger "
+            f"radio_radius (expected degree = nodes * pi * radius^2)"
+        )
+
+    network = AdHocNetwork(adjacency, participants)
+    if spec.refresh_interval_ms is not None:
+        engine = FriendingEngine(
+            network,
+            mobility=mobility,
+            radio_radius=spec.radio_radius,
+            refresh_interval_ms=spec.refresh_interval_ms,
+        )
+    else:
+        engine = FriendingEngine(network)
+
+    start = time.perf_counter()
+    result = engine.run_staggered(
+        launches, arrival_ms=spec.arrival_ms, until_ms=spec.until_ms
+    )
+    wall_s = time.perf_counter() - start
+
+    agg = result.aggregate
+    rejected = sum(len(ep.initiator.rejected) for ep in result.episodes)
+    return {
+        "bench": "experiment",
+        "scenario": spec.name,
+        "spec": spec.as_dict(),
+        "nodes": spec.nodes,
+        "episodes": agg.episodes,
+        "protocol": spec.protocol,
+        "mobility": spec.mobility,
+        "attackers": attacker_counts,
+        "arrival_ms": spec.arrival_ms,
+        "mean_degree": round(mean_degree, 2),
+        "largest_component_fraction": round(component_fraction, 4),
+        "warnings": warnings,
+        "topology_seconds": round(topology_seconds, 4),
+        "wall_seconds": round(wall_s, 4),
+        "episodes_per_wall_sec": round(agg.episodes / wall_s, 2) if wall_s > 0 else 0.0,
+        "episodes_per_sim_sec": round(agg.episodes_per_sim_sec, 2),
+        "sim_duration_ms": agg.sim_duration_ms,
+        "matches": agg.matches,
+        "latency_p50_ms": agg.latency_p50_ms,
+        "latency_p95_ms": agg.latency_p95_ms,
+        "total_bytes": agg.total.total_bytes,
+        "nodes_reached": agg.total.nodes_reached,
+        "replies": agg.total.replies,
+        "rejected_replies": rejected,
+        "topology_refreshes": result.topology_refreshes,
+    }
+
+
+def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str:
+    """Render the sweep's records as a self-contained markdown report."""
+    columns = [
+        ("scenario", "scenario"),
+        ("nodes", "nodes"),
+        ("protocol", "proto"),
+        ("mobility", "mobility"),
+        ("episodes", "episodes"),
+        ("matches", "matches"),
+        ("episodes_per_sim_sec", "ep/sim-s"),
+        ("latency_p50_ms", "p50 ms"),
+        ("latency_p95_ms", "p95 ms"),
+        ("total_bytes", "bytes"),
+        ("topology_seconds", "topo s"),
+        ("wall_seconds", "wall s"),
+    ]
+    lines = [
+        f"# Experiment report: {plan_name}",
+        "",
+        f"{len(records)} scenario(s). Latencies are simulated milliseconds; "
+        "throughput is episodes per simulated second; `topo s`/`wall s` are "
+        "wall-clock build and run times.",
+        "",
+        "| " + " | ".join(label for _, label in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for record in records:
+        cells = []
+        for key, _ in columns:
+            value = record.get(key, "")
+            cells.append(f"{value:g}" if isinstance(value, float) else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    for record in records:
+        attackers = {k: v for k, v in record.get("attackers", {}).items() if v}
+        lines.append(
+            f"- **{record['scenario']}** — {record['nodes_reached']} nodes reached, "
+            f"{record['replies']} replies ({record['rejected_replies']} rejected), "
+            f"{record['topology_refreshes']} topology refreshes, "
+            f"mean degree {record['mean_degree']}"
+            + (f", attackers {attackers}" if attackers else "")
+            + "."
+        )
+        for warning in record.get("warnings", []):
+            lines.append(f"  - ⚠️ {warning}")
+    lines.append("")
+    lines.append("<details><summary>Full JSON records</summary>")
+    lines.append("")
+    lines.append("```json")
+    lines.append(json.dumps(records, indent=2))
+    lines.append("```")
+    lines.append("")
+    lines.append("</details>")
+    return "\n".join(lines) + "\n"
+
+
+def run_plan(
+    source: str | Path | Mapping[str, Any],
+    out_dir: str | Path,
+    *,
+    echo=None,
+) -> tuple[Path, Path, list[dict[str, Any]]]:
+    """Run every scenario in a plan; write the JSON + markdown artifacts.
+
+    Returns ``(json_path, markdown_path, records)``.  *echo*, when given,
+    receives one progress line per scenario.
+    """
+    plan = load_plan(source)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    records = []
+    for spec in plan.specs:
+        record = run_scenario(spec)
+        records.append(record)
+        if echo is not None:
+            echo(
+                f"[{len(records)}/{len(plan.specs)}] {spec.name}: "
+                f"{record['matches']} matches, "
+                f"{record['episodes_per_sim_sec']} ep/sim-s, "
+                f"{record['wall_seconds']}s wall"
+            )
+            for warning in record["warnings"]:
+                echo(f"    warning: {warning}")
+    safe_name = plan.name.replace("/", "_")
+    json_path = out / f"{safe_name}.json"
+    md_path = out / f"{safe_name}.md"
+    json_path.write_text(json.dumps({"plan": plan.name, "records": records}, indent=2))
+    md_path.write_text(render_markdown_report(plan.name, records))
+    return json_path, md_path, records

@@ -2,10 +2,12 @@
 
 Installed as ``sealed-bottle`` (see pyproject).  Subcommands:
 
-- ``demo``        one friending exchange, verbose.
-- ``population``  generate a calibrated population and print its statistics.
-- ``simulate``    run a friending episode over a simulated MANET.
-- ``tables``      regenerate the measured PPL tables (I and II).
+- ``demo``         one friending exchange, verbose.
+- ``population``   generate a calibrated population and print its statistics.
+- ``simulate``     run a friending episode over a simulated MANET.
+- ``tables``       regenerate the measured PPL tables (I and II).
+- ``experiments``  run a config-driven ScenarioSpec sweep
+  (``experiments run spec.json``); see ``docs/experiments.md``.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import argparse
 import random
 import sys
 
+from repro.analysis.experiments import SpecError, run_plan
 from repro.analysis.ppl import evaluate_hbc_table, evaluate_malicious_table
 from repro.analysis.reporting import render_series, render_table
 from repro.core.attributes import Profile, RequestProfile
@@ -63,6 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("tables", help="regenerate measured PPL tables I and II")
+
+    experiments = sub.add_parser(
+        "experiments", help="config-driven scenario sweeps (docs/experiments.md)"
+    )
+    exp_sub = experiments.add_subparsers(dest="experiments_command", required=True)
+    run_parser = exp_sub.add_parser(
+        "run", help="run every scenario in a JSON spec; write JSON + markdown artifacts"
+    )
+    run_parser.add_argument("spec", help="path to the ScenarioSpec / sweep-plan JSON file")
+    run_parser.add_argument(
+        "--out-dir", default="results",
+        help="directory for the JSON artifact and markdown report (default: results/)",
+    )
     return parser
 
 
@@ -77,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "tables":
         return _cmd_tables()
+    if args.command == "experiments":
+        return _cmd_experiments(args)
     return 2  # pragma: no cover -- argparse enforces the choices
 
 
@@ -222,6 +240,28 @@ def _cmd_simulate(args) -> int:
         ["episode", "initiator", "start ms", "done ms", "matches"],
         rows,
     ))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    try:
+        json_path, md_path, records = run_plan(args.spec, args.out_dir, echo=print)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(render_table(
+        f"experiment sweep ({len(records)} scenario(s))",
+        ["scenario", "nodes", "proto", "matches", "ep/sim-s", "p95 ms", "bytes"],
+        [
+            [r["scenario"], r["nodes"], r["protocol"], r["matches"],
+             r["episodes_per_sim_sec"], r["latency_p95_ms"], r["total_bytes"]]
+            for r in records
+        ],
+    ))
+    print()
+    print(f"wrote {json_path}")
+    print(f"wrote {md_path}")
     return 0
 
 

@@ -188,6 +188,13 @@ def process_request(
     Accepts either a raw :class:`Profile` (hashed on the fly) or a cached
     :class:`ParticipantVector` -- the paper notes that sorting/hashing are
     computed once per profile and reused until attributes change.
+
+    Deterministic: the outcome (candidacy, recovered vectors/keys, ``x``)
+    is a pure function of the profile, the package bytes and the budget;
+    no clock or RNG is consulted, so replaying a package yields an
+    identical :class:`MatchOutcome`.  Expiry is *not* checked here -- time
+    (simulated ms) enters only at the protocol layer
+    (``Participant.handle_request``).
     """
     if isinstance(profile, Profile):
         vector = ParticipantVector.from_profile(profile, binding=binding, counter=counter)

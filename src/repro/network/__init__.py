@@ -17,14 +17,18 @@ from repro.network.events import (
 )
 from repro.network.metrics import AggregateMetrics, NetworkMetrics, percentile
 from repro.network.topology import (
+    SpatialGrid,
+    city_topology,
     complete_topology,
     grid_topology,
     line_topology,
+    naive_adjacency,
+    proximity_adjacency,
     random_geometric_topology,
 )
 from repro.network.simulator import AdHocNetwork, FriendingResult, Node, RateLimiter
 from repro.network.engine import EngineResult, EpisodeResult, EpisodeSpec, FriendingEngine
-from repro.network.mobility import RandomWaypoint
+from repro.network.mobility import RandomWaypoint, StaticPlacement
 from repro.network.scenario import MobileScenario, ScenarioSummary, SearchReport
 
 __all__ = [
@@ -46,10 +50,15 @@ __all__ = [
     "ReplyHopEvent",
     "ScenarioSummary",
     "SearchReport",
+    "SpatialGrid",
+    "StaticPlacement",
     "TopologyRefreshEvent",
+    "city_topology",
     "complete_topology",
     "grid_topology",
     "line_topology",
+    "naive_adjacency",
     "percentile",
+    "proximity_adjacency",
     "random_geometric_topology",
 ]

@@ -43,7 +43,12 @@ __all__ = ["EpisodeSpec", "EpisodeResult", "EngineResult", "FriendingEngine"]
 
 @dataclass(frozen=True)
 class EpisodeSpec:
-    """One episode to schedule: who initiates, from where, and when."""
+    """One episode to schedule: who initiates, from where, and when.
+
+    ``start_ms`` is simulated milliseconds on the engine's shared clock;
+    the episode's request package is created (and its validity window
+    anchored) at that instant.
+    """
 
     initiator_node: str
     initiator: Initiator
@@ -101,6 +106,15 @@ class _Episode:
 class FriendingEngine:
     """Schedules overlapping friending episodes over one `AdHocNetwork`.
 
+    All times are simulated milliseconds (``start_ms``, ``until_ms``,
+    latencies, refresh intervals); aggregate throughput is reported in
+    episodes per simulated second.  Wall-clock time never enters the
+    simulation, so a run is deterministic given seeded initiator and
+    participant RNGs: the same specs over the same network produce
+    bit-identical event orders, metrics and match sets, and N overlapping
+    episodes match N isolated runs episode-for-episode
+    (``tests/network/test_engine.py::TestDeterminism``).
+
     Parameters
     ----------
     network:
@@ -108,8 +122,11 @@ class FriendingEngine:
     mobility / radio_radius / refresh_interval_ms:
         When all three are given, the engine steps *mobility* every
         *refresh_interval_ms* of simulated time and rewires the network
-        from a unit-disk snapshot at *radio_radius* -- episodes launched
-        before a refresh finish flooding over the new links.
+        from a unit-disk snapshot at *radio_radius* (unit-square widths) --
+        episodes launched before a refresh finish flooding over the new
+        links.  Models exposing ``topology_delta`` (the grid-backed ones in
+        :mod:`repro.network.mobility`) are refreshed incrementally: only
+        the adjacency rows disturbed by motion are rewired.
     """
 
     def __init__(
@@ -307,7 +324,18 @@ class FriendingEngine:
 
     def _on_topology_refresh(self, event: TopologyRefreshEvent) -> None:
         self.mobility.step(event.interval_ms / 1000)
-        self.network.update_topology(self.mobility.snapshot_topology(self.radio_radius))
+        # Prefer the incremental path: a grid-backed model hands back only
+        # the adjacency rows the motion actually changed, so a refresh in a
+        # 10k-node city costs O(moved neighbourhoods), not an O(n²) rescan.
+        delta = getattr(self.mobility, "topology_delta", None)
+        if delta is not None:
+            changed = delta(self.radio_radius)
+            if changed:
+                self.network.update_topology(changed)
+        else:
+            self.network.update_topology(
+                self.mobility.snapshot_topology(self.radio_radius)
+            )
         self.topology_refreshes += 1
         # Re-arm only while episode work is still in flight and the horizon
         # allows: the queue must drain once the last flood/reply settles.

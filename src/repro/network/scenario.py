@@ -151,7 +151,9 @@ class MobileScenario:
         floods each request through a unit-disk MANET snapshot via the
         concurrent engine, so requests compete for the same relays and a
         vicinity search can also fail simply because the flood never
-        reached a nearby phone.
+        reached a nearby phone.  The snapshot is served by the mobility
+        model's spatial grid, so city-scale populations stay O(n · k)
+        rather than all-pairs.  Deterministic for the scenario's seed.
         """
         from repro.core.protocols import Initiator
         from repro.network.engine import FriendingEngine

@@ -103,15 +103,24 @@ class FriendingResult:
 class AdHocNetwork:
     """A static-snapshot MANET running the sealed-bottle protocols.
 
+    All latency parameters are simulated milliseconds; nothing here reads
+    the wall clock, so runs over this network are deterministic given
+    seeded participant/initiator RNGs.  The node set is fixed at
+    construction; :meth:`update_topology` rewires links (fully or
+    partially) without touching per-request flood state, which is how the
+    engine applies mid-run mobility refreshes.
+
     Parameters
     ----------
     adjacency:
-        Node id → neighbour ids (from :mod:`repro.network.topology`).
+        Node id → neighbour ids (from :mod:`repro.network.topology` or a
+        mobility model snapshot).
     participants:
         Node id → :class:`~repro.core.protocols.Participant` (the initiator
-        node may map to None).
+        node may map to None; a None participant relays but never replies).
     hop_latency_ms / processing_latency_ms:
-        Per-hop radio latency and per-node processing delay.
+        Per-hop radio latency and per-node processing delay, in simulated
+        milliseconds.
     """
 
     def __init__(
@@ -147,8 +156,11 @@ class AdHocNetwork:
     def update_topology(self, adjacency: dict[str, list[str]]) -> None:
         """Swap neighbour lists mid-run (mobility refresh); state is kept.
 
-        Only nodes present at construction are rewired; a refresh cannot
-        add or remove nodes.
+        *adjacency* may be partial: only the listed nodes are rewired,
+        which is what the grid-backed mobility models exploit by handing
+        over just the rows that motion changed (``topology_delta``).  Only
+        nodes present at construction are rewired; a refresh cannot add or
+        remove nodes.
         """
         unknown = set(adjacency) - set(self.nodes)
         if unknown:

@@ -1,0 +1,213 @@
+"""ScenarioSpec parsing, sweep expansion and the experiment runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import (
+    ScenarioSpec,
+    SpecError,
+    load_plan,
+    render_markdown_report,
+    run_plan,
+    run_scenario,
+)
+
+TINY = {
+    "name": "tiny",
+    "nodes": 40,
+    "episodes": 2,
+    "radio_radius": 0.25,
+    "communities": 2,
+    "seed": 7,
+}
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec()
+        assert spec.protocol == 2
+        assert spec.arrival_ms == 50
+
+    def test_bad_protocol_id(self):
+        with pytest.raises(SpecError, match="protocol"):
+            ScenarioSpec.from_dict({**TINY, "protocol": 9})
+
+    def test_negative_arrival_rate(self):
+        with pytest.raises(SpecError, match="arrival_rate_per_s"):
+            ScenarioSpec.from_dict({**TINY, "arrival_rate_per_s": -5.0})
+
+    def test_zero_arrival_rate(self):
+        with pytest.raises(SpecError, match="arrival_rate_per_s"):
+            ScenarioSpec.from_dict({**TINY, "arrival_rate_per_s": 0})
+
+    def test_unknown_mobility_model(self):
+        with pytest.raises(SpecError, match="unknown mobility model"):
+            ScenarioSpec.from_dict({**TINY, "mobility": "levy_flight"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec field"):
+            ScenarioSpec.from_dict({**TINY, "warp_speed": True})
+
+    def test_refresh_requires_waypoint_mobility(self):
+        with pytest.raises(SpecError, match="refresh_interval_ms"):
+            ScenarioSpec.from_dict(
+                {**TINY, "mobility": "static", "refresh_interval_ms": 100}
+            )
+
+    def test_unknown_attacker_kind(self):
+        with pytest.raises(SpecError, match="unknown attacker kind"):
+            ScenarioSpec.from_dict({**TINY, "attackers": {"mind_control": 0.1}})
+
+    def test_attacker_fraction_bounds(self):
+        with pytest.raises(SpecError, match="fraction"):
+            ScenarioSpec.from_dict({**TINY, "attackers": {"cheating": 1.5}})
+        with pytest.raises(SpecError, match="sum"):
+            ScenarioSpec.from_dict(
+                {**TINY, "attackers": {"cheating": 0.7, "flooder": 0.7}}
+            )
+
+    def test_episodes_capped_by_nodes(self):
+        with pytest.raises(SpecError, match="episodes"):
+            ScenarioSpec.from_dict({**TINY, "episodes": 1000})
+
+    def test_radio_radius_bounds(self):
+        with pytest.raises(SpecError, match="radio_radius"):
+            ScenarioSpec.from_dict({**TINY, "radio_radius": 0})
+        with pytest.raises(SpecError, match="radio_radius"):
+            ScenarioSpec.from_dict({**TINY, "radio_radius": 2.0})
+
+    def test_arrival_ms_from_rate(self):
+        spec = ScenarioSpec.from_dict({**TINY, "arrival_rate_per_s": 40})
+        assert spec.arrival_ms == 25
+        # Very high rates clamp to the 1 ms event-queue resolution.
+        assert ScenarioSpec.from_dict(
+            {**TINY, "arrival_rate_per_s": 5000}
+        ).arrival_ms == 1
+
+
+class TestPlanLoading:
+    def test_single_spec(self):
+        plan = load_plan(TINY)
+        assert plan.name == "tiny"
+        assert len(plan.specs) == 1
+
+    def test_sweep_expands_cartesian_product(self):
+        plan = load_plan({
+            "name": "grid",
+            "base": TINY,
+            "sweep": {"protocol": [1, 2, 3], "mobility": ["static", "random_waypoint"]},
+        })
+        assert len(plan.specs) == 6
+        names = [s.name for s in plan.specs]
+        assert len(set(names)) == 6
+        assert all(name.startswith("grid/") for name in names)
+
+    def test_sweep_values_must_be_lists(self):
+        with pytest.raises(SpecError, match="non-empty JSON list"):
+            load_plan({"name": "x", "base": TINY, "sweep": {"protocol": 2}})
+
+    def test_unsweepable_field_rejected(self):
+        with pytest.raises(SpecError, match="cannot sweep"):
+            load_plan({"name": "x", "base": TINY, "sweep": {"name": ["a", "b"]}})
+
+    def test_swept_values_are_validated(self):
+        with pytest.raises(SpecError, match="protocol"):
+            load_plan({"name": "x", "base": TINY, "sweep": {"protocol": [1, 9]}})
+
+    def test_missing_file(self):
+        with pytest.raises(SpecError, match="not found"):
+            load_plan("/nonexistent/spec.json")
+
+    def test_invalid_json_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SpecError, match="not valid JSON"):
+            load_plan(bad)
+
+
+class TestRunScenario:
+    def test_record_shape_matches_throughput_bench(self):
+        record = run_scenario(ScenarioSpec.from_dict(TINY))
+        # The keys bench_engine_throughput.py's PERF_RECORD also carries.
+        for key in (
+            "nodes", "episodes", "wall_seconds", "episodes_per_wall_sec",
+            "episodes_per_sim_sec", "sim_duration_ms", "matches",
+            "latency_p50_ms", "latency_p95_ms", "total_bytes",
+        ):
+            assert key in record, f"missing bench-compatible key {key}"
+        assert record["nodes"] == 40
+        assert record["episodes"] == 2
+        assert record["matches"] > 0  # dense tiny city: communities must meet
+
+    def test_deterministic_given_seed(self):
+        sim_keys = (
+            "matches", "sim_duration_ms", "nodes_reached", "replies",
+            "latency_p50_ms", "latency_p95_ms",
+        )
+        a = run_scenario(ScenarioSpec.from_dict(TINY))
+        b = run_scenario(ScenarioSpec.from_dict(TINY))
+        assert {k: a[k] for k in sim_keys} == {k: b[k] for k in sim_keys}
+
+    def test_attackers_cost_traffic_but_never_match(self):
+        honest = run_scenario(ScenarioSpec.from_dict(TINY))
+        attacked = run_scenario(ScenarioSpec.from_dict(
+            {**TINY, "attackers": {"cheating": 0.3, "flooder": 0.1}}
+        ))
+        assert attacked["attackers"]["cheating"] > 0
+        assert attacked["attackers"]["flooder"] > 0
+        assert attacked["rejected_replies"] > honest["rejected_replies"]
+        # Forged replies are rejected by the ACK / cardinality checks, so
+        # replacing honest nodes can only lose matches, never invent them.
+        assert attacked["matches"] <= honest["matches"]
+
+    def test_fragmented_network_is_flagged(self):
+        # Radio radius far below the connectivity threshold: the record
+        # must carry a loud warning instead of a silent zero-metric run.
+        record = run_scenario(ScenarioSpec.from_dict(
+            {**TINY, "radio_radius": 0.01}
+        ))
+        assert record["largest_component_fraction"] < 0.9
+        assert any("fragmented" in w for w in record["warnings"])
+
+    def test_healthy_network_has_no_warnings(self):
+        record = run_scenario(ScenarioSpec.from_dict(TINY))
+        assert record["warnings"] == []
+        assert record["largest_component_fraction"] > 0.9
+        assert record["mean_degree"] > 0
+
+    def test_mobile_scenario_refreshes_topology(self):
+        record = run_scenario(ScenarioSpec.from_dict({
+            **TINY,
+            "mobility": "random_waypoint",
+            "refresh_interval_ms": 20,
+        }))
+        assert record["topology_refreshes"] > 0
+
+
+class TestRunPlan:
+    def test_writes_json_and_markdown_artifacts(self, tmp_path):
+        json_path, md_path, records = run_plan(
+            {"name": "artifacts", "base": TINY, "sweep": {"protocol": [1, 2]}},
+            tmp_path,
+        )
+        assert json_path.exists() and md_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["plan"] == "artifacts"
+        assert len(payload["records"]) == len(records) == 2
+        report = md_path.read_text()
+        assert "# Experiment report: artifacts" in report
+        assert "| scenario |" in report
+        for record in records:
+            assert record["scenario"] in report
+
+    def test_markdown_report_lists_every_scenario(self):
+        records = [
+            run_scenario(ScenarioSpec.from_dict({**TINY, "name": f"s{i}"}))
+            for i in range(2)
+        ]
+        report = render_markdown_report("demo", records)
+        assert report.count("| s") >= 2
+        assert "```json" in report

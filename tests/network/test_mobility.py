@@ -6,7 +6,8 @@ import math
 
 import pytest
 
-from repro.network.mobility import RandomWaypoint
+from repro.network.mobility import RandomWaypoint, StaticPlacement
+from repro.network.topology import naive_adjacency
 
 NODES = [f"n{i}" for i in range(10)]
 
@@ -87,3 +88,90 @@ class TestTopologySnapshots:
         model.step(20.0)
         second = model.snapshot_topology(0.25)
         assert first != second
+
+
+class TestGridSnapshots:
+    """The grid-backed snapshot must be indistinguishable from brute force."""
+
+    def test_first_snapshot_equals_naive(self):
+        model = RandomWaypoint(NODES, seed=21)
+        assert model.snapshot_topology(0.3) == naive_adjacency(model.positions(), 0.3)
+
+    def test_incremental_snapshots_track_motion(self):
+        model = RandomWaypoint(NODES, seed=22, pause_s=0.0, max_speed=0.2)
+        model.snapshot_topology(0.25)  # prime the grid
+        for _ in range(12):
+            model.step(1.5)
+            assert model.snapshot_topology(0.25) == naive_adjacency(
+                model.positions(), 0.25
+            ), "incremental refresh diverged from the all-pairs reference"
+
+    def test_radius_change_rebuilds(self):
+        model = RandomWaypoint(NODES, seed=23)
+        model.snapshot_topology(0.2)
+        assert model.snapshot_topology(0.4) == naive_adjacency(model.positions(), 0.4)
+
+    def test_snapshot_is_a_private_copy(self):
+        model = RandomWaypoint(NODES, seed=24)
+        first = model.snapshot_topology(0.3)
+        first[NODES[0]].append("poison")
+        assert "poison" not in model.snapshot_topology(0.3)[NODES[0]]
+
+
+class TestTopologyDelta:
+    def test_first_delta_is_full(self):
+        model = RandomWaypoint(NODES, seed=30)
+        delta = model.topology_delta(0.3)
+        assert set(delta) == set(NODES)
+
+    def test_no_motion_no_delta(self):
+        model = RandomWaypoint(NODES, seed=31)
+        model.topology_delta(0.3)
+        assert model.topology_delta(0.3) == {}
+
+    def test_delta_patches_to_full_snapshot(self):
+        """Applying successive deltas reproduces every full snapshot."""
+        model = RandomWaypoint(NODES, seed=32, pause_s=0.0, max_speed=0.2)
+        shadow = RandomWaypoint(NODES, seed=32, pause_s=0.0, max_speed=0.2)
+        view = model.topology_delta(0.25)
+        for _ in range(8):
+            model.step(1.0)
+            shadow.step(1.0)
+            view.update(model.topology_delta(0.25))
+            assert view == shadow.snapshot_topology(0.25)
+
+    def test_delta_rows_changed_only(self):
+        model = RandomWaypoint(NODES, seed=33, pause_s=0.0)
+        before = model.snapshot_topology(0.25)
+        model.step(0.05)  # tiny step: most neighbour lists survive
+        delta = model.topology_delta(0.25)
+        for node, row in delta.items():
+            assert row != before[node], f"{node} reported unchanged row in delta"
+
+
+class TestStaticPlacement:
+    def test_positions_fixed_and_in_unit_square(self):
+        model = StaticPlacement(NODES, seed=40)
+        before = model.positions()
+        model.step(100.0)
+        assert model.positions() == before
+        for x, y in before.values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_deterministic_with_seed(self):
+        assert StaticPlacement(NODES, seed=41).positions() == StaticPlacement(
+            NODES, seed=41
+        ).positions()
+
+    def test_snapshot_matches_naive_and_delta_empties(self):
+        model = StaticPlacement(NODES, seed=42)
+        # Cold cache: the first delta is the full adjacency.
+        assert set(model.topology_delta(0.3)) == set(NODES)
+        assert model.snapshot_topology(0.3) == naive_adjacency(model.positions(), 0.3)
+        model.step(50.0)  # static: time passes, nothing moves
+        assert model.topology_delta(0.3) == {}
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            StaticPlacement(NODES, seed=43).step(-1.0)

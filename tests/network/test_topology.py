@@ -1,13 +1,22 @@
-"""Topology generator tests."""
+"""Topology generator and spatial-index tests."""
 
 from __future__ import annotations
 
+import math
+
 import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.network.topology import (
+    SpatialGrid,
+    city_topology,
     complete_topology,
     grid_topology,
     line_topology,
+    naive_adjacency,
+    proximity_adjacency,
     random_geometric_topology,
 )
 
@@ -79,3 +88,104 @@ class TestComplete:
         for node, neighbours in adjacency.items():
             assert len(neighbours) == 5
             assert node not in neighbours
+
+
+class TestSpatialGrid:
+    def test_insert_query_within_radius(self):
+        grid = SpatialGrid(0.25)
+        grid.insert("a", 0.5, 0.5)
+        grid.insert("b", 0.6, 0.5)
+        grid.insert("c", 0.9, 0.9)
+        assert grid.neighbors_within("a") == ["b"]
+        assert set(grid.query(0.55, 0.5)) == {"a", "b"}
+
+    def test_duplicate_insert_rejected(self):
+        grid = SpatialGrid(0.1)
+        grid.insert("a", 0.5, 0.5)
+        with pytest.raises(ValueError):
+            grid.insert("a", 0.1, 0.1)
+
+    def test_move_rebuckets_and_reports_cells(self):
+        grid = SpatialGrid(0.1)
+        grid.insert("a", 0.05, 0.05)
+        old, new = grid.move("a", 0.95, 0.95)
+        assert old != new
+        assert grid.position("a") == (0.95, 0.95)
+        assert grid.cell_of("a") == new
+
+    def test_move_within_cell_keeps_bucket(self):
+        grid = SpatialGrid(0.5)
+        grid.insert("a", 0.1, 0.1)
+        old, new = grid.move("a", 0.2, 0.2)
+        assert old == new
+
+    def test_nearest_is_exact(self):
+        # "b" sits in a farther ring than "c" but is closer in distance --
+        # the ring search must not stop at the first occupied ring.
+        grid = SpatialGrid(0.1)
+        grid.insert("far", 0.95, 0.95)
+        grid.insert("b", 0.31, 0.005)
+        grid.insert("c", 0.15, 0.25)
+        node, dist = grid.nearest(0.05, 0.0)
+        assert node == "b"
+        assert dist == pytest.approx(math.hypot(0.31 - 0.05, 0.005))
+
+    def test_nearest_empty_grid(self):
+        assert SpatialGrid(0.1).nearest(0.5, 0.5) is None
+
+    def test_zero_radius_connects_only_colocated(self):
+        grid = SpatialGrid(0.0)
+        grid.insert("a", 0.5, 0.5)
+        grid.insert("b", 0.5, 0.5)
+        grid.insert("c", 0.500001, 0.5)
+        assert grid.neighbors_within("a") == ["b"]
+
+
+class TestGridVsNaiveEquivalence:
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=40,
+        ),
+        radius=st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_grid_equals_naive(self, points, radius):
+        """Property: grid adjacency is list-for-list the all-pairs result."""
+        positions = {f"n{i}": p for i, p in enumerate(points)}
+        assert proximity_adjacency(positions, radius) == naive_adjacency(positions, radius)
+
+    def test_equivalence_at_scale(self):
+        _, positions = city_topology(800, 0.05, seed=3, connect=False)
+        assert proximity_adjacency(positions, 0.05) == naive_adjacency(positions, 0.05)
+
+
+class TestCityTopology:
+    def test_connected_by_default(self):
+        adjacency, _ = city_topology(300, 0.05, seed=4)
+        assert _is_connected(adjacency)
+
+    def test_symmetric_edges(self):
+        adjacency, _ = city_topology(150, 0.08, seed=5)
+        for node, neighbours in adjacency.items():
+            for other in neighbours:
+                assert node in adjacency[other]
+
+    def test_positions_in_unit_square(self):
+        _, positions = city_topology(50, 0.1, seed=6)
+        for x, y in positions.values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_deterministic_with_seed(self):
+        assert city_topology(120, 0.07, seed=9) == city_topology(120, 0.07, seed=9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            city_topology(-1, 0.1)
+        with pytest.raises(ValueError):
+            city_topology(10, -0.1)

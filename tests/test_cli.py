@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -69,3 +71,38 @@ class TestConcurrentSimulate:
 
     def test_too_many_episodes_rejected(self, capsys):
         assert main(["simulate", "--nodes", "5", "--episodes", "50"]) == 2
+
+
+class TestExperiments:
+    SPEC = {
+        "name": "cli-tiny",
+        "nodes": 30,
+        "episodes": 2,
+        "radio_radius": 0.3,
+        "communities": 2,
+        "seed": 3,
+    }
+
+    def test_run_writes_artifacts(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        out_dir = tmp_path / "results"
+        assert main(["experiments", "run", str(spec_path), "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment sweep" in out
+        assert (out_dir / "cli-tiny.json").exists()
+        assert (out_dir / "cli-tiny.md").exists()
+
+    def test_bad_spec_is_a_clean_error(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({**self.SPEC, "protocol": 9}))
+        assert main(["experiments", "run", str(spec_path)]) == 2
+        assert "protocol" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["experiments", "run", "/no/such/spec.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_run_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments"])

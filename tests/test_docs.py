@@ -1,0 +1,27 @@
+"""Documentation health: the docs tree exists and intra-repo links resolve.
+
+CI's docs job runs ``tools/check_links.py`` directly; this mirror keeps
+the check in the tier-1 suite so a broken link fails locally too.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_tree_exists():
+    for page in ("architecture.md", "protocols.md", "experiments.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"
+
+
+def test_intra_repo_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_links.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in README.md and docs/*.md.
+
+Scans markdown inline links (``[text](target)``) and reference
+definitions (``[label]: target``), ignores external schemes
+(http/https/mailto) and pure-anchor links, strips ``#fragment`` suffixes,
+and verifies every remaining target exists relative to the file that
+links to it.  Exit code 1 lists every broken link.
+
+Run from the repo root (CI's docs job does):  python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_RE = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks: example paths in them are not links."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return 'file: target' entries for every broken link in *path*."""
+    text = _strip_code_blocks(path.read_text())
+    broken = []
+    targets = LINK_RE.findall(text) + REF_RE.findall(text)
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            broken.append(f"{path}: {target}")
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    broken: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            broken.append(f"missing documentation file: {path}")
+            continue
+        checked += 1
+        broken.extend(check_file(path))
+    if broken:
+        print("broken intra-repo links:", file=sys.stderr)
+        for entry in broken:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"checked {checked} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
