@@ -39,6 +39,7 @@ from typing import Any, Mapping
 
 from repro.core.attributes import Profile, RequestProfile
 from repro.core.protocols import Initiator, Participant, Reply
+from repro.crypto.backend import available_backends, use_backend
 from repro.network.engine import FriendingEngine
 from repro.network.mobility import RandomWaypoint, StaticPlacement
 from repro.network.simulator import AdHocNetwork
@@ -61,7 +62,7 @@ ATTACKER_KINDS = ("cheating", "flooder")
 _SWEEPABLE = (
     "nodes", "protocol", "episodes", "arrival_rate_per_s", "mobility",
     "radio_radius", "refresh_interval_ms", "communities",
-    "tags_per_community", "seed", "until_ms",
+    "tags_per_community", "seed", "until_ms", "backend", "workers",
 )
 
 
@@ -111,6 +112,15 @@ class ScenarioSpec:
         Master seed; see the module docstring for what it pins down.
     until_ms:
         Optional hard stop on the simulated clock.
+    backend:
+        Crypto backend the run measures -- ``"tables"`` (batched, the
+        default) or ``"pure"`` (the per-block reference).  Recorded in
+        the emitted JSON so perf records name the backend they measured.
+    workers:
+        Worker processes for the engine.  ``1`` runs every episode in
+        one event queue; ``> 1`` shards episodes across processes via
+        :meth:`~repro.network.engine.FriendingEngine.run_parallel`
+        (incompatible with ``refresh_interval_ms``).
     """
 
     name: str = "scenario"
@@ -126,6 +136,8 @@ class ScenarioSpec:
     tags_per_community: int = 3
     seed: int = 0
     until_ms: int | None = None
+    backend: str = "tables"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -191,6 +203,18 @@ class ScenarioSpec:
             not isinstance(self.until_ms, int) or self.until_ms <= 0
         ):
             raise SpecError(f"until_ms must be a positive integer, got {self.until_ms!r}")
+        if self.backend not in available_backends():
+            raise SpecError(
+                f"unknown crypto backend {self.backend!r}; "
+                f"choose one of {', '.join(available_backends())}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise SpecError(f"workers must be an integer >= 1, got {self.workers!r}")
+        if self.workers > 1 and self.refresh_interval_ms is not None:
+            raise SpecError(
+                "workers > 1 shards episodes across processes and cannot apply "
+                "mid-run topology refreshes; drop refresh_interval_ms or use workers=1"
+            )
 
     @property
     def arrival_ms(self) -> int:
@@ -386,7 +410,8 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
     ``benchmarks/bench_engine_throughput.py`` (``nodes``, ``episodes``,
     ``wall_seconds``, ``episodes_per_wall_sec``, ``episodes_per_sim_sec``,
     ``sim_duration_ms``, ``matches``, ``latency_p50_ms``,
-    ``latency_p95_ms``, ``total_bytes``) plus scenario provenance.
+    ``latency_p95_ms``, ``total_bytes``) plus scenario provenance,
+    including the crypto ``backend`` and ``workers`` the run measured.
     """
     rng = random.Random(spec.seed)
     node_ids, participants, launches, attacker_counts = _build_population(spec, rng)
@@ -426,11 +451,15 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
     else:
         engine = FriendingEngine(network)
 
-    start = time.perf_counter()
-    result = engine.run_staggered(
-        launches, arrival_ms=spec.arrival_ms, until_ms=spec.until_ms
-    )
-    wall_s = time.perf_counter() - start
+    with use_backend(spec.backend):
+        start = time.perf_counter()
+        result = engine.run_staggered(
+            launches,
+            arrival_ms=spec.arrival_ms,
+            until_ms=spec.until_ms,
+            workers=spec.workers,
+        )
+        wall_s = time.perf_counter() - start
 
     agg = result.aggregate
     rejected = sum(len(ep.initiator.rejected) for ep in result.episodes)
@@ -442,6 +471,8 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "episodes": agg.episodes,
         "protocol": spec.protocol,
         "mobility": spec.mobility,
+        "backend": spec.backend,
+        "workers": spec.workers,
         "attackers": attacker_counts,
         "arrival_ms": spec.arrival_ms,
         "mean_degree": round(mean_degree, 2),
@@ -470,6 +501,7 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         ("nodes", "nodes"),
         ("protocol", "proto"),
         ("mobility", "mobility"),
+        ("backend", "backend"),
         ("episodes", "episodes"),
         ("matches", "matches"),
         ("episodes_per_sim_sec", "ep/sim-s"),

@@ -26,6 +26,7 @@ from repro.dataset.stats import (
     profile_collision_cdf,
     unique_profile_fraction,
 )
+from repro.crypto.backend import available_backends, use_backend
 from repro.dataset.weibo import WeiboGenerator
 from repro.network.engine import FriendingEngine
 from repro.network.simulator import AdHocNetwork
@@ -63,6 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--arrival-ms", type=int, default=50,
         help="stagger between consecutive episode starts (ms)",
+    )
+    simulate.add_argument(
+        "--backend", choices=available_backends(), default="tables",
+        help="crypto backend for the symmetric hot path (default: tables)",
+    )
+    simulate.add_argument(
+        "--workers", type=int, default=1,
+        help="shard episodes across N processes (default: 1 = one event queue)",
     )
 
     sub.add_parser("tables", help="regenerate measured PPL tables I and II")
@@ -161,6 +170,14 @@ def _prime_exceeding(n: int) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    with use_backend(args.backend):
+        return _run_simulate(args)
+
+
+def _run_simulate(args) -> int:
     rng = random.Random(args.seed)
     users = WeiboGenerator(
         n_users=args.nodes, tag_vocabulary=1_000, seed=args.seed
@@ -221,11 +238,14 @@ def _cmd_simulate(args) -> int:
         initiator_node = nodes[(i * stride) % len(nodes)]
         target = users[(i * stride + len(users) // 2) % len(users)]
         launches.append((initiator_node, initiator_for(target)))
-    result = FriendingEngine(network).run_staggered(launches, arrival_ms=args.arrival_ms)
+    result = FriendingEngine(network).run_staggered(
+        launches, arrival_ms=args.arrival_ms, workers=args.workers
+    )
 
     print(render_table(
         f"concurrent friending (n={args.nodes}, episodes={episodes}, "
-        f"arrival={args.arrival_ms}ms, protocol {args.protocol})",
+        f"arrival={args.arrival_ms}ms, protocol {args.protocol}, "
+        f"backend={args.backend}, workers={args.workers})",
         ["metric", "value"],
         [[k, v] for k, v in result.aggregate.as_dict().items() if v],
     ))

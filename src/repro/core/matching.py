@@ -33,7 +33,7 @@ from repro.core.remainder import (
     remainder_vector,
 )
 from repro.core.request import RequestPackage
-from repro.crypto.modes import decrypt_ecb, encrypt_ecb
+from repro.crypto.backend import current_backend
 
 __all__ = [
     "CONFIRMATION",
@@ -43,6 +43,7 @@ __all__ = [
     "build_request",
     "process_request",
     "seal_secret",
+    "unseal_many",
     "unseal_secret",
 ]
 
@@ -97,8 +98,9 @@ def seal_secret(key: bytes, protocol: int, x: bytes, counter: OpCounter = NULL_C
     if len(x) != SECRET_LEN:
         raise ValueError(f"x must be {SECRET_LEN} bytes")
     plaintext = (CONFIRMATION + x) if protocol == 1 else x
-    counter.add("E", len(plaintext) // 16)
-    return encrypt_ecb(key, plaintext)
+    if counter is not NULL_COUNTER:
+        counter.add("E", len(plaintext) // 16)
+    return current_backend().encrypt_ecb(key, plaintext)
 
 
 def unseal_secret(
@@ -110,14 +112,31 @@ def unseal_secret(
     confirmation verified; for Protocols 2/3 returns ``(None, x_candidate)``
     -- the caller cannot tell whether ``x_candidate`` is correct.
     """
-    counter.add("D", len(ciphertext) // 16)
-    plaintext = decrypt_ecb(key, ciphertext)
+    if counter is not NULL_COUNTER:
+        counter.add("D", len(ciphertext) // 16)
+    plaintext = current_backend().decrypt_ecb(key, ciphertext)
     if protocol == 1:
-        counter.add("CMP256")
+        if counter is not NULL_COUNTER:
+            counter.add("CMP256")
         if plaintext[: len(CONFIRMATION)] == CONFIRMATION:
             return plaintext[len(CONFIRMATION):], plaintext
         return None, plaintext
     return None, plaintext
+
+
+def unseal_many(
+    keys: list[bytes], ciphertext: bytes, counter: OpCounter = NULL_COUNTER
+) -> list[bytes]:
+    """Trial-decrypt one sealed message under every candidate key, batched.
+
+    The Protocol 2/3 participant-side hot path: every candidate profile
+    key yields *some* plausible ``x`` (no confirmation oracle), so all
+    keys must be tried.  The backend amortizes schedule lookup and the
+    round loops across the whole key set in one call.
+    """
+    if counter is not NULL_COUNTER:
+        counter.add("D", (len(ciphertext) // 16) * len(keys))
+    return current_backend().open_many(keys, ciphertext)
 
 
 def build_request(
@@ -258,7 +277,8 @@ def process_request(
             for pos, value in zip(optional_positions, recovered):
                 if values[pos] is None:
                     # Recovered hashes must agree with the published remainders.
-                    counter.add("M")
+                    if counter is not NULL_COUNTER:
+                        counter.add("M")
                     if value % package.p != package.remainders[pos]:
                         rejected = True
                         break

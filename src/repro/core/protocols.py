@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.analysis.counters import NULL_COUNTER, OpCounter
@@ -33,12 +34,13 @@ from repro.core.matching import (
     MatchOutcome,
     build_request,
     process_request,
-    unseal_secret,
+    unseal_many,
 )
 from repro.core.profile_vector import ParticipantVector
 from repro.core.remainder import EnumerationBudget
 from repro.core.request import RequestPackage
-from repro.crypto.modes import decrypt_ecb, encrypt_ecb, encrypt_ecb_under_keys
+from repro.crypto.backend import current_backend
+from repro.crypto.hashes import hmac_sha256
 
 __all__ = [
     "ACK",
@@ -49,6 +51,7 @@ __all__ = [
     "Participant",
     "build_reply_element",
     "open_reply_element",
+    "open_reply_elements",
 ]
 
 ACK = b"SEALED-BTL-ACK1"[:15]  # 15 bytes; 16th byte carries the similarity
@@ -101,8 +104,9 @@ def build_reply_element(
     if len(x_candidate) != SECRET_LEN:
         raise ValueError("x must be 32 bytes")
     plaintext = _reply_plaintext(similarity, y)
-    counter.add("E", len(plaintext) // 16)
-    return encrypt_ecb(x_candidate, plaintext)
+    if counter is not NULL_COUNTER:
+        counter.add("E", len(plaintext) // 16)
+    return current_backend().encrypt_ecb(x_candidate, plaintext)
 
 
 def open_reply_element(
@@ -116,14 +120,49 @@ def open_reply_element(
     """
     if len(element) != _REPLY_PLAINTEXT_LEN:
         return None
-    counter.add("D", len(element) // 16)
-    plaintext = decrypt_ecb(x, element)
-    counter.add("CMP256")
+    if counter is not NULL_COUNTER:
+        counter.add("D", len(element) // 16)
+    plaintext = current_backend().decrypt_ecb(x, element)
+    if counter is not NULL_COUNTER:
+        counter.add("CMP256")
     if plaintext[: len(ACK)] != ACK:
         return None
     similarity = plaintext[len(ACK)]
     y = plaintext[len(ACK) + 1 :]
     return similarity, y
+
+
+def open_reply_elements(
+    x: bytes, elements: Sequence[bytes], counter: OpCounter = NULL_COUNTER
+) -> tuple[int, bytes] | None:
+    """Open a whole acknowledge set with the true ``x`` in one batched pass.
+
+    All elements of one reply share the key, so the entire set decrypts
+    as a single buffer -- one schedule lookup and one round loop for the
+    reply instead of one per element.  Returns the first element's
+    ``(similarity, y)`` whose ACK verifies (element order is preserved,
+    matching the sequential scan it replaces), else ``None``.
+
+    *counter* records the protocol cost model of that sequential scan --
+    ``D``/``CMP256`` per element examined, stopping at the verifying one,
+    exactly what per-element :func:`open_reply_element` calls would have
+    recorded -- so Table III comparisons are unaffected by the batching
+    (the batched call itself decrypts the whole set; the over-decryption
+    beyond the verifying element is the price of one-call batching).
+    """
+    valid = [e for e in elements if len(e) == _REPLY_PLAINTEXT_LEN]
+    if not valid:
+        return None
+    opened = current_backend().decrypt_ecb(x, b"".join(valid))
+    ack_len = len(ACK)
+    for i in range(len(valid)):
+        if counter is not NULL_COUNTER:
+            counter.add("D", _REPLY_PLAINTEXT_LEN // 16)
+            counter.add("CMP256")
+        plaintext = opened[i * _REPLY_PLAINTEXT_LEN : (i + 1) * _REPLY_PLAINTEXT_LEN]
+        if plaintext[:ack_len] == ACK:
+            return plaintext[ack_len], plaintext[ack_len + 1 :]
+    return None
 
 
 class Initiator:
@@ -193,10 +232,11 @@ class Initiator:
         if len(reply.elements) > self.max_reply_elements:
             self.rejected.append(RejectedReply(reply.responder_id, "reply set too large"))
             return None
-        for element in reply.elements:
-            opened = open_reply_element(self.secret.x, element, self.counter)
-            if opened is None:
-                continue
+        # Every element of one reply is sealed under candidate keys but
+        # opened with the same true x, so the whole acknowledge set
+        # decrypts as one batched buffer.
+        opened = open_reply_elements(self.secret.x, reply.elements, self.counter)
+        if opened is not None:
             similarity, y = opened
             record = MatchRecord(
                 responder_id=reply.responder_id,
@@ -242,6 +282,13 @@ class Participant:
         self.budget_template = budget
         self.reply_min_interval_ms = reply_min_interval_ms
         self.rng = rng
+        # Seeded participants derive the per-request reply secret ``y``
+        # from one master secret via a PRF of the request id, so the
+        # bytes a participant sends for request R depend only on (seed,
+        # R) -- never on how concurrent episodes interleave.  This is
+        # what lets sharded engine runs (``FriendingEngine.run_parallel``)
+        # reproduce sequential runs byte for byte.
+        self._y_seed = rng.randbytes(SECRET_LEN) if rng is not None else None
         self.counter = counter
         # Hash/sort once and reuse until the attributes change (Sec. IV-B1).
         self.vector = ParticipantVector.from_profile(profile, binding=binding, counter=counter)
@@ -306,7 +353,7 @@ class Participant:
             if key == outcome.matched_key
         )
         similarity = len(set(self.vector.values) & set(matched_vector))
-        y = self._random_secret()
+        y = self._random_secret(package.request_id)
         element = build_reply_element(outcome.x, y, similarity, self.counter)
         self._pending_secrets.setdefault(package.request_id, []).append((outcome.x, y))
         return Reply(
@@ -332,16 +379,16 @@ class Participant:
                 self._disclosed |= exposures[i]
         if not keys:
             return None
-        y = self._random_secret()
-        x_candidates = [
-            unseal_secret(key, package.protocol, package.ciphertext, self.counter)[1]
-            for key in keys
-        ]
-        # Every element seals the same (ack, similarity=0, y) payload, one
-        # candidate key each -- the batched ECB hot path.
+        y = self._random_secret(package.request_id)
+        # Both halves of reply building are batched: the sealed message is
+        # trial-decrypted under every candidate key in one pass, and the
+        # same (ack, similarity=0, y) payload is sealed under every
+        # recovered x candidate in one pass.
+        x_candidates = unseal_many(keys, package.ciphertext, self.counter)
         plaintext = _reply_plaintext(0, y)
-        self.counter.add("E", (len(plaintext) // 16) * len(x_candidates))
-        elements = encrypt_ecb_under_keys(x_candidates, plaintext)
+        if self.counter is not NULL_COUNTER:
+            self.counter.add("E", (len(plaintext) // 16) * len(x_candidates))
+        elements = current_backend().seal_many(x_candidates, plaintext)
         self._pending_secrets.setdefault(package.request_id, []).extend(
             (x_candidate, y) for x_candidate in x_candidates
         )
@@ -371,7 +418,7 @@ class Participant:
             for x_candidate, y in self._pending_secrets.get(request_id, [])
         ]
 
-    def _random_secret(self) -> bytes:
-        if self.rng is not None:
-            return self.rng.randbytes(SECRET_LEN)
+    def _random_secret(self, request_id: bytes) -> bytes:
+        if self._y_seed is not None:
+            return hmac_sha256(self._y_seed, request_id)
         return os.urandom(SECRET_LEN)

@@ -53,7 +53,8 @@ def remainder_vector(values: Sequence[int], p: int, counter: OpCounter = NULL_CO
     """Compute ``[h mod p for h in values]`` (Eq. 4)."""
     if p < 2:
         raise ValueError("p must be a prime >= 2")
-    counter.add("M", len(values))
+    if counter is not NULL_COUNTER:
+        counter.add("M", len(values))
     return tuple(h % p for h in values)
 
 
@@ -69,7 +70,8 @@ def bucket_index(
     a prime can reuse one pass (see
     :meth:`repro.core.profile_vector.ParticipantVector.remainder_index`).
     """
-    counter.add("M", len(participant_values))
+    if counter is not NULL_COUNTER:
+        counter.add("M", len(participant_values))
     by_remainder: dict[int, list[int]] = {}
     for idx, h in enumerate(participant_values):
         by_remainder.setdefault(h % p, []).append(idx)
@@ -156,7 +158,8 @@ def is_candidate(
         for used, last in state.items():
             # Option 1: assign the smallest bucket index beyond `last`.
             if bucket:
-                counter.add("CMP256")
+                if counter is not NULL_COUNTER:
+                    counter.add("CMP256")
                 nxt = bisect_right(bucket, last)
                 if nxt < len(bucket):
                     idx = bucket[nxt]
@@ -243,7 +246,8 @@ def iter_candidates(
         start = bisect_right(bucket, last)
         feasible = bucket[start:]
         for rank, idx in enumerate(feasible):
-            counter.add("CMP256")
+            if counter is not NULL_COUNTER:
+                counter.add("CMP256")
             cost = min(rank, 1)  # first feasible pick is free, later picks deviate
             if cost <= dev_left:
                 yield from dfs(pos + 1, idx, unknowns, dev_left - cost, acc + (values[idx],))

@@ -20,10 +20,12 @@ additionally reports aggregate throughput and reply-latency percentiles.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 
 from repro.core.protocols import Initiator, MatchRecord, Reply
+from repro.crypto.backend import current_backend, set_backend
 from repro.network.events import (
     BroadcastEvent,
     EventQueue,
@@ -103,6 +105,26 @@ class _Episode:
         self.last_event_ms = spec.start_ms
 
 
+def _run_episode_shard(
+    network: AdHocNetwork,
+    indexed_specs: list[tuple[int, EpisodeSpec]],
+    until_ms: int | None,
+    backend_name: str,
+) -> tuple[list[EpisodeResult], int]:
+    """Worker-process entry point: run one shard of episodes sequentially.
+
+    *network* arrives as this process's private pickled copy, so shards
+    never share mutable state.  Episode indices are restored to their
+    position in the caller's spec list before results travel back.
+    """
+    set_backend(backend_name)
+    engine = FriendingEngine(network)
+    result = engine.run([spec for _, spec in indexed_specs], until_ms=until_ms)
+    for (original_index, _), episode in zip(indexed_specs, result.episodes):
+        episode.episode = original_index
+    return result.episodes, result.completed_at_ms
+
+
 class FriendingEngine:
     """Schedules overlapping friending episodes over one `AdHocNetwork`.
 
@@ -162,13 +184,20 @@ class FriendingEngine:
         arrival_ms: int = 50,
         start_ms: int = 0,
         until_ms: int | None = None,
+        workers: int = 1,
     ) -> EngineResult:
-        """Launch one episode per ``(node, initiator)`` pair, *arrival_ms* apart."""
+        """Launch one episode per ``(node, initiator)`` pair, *arrival_ms* apart.
+
+        *workers* > 1 shards the episodes across processes via
+        :meth:`run_parallel` instead of interleaving them in one queue.
+        """
         specs = [
             EpisodeSpec(initiator_node=node, initiator=initiator,
                         start_ms=start_ms + i * arrival_ms)
             for i, (node, initiator) in enumerate(launches)
         ]
+        if workers > 1:
+            return self.run_parallel(specs, workers=workers, until_ms=until_ms)
         return self.run(specs, until_ms=until_ms)
 
     def run(self, specs: list[EpisodeSpec], *, until_ms: int | None = None) -> EngineResult:
@@ -221,6 +250,77 @@ class FriendingEngine:
             aggregate=self._aggregate(episodes, first_start, last_episode_event),
             completed_at_ms=queue.now_ms,
             topology_refreshes=self.topology_refreshes,
+        )
+
+    def run_parallel(
+        self,
+        specs: list[EpisodeSpec],
+        *,
+        workers: int,
+        until_ms: int | None = None,
+    ) -> EngineResult:
+        """Shard episodes across *workers* processes; merge deterministically.
+
+        Episodes are dealt round-robin to worker processes; each worker
+        runs its shard through an ordinary :meth:`run` over a pickled
+        copy of the network, and the merged result restores sequential
+        episode order.  Given seeded per-episode initiator RNGs and
+        seeded per-participant RNGs, concurrent episodes in one queue
+        already equal the same episodes run in isolation
+        (``tests/network/test_engine.py::TestDeterminism``), so sharding
+        preserves results episode-for-episode: ``run_parallel(workers=4)``
+        returns the same matches, metrics and aggregate as :meth:`run`
+        (pinned by ``tests/network/test_engine_parallel.py``).
+
+        Differences from :meth:`run`:
+
+        - episode state is mutated on *worker-side copies*: the caller's
+          ``Initiator``/``Participant`` objects are untouched, and results
+          must be read from the returned :class:`EpisodeResult`\\ s;
+        - mid-run topology refresh is not supported (a refresh is a
+          cross-episode side effect, which sharding removes) -- engines
+          configured with a mobility model must use :meth:`run`;
+        - the active crypto backend's *name* is forwarded to workers, so
+          sharded runs measure the same backend as sequential ones.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mobility is not None:
+            raise ValueError(
+                "run_parallel does not support mid-run topology refresh; use run()"
+            )
+        if not specs:
+            raise ValueError("need at least one episode")
+        for spec in specs:
+            if spec.initiator_node not in self.network.nodes:
+                raise ValueError(f"unknown initiator node {spec.initiator_node!r}")
+        workers = min(workers, len(specs))
+        if workers == 1:
+            return self.run(specs, until_ms=until_ms)
+
+        indexed = list(enumerate(specs))
+        shards = [indexed[w::workers] for w in range(workers)]
+        backend_name = current_backend().name
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_episode_shard, self.network, shard, until_ms, backend_name
+                )
+                for shard in shards
+            ]
+            outputs = [future.result() for future in futures]
+
+        episodes = sorted(
+            (episode for shard_episodes, _ in outputs for episode in shard_episodes),
+            key=lambda episode: episode.episode,
+        )
+        first_start = min(spec.start_ms for spec in specs)
+        last_episode_event = max(ep.completed_at_ms for ep in episodes)
+        return EngineResult(
+            episodes=episodes,
+            aggregate=self._aggregate(episodes, first_start, last_episode_event),
+            completed_at_ms=max(completed for _, completed in outputs),
+            topology_refreshes=0,
         )
 
     # -- event handling -----------------------------------------------------

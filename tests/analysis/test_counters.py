@@ -43,3 +43,30 @@ class TestOpCounter:
     def test_null_counter_discards(self):
         NULL_COUNTER.add("H", 100)
         assert NULL_COUNTER.get("H") == 0
+
+    def test_truthiness_short_circuit_contract(self):
+        # A real counter must be truthy even when empty, the null sink
+        # falsy; hot loops use the equivalent identity compare.
+        assert OpCounter()
+        assert not NULL_COUNTER
+
+    def test_null_counter_survives_pickling_as_the_singleton(self):
+        # run_parallel ships Participants/Initiators to worker processes;
+        # the identity guard must keep holding on the other side.
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(NULL_COUNTER))
+        assert clone is NULL_COUNTER
+        holder = pickle.loads(pickle.dumps({"counter": NULL_COUNTER}))
+        assert holder["counter"] is NULL_COUNTER
+
+    def test_counts_identical_with_and_without_guard(self):
+        # The guarded pattern used in the hot loops must not change what
+        # gets recorded.
+        guarded, unguarded = OpCounter(), OpCounter()
+        for counter in (guarded, NULL_COUNTER):
+            if counter is not NULL_COUNTER:
+                counter.add("CMP256", 3)
+        unguarded.add("CMP256", 3)
+        assert guarded.as_dict() == unguarded.as_dict()
+        assert NULL_COUNTER.get("CMP256") == 0

@@ -87,6 +87,29 @@ class TestSpecValidation:
             {**TINY, "arrival_rate_per_s": 5000}
         ).arrival_ms == 1
 
+    def test_backend_defaults_and_validation(self):
+        assert ScenarioSpec().backend == "tables"
+        assert ScenarioSpec.from_dict({**TINY, "backend": "pure"}).backend == "pure"
+        with pytest.raises(SpecError, match="unknown crypto backend"):
+            ScenarioSpec.from_dict({**TINY, "backend": "openssl"})
+
+    def test_workers_validation(self):
+        assert ScenarioSpec().workers == 1
+        assert ScenarioSpec.from_dict({**TINY, "workers": 4}).workers == 4
+        with pytest.raises(SpecError, match="workers"):
+            ScenarioSpec.from_dict({**TINY, "workers": 0})
+        with pytest.raises(SpecError, match="workers"):
+            ScenarioSpec.from_dict({**TINY, "workers": 2.5})
+
+    def test_workers_incompatible_with_refresh(self):
+        with pytest.raises(SpecError, match="workers > 1"):
+            ScenarioSpec.from_dict({
+                **TINY,
+                "mobility": "random_waypoint",
+                "refresh_interval_ms": 100,
+                "workers": 2,
+            })
+
 
 class TestPlanLoading:
     def test_single_spec(self):
@@ -141,6 +164,23 @@ class TestRunScenario:
         assert record["nodes"] == 40
         assert record["episodes"] == 2
         assert record["matches"] > 0  # dense tiny city: communities must meet
+        # Perf records name the backend and worker count they measured.
+        assert record["backend"] == "tables"
+        assert record["workers"] == 1
+        assert record["spec"]["backend"] == "tables"
+
+    def test_backends_and_sharding_agree_on_results(self):
+        sim_keys = (
+            "matches", "sim_duration_ms", "nodes_reached", "replies",
+            "latency_p50_ms", "latency_p95_ms", "total_bytes",
+        )
+        baseline = run_scenario(ScenarioSpec.from_dict(TINY))
+        pure = run_scenario(ScenarioSpec.from_dict({**TINY, "backend": "pure"}))
+        sharded = run_scenario(ScenarioSpec.from_dict({**TINY, "workers": 2}))
+        assert {k: baseline[k] for k in sim_keys} == {k: pure[k] for k in sim_keys}
+        assert {k: baseline[k] for k in sim_keys} == {k: sharded[k] for k in sim_keys}
+        assert pure["backend"] == "pure"
+        assert sharded["workers"] == 2
 
     def test_deterministic_given_seed(self):
         sim_keys = (

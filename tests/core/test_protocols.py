@@ -49,6 +49,38 @@ class TestReplyElements:
     def test_wrong_size_rejected(self):
         assert open_reply_element(b"x" * 32, b"short") is None
 
+    def test_batched_open_matches_sequential_scan(self):
+        from repro.core.protocols import open_reply_elements
+
+        x, y = b"x" * 32, b"y" * 32
+        good = build_reply_element(x, y, similarity=5)
+        junk = build_reply_element(b"w" * 32, b"z" * 32, similarity=1)
+        assert open_reply_elements(x, (junk, good, junk)) == (5, y)
+        assert open_reply_elements(x, (junk, junk)) is None
+        assert open_reply_elements(x, (b"short", good)) == (5, y)
+        assert open_reply_elements(x, ()) is None
+
+    def test_batched_open_counts_like_the_sequential_scan(self):
+        """D/CMP256 record the cost model of the per-element scan it
+        replaced: elements examined up to the verifying one, not the
+        whole batched decryption."""
+        from repro.analysis.counters import OpCounter
+        from repro.core.protocols import open_reply_elements
+
+        x, y = b"x" * 32, b"y" * 32
+        good = build_reply_element(x, y, similarity=5)
+        junk = build_reply_element(b"w" * 32, b"z" * 32, similarity=1)
+
+        counter = OpCounter()
+        assert open_reply_elements(x, (good, junk, junk, junk), counter) == (5, y)
+        assert counter.get("D") == 3  # one 48-byte element examined
+        assert counter.get("CMP256") == 1
+
+        counter = OpCounter()
+        assert open_reply_elements(x, (junk, junk, good), counter) == (5, y)
+        assert counter.get("D") == 9
+        assert counter.get("CMP256") == 3
+
     def test_bad_lengths_raise(self):
         with pytest.raises(ValueError):
             build_reply_element(b"x", b"y" * 32, 0)

@@ -1,0 +1,69 @@
+"""tools/bench_record.py: PERF_RECORD extraction and trajectory appends."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import bench_record  # noqa: E402
+
+
+class TestExtract:
+    def test_extracts_only_perf_record_lines(self):
+        lines = [
+            "collecting ...\n",
+            'PERF_RECORD {"bench": "a", "speedup": 5.0}\n',
+            "1 passed\n",
+            '  PERF_RECORD {"bench": "b"}\n',  # leading whitespace tolerated
+        ]
+        records = bench_record.extract_records(lines)
+        assert [r["bench"] for r in records] == ["a", "b"]
+
+    def test_malformed_json_is_an_error(self):
+        with pytest.raises(SystemExit, match="malformed"):
+            bench_record.extract_records(["PERF_RECORD {not json}\n"])
+
+    def test_non_object_payload_is_an_error(self):
+        with pytest.raises(SystemExit, match="JSON object"):
+            bench_record.extract_records(["PERF_RECORD [1, 2]\n"])
+
+
+class TestAppend:
+    def test_creates_and_appends(self, tmp_path):
+        target = tmp_path / "BENCH_test.json"
+        assert bench_record.append_records(target, [{"bench": "x", "v": 1}]) == 1
+        assert bench_record.append_records(target, [{"bench": "y", "v": 2}]) == 1
+
+        data = json.loads(target.read_text())
+        assert data["schema"] == 1
+        assert [r["bench"] for r in data["records"]] == ["x", "y"]
+        for record in data["records"]:
+            assert "recorded_at" in record
+            assert "git_commit" in record  # may be None outside a checkout
+
+    def test_append_nothing_leaves_file_untouched(self, tmp_path):
+        target = tmp_path / "BENCH_test.json"
+        assert bench_record.append_records(target, []) == 0
+        assert not target.exists()
+
+    def test_corrupt_trajectory_is_an_error(self, tmp_path):
+        target = tmp_path / "BENCH_test.json"
+        target.write_text("[]")
+        with pytest.raises(SystemExit, match="trajectory"):
+            bench_record.append_records(target, [{"bench": "x"}])
+
+    def test_repo_trajectory_file_is_well_formed(self):
+        """The committed BENCH_crypto.json must parse under the stable schema."""
+        path = Path(__file__).resolve().parent.parent / "BENCH_crypto.json"
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert data["records"], "trajectory must hold at least one record"
+        benches = {r["bench"] for r in data["records"]}
+        assert {"crypto_aes_buffer", "crypto_open_many", "crypto_sha256_fastpath"} <= benches
+        for record in data["records"]:
+            assert "recorded_at" in record

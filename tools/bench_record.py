@@ -1,0 +1,122 @@
+"""Append benchmark PERF_RECORD output to a BENCH_*.json trajectory file.
+
+Every benchmark in ``benchmarks/`` prints one or more ``PERF_RECORD {...}``
+lines.  This tool collects them into an append-only JSON trajectory so perf
+can be tracked across commits instead of evaporating with each run:
+
+    PYTHONPATH=src python benchmarks/bench_crypto_backends.py \\
+        | python tools/bench_record.py BENCH_crypto.json
+
+Stable schema of the trajectory file::
+
+    {
+      "schema": 1,
+      "records": [
+        {"recorded_at": "<UTC ISO-8601>", "git_commit": "<short sha>|null",
+         ...benchmark record fields (always include "bench")...},
+        ...
+      ]
+    }
+
+Records are only ever appended; rewriting history is a human decision.
+The tool passes its stdin through to stdout, so it can sit in the middle
+of a pipeline without hiding the benchmark output (or its failures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+PREFIX = "PERF_RECORD "
+SCHEMA = 1
+
+
+def git_commit() -> str | None:
+    """Short commit of the measured tree, ``-dirty``-suffixed when the
+    working tree has uncommitted changes -- a record must never attribute
+    a measurement to a commit that does not contain the measured code."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None
+
+
+def extract_records(lines) -> list[dict]:
+    """Parse every ``PERF_RECORD {...}`` line into a record dict."""
+    records = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped.startswith(PREFIX):
+            continue
+        try:
+            record = json.loads(stripped[len(PREFIX):])
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"malformed PERF_RECORD line: {exc}: {stripped!r}")
+        if not isinstance(record, dict):
+            raise SystemExit(f"PERF_RECORD payload must be a JSON object: {stripped!r}")
+        records.append(record)
+    return records
+
+
+def load_trajectory(path: Path) -> dict:
+    """Read an existing trajectory file (or start a fresh one)."""
+    if not path.exists():
+        return {"schema": SCHEMA, "records": []}
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}")
+    if not isinstance(data, dict) or not isinstance(data.get("records"), list):
+        raise SystemExit(f"{path} does not look like a bench trajectory file")
+    return data
+
+
+def append_records(path: Path, records: list[dict]) -> int:
+    """Append *records* (stamped with time + commit) to *path*; return count."""
+    if not records:
+        return 0
+    trajectory = load_trajectory(path)
+    stamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    commit = git_commit()
+    for record in records:
+        trajectory["records"].append(
+            {"recorded_at": stamp, "git_commit": commit, **record}
+        )
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return len(records)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append PERF_RECORD lines from stdin to a BENCH_*.json trajectory",
+    )
+    parser.add_argument("target", help="trajectory file to append to, e.g. BENCH_crypto.json")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="do not echo stdin through to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    lines = []
+    for line in sys.stdin:
+        lines.append(line)
+        if not args.quiet:
+            sys.stdout.write(line)
+    appended = append_records(Path(args.target), extract_records(lines))
+    print(f"bench_record: appended {appended} record(s) to {args.target}", file=sys.stderr)
+    if appended == 0:
+        print("bench_record: warning: no PERF_RECORD lines found", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
