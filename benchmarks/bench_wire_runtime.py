@@ -1,0 +1,210 @@
+"""Datagram-runtime cost: codec overhead per hop and end-to-end impact.
+
+Three measurements future PRs can regress against:
+
+1. ``test_codec_microbench`` prices the per-hop codec work in isolation:
+   request-frame decode (envelope + payload), reply-frame encode/decode,
+   and the relay fast path (``reframe``: patch two routing bytes, refresh
+   the CRC).  Asserts throughput floors so a regression that makes frames
+   an order of magnitude slower fails loudly.
+2. ``test_wire_vs_object_baseline`` runs the same 20-episode scenario
+   through the bytes-on-the-wire engine and the ``wire=False``
+   object-passing baseline (the pre-datagram hot path, kept exactly for
+   this comparison), asserts the protocol outputs are byte-identical, and
+   asserts the codec's end-to-end overhead stays under
+   ``WIRE_OVERHEAD_CEILING`` (wall-clock ratio wire/objects).
+3. Both emit ``PERF_RECORD`` JSON lines for ``BENCH_crypto.json`` via
+   ``tools/bench_record.py`` (the CI perf-smoke job appends them).
+
+Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_wire_runtime.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant, Reply
+from repro.core.wire import (
+    decode_frame,
+    decode_payload,
+    encode_reply_frame,
+    encode_request_frame,
+    reframe,
+)
+from repro.crypto.backend import current_backend
+from repro.network.engine import FriendingEngine
+from repro.network.simulator import AdHocNetwork
+from repro.network.topology import random_geometric_topology
+
+N_NODES = 100
+N_EPISODES = 20
+# Wall-clock ratio (bytes-on-the-wire engine) / (object-passing baseline).
+# Locally the codec costs a few percent of an episode (crypto dominates);
+# the ceiling is generous so shared-runner noise cannot flake it, while a
+# codec catastrophe (accidental per-hop re-encode of the payload, say)
+# still trips it.
+WIRE_OVERHEAD_CEILING = float(os.environ.get("WIRE_OVERHEAD_CEILING", "1.6"))
+# Floors in frames/second; measured values are ~100x higher locally.
+DECODE_FLOOR = float(os.environ.get("WIRE_DECODE_FLOOR", "2000"))
+REFRAME_FLOOR = float(os.environ.get("WIRE_REFRAME_FLOOR", "20000"))
+
+
+def _sample_frames():
+    request = RequestProfile(
+        necessary=["tag:n"], optional=["tag:o1", "tag:o2", "tag:o3"], beta=1,
+        normalized=True,
+    )
+    initiator = Initiator(request, protocol=2, rng=random.Random(7))
+    package = initiator.create_request(now_ms=0)
+    reply = Reply(
+        request_id=package.request_id,
+        responder_id="responder-17",
+        elements=tuple(bytes([i]) * 48 for i in range(8)),
+        sent_at_ms=3,
+    )
+    return package, encode_request_frame(package), reply
+
+
+def _rate(fn, n: int) -> tuple[float, float]:
+    """(ops/sec, µs/op) for *n* calls of *fn*."""
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    elapsed = time.perf_counter() - start
+    return n / elapsed, elapsed / n * 1e6
+
+
+def test_codec_microbench():
+    """Per-hop codec costs in isolation; assert throughput floors."""
+    package, request_frame, reply = _sample_frames()
+    reply_frame = encode_reply_frame(reply, ttl=4)
+
+    decode_request_rate, decode_request_us = _rate(
+        lambda: decode_payload(decode_frame(request_frame)), 3000
+    )
+    encode_reply_rate, encode_reply_us = _rate(
+        lambda: encode_reply_frame(reply, ttl=4), 3000
+    )
+    decode_reply_rate, decode_reply_us = _rate(
+        lambda: decode_payload(decode_frame(reply_frame)), 3000
+    )
+    reframe_rate, reframe_us = _rate(
+        lambda: reframe(request_frame, ttl=3), 10000
+    )
+
+    record = {
+        "bench": "wire_codec",
+        "request_frame_bytes": len(request_frame),
+        "reply_frame_bytes": len(reply_frame),
+        "decode_request_per_sec": round(decode_request_rate),
+        "decode_request_us": round(decode_request_us, 2),
+        "encode_reply_per_sec": round(encode_reply_rate),
+        "encode_reply_us": round(encode_reply_us, 2),
+        "decode_reply_per_sec": round(decode_reply_rate),
+        "decode_reply_us": round(decode_reply_us, 2),
+        "reframe_per_sec": round(reframe_rate),
+        "reframe_us": round(reframe_us, 2),
+    }
+    print("PERF_RECORD " + json.dumps(record))
+
+    assert decode_request_rate >= DECODE_FLOOR
+    assert decode_reply_rate >= DECODE_FLOOR
+    assert reframe_rate >= REFRAME_FLOOR
+
+
+def _build_network(rng: random.Random):
+    adjacency, _ = random_geometric_topology(N_NODES, 0.18, seed=11)
+    nodes = list(adjacency)
+    participants = {}
+    for i, node in enumerate(nodes):
+        community = i % N_EPISODES
+        attrs = [f"c{community}:tag{j}" for j in range(3)] + [f"noise:{node}"]
+        participants[node] = Participant(
+            Profile(attrs, user_id=node, normalized=True), rng=rng
+        )
+    return AdHocNetwork(adjacency, participants), nodes
+
+
+def _launches(nodes):
+    launches = []
+    for episode in range(N_EPISODES):
+        request = RequestProfile(
+            necessary=[f"c{episode}:tag0"],
+            optional=[f"c{episode}:tag1", f"c{episode}:tag2"],
+            beta=1,
+            normalized=True,
+        )
+        launches.append((
+            nodes[episode * (len(nodes) // N_EPISODES)],
+            Initiator(request, protocol=2, rng=random.Random(500 + episode)),
+        ))
+    return launches
+
+
+def _fingerprints(result):
+    return [
+        (
+            ep.episode,
+            ep.completed_at_ms,
+            ep.matched_ids,
+            [(m.responder_id, m.y, m.session_key) for m in ep.matches],
+            [r.elements for r in ep.replies],
+            tuple(sorted(ep.metrics.as_dict().items())),
+        )
+        for ep in result.episodes
+    ]
+
+
+def test_wire_vs_object_baseline():
+    """End-to-end: frames vs object passing -- identical results, bounded cost."""
+    def run(wire: bool):
+        network, nodes = _build_network(random.Random(23))
+        engine = FriendingEngine(network, wire=wire)
+        start = time.perf_counter()
+        result = engine.run_staggered(_launches(nodes), arrival_ms=25)
+        return result, time.perf_counter() - start
+
+    # Warm-up interleaved with measurement: best-of-3 per arm smooths the
+    # shared-runner noise without hiding a systematic regression.
+    wire_walls, object_walls = [], []
+    for _ in range(3):
+        wire_result, wall = run(wire=True)
+        wire_walls.append(wall)
+        object_result, wall = run(wire=False)
+        object_walls.append(wall)
+
+    assert _fingerprints(wire_result) == _fingerprints(object_result), (
+        "bytes-on-the-wire engine and object baseline diverged"
+    )
+
+    wire_wall = min(wire_walls)
+    object_wall = min(object_walls)
+    overhead = wire_wall / object_wall
+    total = wire_result.aggregate.total
+    record = {
+        "bench": "wire_runtime_end_to_end",
+        "nodes": N_NODES,
+        "episodes": N_EPISODES,
+        "frames_sent": total.frames_sent,
+        "frame_bytes": total.frame_bytes,
+        "wire_wall_seconds": round(wire_wall, 4),
+        "object_wall_seconds": round(object_wall, 4),
+        "codec_overhead_ratio": round(overhead, 3),
+        "frames_per_wall_sec": round(total.frames_sent / wire_wall),
+        "backend": current_backend().name,
+    }
+    print("PERF_RECORD " + json.dumps(record))
+
+    assert total.frames_sent > 0 and total.frame_bytes > 0
+    assert overhead <= WIRE_OVERHEAD_CEILING, (
+        f"codec overhead {overhead:.2f}x exceeds ceiling {WIRE_OVERHEAD_CEILING}x"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_codec_microbench()
+    test_wire_vs_object_baseline()

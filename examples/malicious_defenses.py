@@ -75,13 +75,20 @@ def main() -> None:
               f"({initiator.rejected[-1].reason if initiator.rejected else '-'})")
 
     print()
-    print("4. Man in the middle on channel establishment")
+    print("4. Man in the middle on channel establishment (wire frames)")
+    from repro.core.wire import decode_frame, decode_payload, encode_request_frame, encode_reply_frame
+
     mitm = ManInTheMiddle()
     initiator = Initiator(request, protocol=2, rng=rng)
-    package = mitm.intercept_request(initiator.create_request(now_ms=0))
+    # The attacker sees and forwards the actual broadcast datagram.
+    request_frame = mitm.intercept_request(
+        encode_request_frame(initiator.create_request(now_ms=0))
+    )
+    package = decode_payload(decode_frame(request_frame))
     matcher = Participant(Profile(UNIVERSE[:3], user_id="match", normalized=True), rng=rng)
     genuine = matcher.handle_request(package, now_ms=1)
-    forged = mitm.substitute_reply(genuine)
+    forged_frame = mitm.substitute_reply(encode_reply_frame(genuine))
+    forged = decode_payload(decode_frame(forged_frame))
     print(f"  forged reply accepted: {initiator.handle_reply(forged, now_ms=2) is not None}")
     print(f"  genuine reply accepted: {initiator.handle_reply(genuine, now_ms=2) is not None}")
     print(f"  attacker read x: {mitm.outcome.read_x}")

@@ -40,6 +40,7 @@ from typing import Any, Mapping
 from repro.core.attributes import Profile, RequestProfile
 from repro.core.protocols import Initiator, Participant, Reply
 from repro.crypto.backend import available_backends, use_backend
+from repro.network.channel_model import ChannelModel
 from repro.network.engine import FriendingEngine
 from repro.network.mobility import RandomWaypoint, StaticPlacement
 from repro.network.simulator import AdHocNetwork
@@ -63,6 +64,8 @@ _SWEEPABLE = (
     "nodes", "protocol", "episodes", "arrival_rate_per_s", "mobility",
     "radio_radius", "refresh_interval_ms", "communities",
     "tags_per_community", "seed", "until_ms", "backend", "workers",
+    "loss_rate", "dup_rate", "reorder_rate", "corrupt_rate", "jitter_ms",
+    "retries",
 )
 
 
@@ -121,6 +124,19 @@ class ScenarioSpec:
         one event queue; ``> 1`` shards episodes across processes via
         :meth:`~repro.network.engine.FriendingEngine.run_parallel`
         (incompatible with ``refresh_interval_ms``).
+    loss_rate / dup_rate / reorder_rate / corrupt_rate / jitter_ms:
+        The per-hop :class:`~repro.network.channel_model.ChannelModel`
+        every frame passes through: probability that a transmitted frame
+        copy is lost / duplicated by the link layer / held back long
+        enough to be overtaken / has one bit flipped in flight, plus
+        uniform extra latency in ``[0, jitter_ms]`` simulated ms.  All
+        default to the perfect channel.  Channel decisions hash from
+        ``(seed, flow, link, seq)``, so a lossy run is reproducible from
+        the spec alone and sweeps stay deterministic.
+    retries:
+        Initiator-side retransmission budget: how many fresh flood waves
+        the origin may launch for a request still unanswered after the
+        engine's retransmission timeout.  ``0`` (default) is single-shot.
     """
 
     name: str = "scenario"
@@ -138,6 +154,12 @@ class ScenarioSpec:
     until_ms: int | None = None
     backend: str = "tables"
     workers: int = 1
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    jitter_ms: int = 0
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -210,6 +232,22 @@ class ScenarioSpec:
             )
         if not isinstance(self.workers, int) or self.workers < 1:
             raise SpecError(f"workers must be an integer >= 1, got {self.workers!r}")
+        for rate_field in ("loss_rate", "dup_rate", "reorder_rate", "corrupt_rate"):
+            value = getattr(self, rate_field)
+            if not isinstance(value, (int, float)) or not 0 <= value <= 1:
+                raise SpecError(
+                    f"{rate_field} must be a probability in [0, 1], got {value!r}"
+                )
+        if not isinstance(self.jitter_ms, int) or self.jitter_ms < 0:
+            raise SpecError(
+                f"jitter_ms must be a non-negative integer (simulated ms), "
+                f"got {self.jitter_ms!r}"
+            )
+        if not isinstance(self.retries, int) or not 0 <= self.retries <= 255:
+            raise SpecError(
+                f"retries must be an integer in [0, 255] (one envelope byte "
+                f"names the wave), got {self.retries!r}"
+            )
         if self.workers > 1 and self.refresh_interval_ms is not None:
             raise SpecError(
                 "workers > 1 shards episodes across processes and cannot apply "
@@ -440,16 +478,25 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
             f"radio_radius (expected degree = nodes * pi * radius^2)"
         )
 
-    network = AdHocNetwork(adjacency, participants)
+    channel = ChannelModel(
+        drop_rate=spec.loss_rate,
+        dup_rate=spec.dup_rate,
+        reorder_rate=spec.reorder_rate,
+        corrupt_rate=spec.corrupt_rate,
+        jitter_ms=spec.jitter_ms,
+        seed=spec.seed,
+    )
+    network = AdHocNetwork(adjacency, participants, channel=channel)
     if spec.refresh_interval_ms is not None:
         engine = FriendingEngine(
             network,
             mobility=mobility,
             radio_radius=spec.radio_radius,
             refresh_interval_ms=spec.refresh_interval_ms,
+            retries=spec.retries,
         )
     else:
-        engine = FriendingEngine(network)
+        engine = FriendingEngine(network, retries=spec.retries)
 
     with use_backend(spec.backend):
         start = time.perf_counter()
@@ -463,6 +510,7 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
 
     agg = result.aggregate
     rejected = sum(len(ep.initiator.rejected) for ep in result.episodes)
+    matched_episodes = sum(1 for ep in result.episodes if ep.matches)
     return {
         "bench": "experiment",
         "scenario": spec.name,
@@ -473,6 +521,12 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "mobility": spec.mobility,
         "backend": spec.backend,
         "workers": spec.workers,
+        "loss_rate": spec.loss_rate,
+        "dup_rate": spec.dup_rate,
+        "reorder_rate": spec.reorder_rate,
+        "corrupt_rate": spec.corrupt_rate,
+        "jitter_ms": spec.jitter_ms,
+        "retries": spec.retries,
         "attackers": attacker_counts,
         "arrival_ms": spec.arrival_ms,
         "mean_degree": round(mean_degree, 2),
@@ -484,12 +538,22 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "episodes_per_sim_sec": round(agg.episodes_per_sim_sec, 2),
         "sim_duration_ms": agg.sim_duration_ms,
         "matches": agg.matches,
+        "match_rate": round(matched_episodes / agg.episodes, 4) if agg.episodes else 0.0,
         "latency_p50_ms": agg.latency_p50_ms,
         "latency_p95_ms": agg.latency_p95_ms,
         "total_bytes": agg.total.total_bytes,
         "nodes_reached": agg.total.nodes_reached,
         "replies": agg.total.replies,
         "rejected_replies": rejected,
+        "frames_sent": agg.total.frames_sent,
+        "frames_dropped": agg.total.frames_dropped,
+        "frames_duplicated": agg.total.frames_duplicated,
+        "frames_corrupted": agg.total.frames_corrupted,
+        "frames_rejected": agg.total.frames_rejected,
+        "frame_bytes": agg.total.frame_bytes,
+        "duplicate_replies": agg.total.duplicate_replies,
+        "retransmissions": agg.total.retransmissions,
+        "sessions_overflow": agg.total.sessions_overflow,
         "topology_refreshes": result.topology_refreshes,
     }
 
@@ -502,8 +566,14 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         ("protocol", "proto"),
         ("mobility", "mobility"),
         ("backend", "backend"),
+        ("loss_rate", "loss"),
+        ("retries", "retries"),
         ("episodes", "episodes"),
         ("matches", "matches"),
+        ("match_rate", "match-rate"),
+        ("frames_sent", "frames"),
+        ("frames_dropped", "dropped"),
+        ("retransmissions", "retx"),
         ("episodes_per_sim_sec", "ep/sim-s"),
         ("latency_p50_ms", "p50 ms"),
         ("latency_p95_ms", "p95 ms"),
@@ -516,7 +586,10 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         "",
         f"{len(records)} scenario(s). Latencies are simulated milliseconds; "
         "throughput is episodes per simulated second; `topo s`/`wall s` are "
-        "wall-clock build and run times.",
+        "wall-clock build and run times.  `match-rate` is the fraction of "
+        "episodes that verified at least one match; `frames`/`dropped`/`retx` "
+        "count datagram-layer transmissions, channel losses and "
+        "retransmission waves (see docs/wire_format.md).",
         "",
         "| " + " | ".join(label for _, label in columns) + " |",
         "| " + " | ".join("---" for _ in columns) + " |",
@@ -533,6 +606,10 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         lines.append(
             f"- **{record['scenario']}** — {record['nodes_reached']} nodes reached, "
             f"{record['replies']} replies ({record['rejected_replies']} rejected), "
+            f"{record['frames_sent']} frames sent "
+            f"({record['frames_dropped']} dropped, "
+            f"{record['frames_rejected']} rejected at decode), "
+            f"{record['retransmissions']} retransmission waves, "
             f"{record['topology_refreshes']} topology refreshes, "
             f"mean degree {record['mean_degree']}"
             + (f", attackers {attackers}" if attackers else "")

@@ -1,11 +1,13 @@
 """Passive global eavesdropper and brute-force profiling cost (Sec. IV-A1).
 
-The eavesdropper sees every packet.  What it observes of a request is the
-remainder vector (log₂p bits of each attribute hash), the hint matrix and
-an AES ciphertext; the paper's headline estimate is that compromising a
-profile of m_t attributes from a dictionary of size m still costs
-``(m/p)^{m_t}`` guesses because each remainder only shrinks the dictionary
-by a factor p.
+The eavesdropper sees every **datagram** -- it is wired into the engine as
+a frame tap (``FriendingEngine(frame_tap=eve.capture)``) and receives the
+exact bytes the channel delivers on every link.  What it can reconstruct
+is what the frames decode to: request packages (remainder vector, hint
+matrix, an AES ciphertext) and acknowledge replies (opaque sealed
+elements).  The paper's headline estimate is that compromising a profile
+of m_t attributes from a dictionary of size m still costs ``(m/p)^{m_t}``
+guesses because each remainder only shrinks the dictionary by a factor p.
 """
 
 from __future__ import annotations
@@ -13,8 +15,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.core.exceptions import SerializationError
 from repro.core.protocols import Reply
 from repro.core.request import RequestPackage
+from repro.core.wire import (
+    FT_REPLY,
+    FT_REQUEST,
+    decode_frame,
+    decode_payload,
+    encode_reply_frame,
+    encode_request_frame,
+)
 
 __all__ = ["Eavesdropper", "dictionary_profiling_guesses", "ObservedTraffic"]
 
@@ -38,39 +49,79 @@ def profiling_guesses_log2(dictionary_size: int, p: int, m_t: int) -> float:
 
 @dataclass
 class ObservedTraffic:
-    """Everything a passive adversary collected."""
+    """Everything a passive adversary collected off the air.
 
-    packages: list[RequestPackage] = field(default_factory=list)
+    ``frames_captured``/``observed_bytes`` count every datagram copy (the
+    radio medium repeats the same request on every link); ``packages`` and
+    ``replies`` are what those frames *decode to*, deduplicated to the
+    distinct protocol messages -- repetition carries no new information.
+    ``undecodable`` counts frames that failed envelope validation (channel
+    corruption): the adversary cannot read them either.
+    """
+
+    packages: dict[bytes, RequestPackage] = field(default_factory=dict)
     replies: list[Reply] = field(default_factory=list)
-
-    @property
-    def observed_bytes(self) -> int:
-        request_bytes = sum(p.wire_size_bytes() for p in self.packages)
-        reply_bytes = sum(48 * len(r.elements) for r in self.replies)
-        return request_bytes + reply_bytes
+    frames_captured: int = 0
+    observed_bytes: int = 0
+    undecodable: int = 0
+    _reply_keys: set[tuple[bytes, str]] = field(default_factory=set)
 
 
 class Eavesdropper:
-    """Collects traffic and reports what is (and is not) inferable."""
+    """Collects frames off the wire; reports what is (and is not) inferable."""
 
     def __init__(self):
         self.traffic = ObservedTraffic()
 
+    # -- wire-level capture (the engine's frame tap) -------------------------
+
+    def capture(self, src: str, dst: str, data: bytes) -> None:
+        """Record one datagram copy exactly as the channel delivered it."""
+        traffic = self.traffic
+        traffic.frames_captured += 1
+        traffic.observed_bytes += len(data)
+        try:
+            frame = decode_frame(data)
+            message = decode_payload(frame)
+        except SerializationError:
+            traffic.undecodable += 1
+            return
+        if frame.ftype == FT_REQUEST:
+            traffic.packages.setdefault(message.request_id, message)
+        elif frame.ftype == FT_REPLY:
+            key = (message.request_id, message.responder_id)
+            if key not in traffic._reply_keys:
+                traffic._reply_keys.add(key)
+                traffic.replies.append(message)
+
+    # -- object-level convenience (standalone analyses) ----------------------
+
     def observe_request(self, package: RequestPackage) -> None:
-        self.traffic.packages.append(package)
+        """Capture the frame this package would broadcast as."""
+        self.capture("", "", encode_request_frame(package))
 
     def observe_reply(self, reply: Reply) -> None:
-        self.traffic.replies.append(reply)
+        """Capture the frame this reply would travel as."""
+        self.capture("", "", encode_reply_frame(reply))
+
+    # -- what the traffic reveals -------------------------------------------
 
     def attribute_hashes_observed(self) -> int:
         """Attribute hash values transmitted in the clear: always zero.
 
         The request carries remainders (mod p) and the sealed message only;
-        no packet ever contains a full attribute hash, so no hash
+        no frame ever contains a full attribute hash, so no hash
         dictionary can be built from this system's traffic.
         """
         return 0
 
     def remainder_information_bits(self) -> float:
-        """Total information revealed by remainders: m_t·log₂(p) per request."""
-        return sum(len(pkg.remainders) * math.log2(pkg.p) for pkg in self.traffic.packages)
+        """Information revealed by remainders: m_t·log₂(p) per distinct request.
+
+        Re-broadcast copies of the same request are the same bits; only
+        distinct requests contribute.
+        """
+        return sum(
+            len(pkg.remainders) * math.log2(pkg.p)
+            for pkg in self.traffic.packages.values()
+        )

@@ -3,9 +3,17 @@
 Diffie-Hellman without authentication falls to an active MITM; the
 sealed-bottle key exchange does not, because the key material (``x`` and
 ``y``) is never exposed to anyone lacking the matching attributes.  The
-attacker here fully controls the wire: it can read, drop, replay and
-substitute both the request and the replies, and still cannot decrypt the
-session channel or splice itself between the endpoints.
+attacker here fully controls the wire and operates on the actual
+**frames**: it decodes captured datagrams, tampers or substitutes them,
+and re-injects bytes.  Two distinct failure modes are demonstrated:
+
+- bytes mangled *without* re-framing fail the envelope checksum -- the
+  codec rejects them before any protocol code runs
+  (:meth:`ManInTheMiddle.tamper_frame`);
+- a *well-formed* forgery (decode, swap the sealed elements for
+  attacker-keyed ones, re-encode) passes the codec but fails the
+  protocol's ACK verification, because the attacker cannot encrypt under
+  the true ``x`` (:meth:`ManInTheMiddle.substitute_reply`).
 """
 
 from __future__ import annotations
@@ -13,11 +21,21 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.core.channel import SecureChannel
+from repro.core.exceptions import SerializationError
 from repro.core.matching import unseal_secret
 from repro.core.protocols import Reply, build_reply_element
 from repro.core.request import RequestPackage
+from repro.core.wire import (
+    FT_REPLY,
+    FT_REQUEST,
+    decode_frame,
+    decode_payload,
+    decode_session_message,
+    encode_reply_frame,
+    flip_bit,
+)
 from repro.crypto.authenticated import AuthenticationError
-from repro.core.channel import SecureChannel
 
 __all__ = ["ManInTheMiddle", "MitmOutcome"]
 
@@ -41,8 +59,16 @@ class ManInTheMiddle:
         self.observed_replies: list[Reply] = []
         self.outcome = MitmOutcome()
 
-    def intercept_request(self, package: RequestPackage) -> RequestPackage:
-        """Observe (and forward) the request; try to unseal x without the key."""
+    def intercept_request(self, frame: bytes) -> bytes:
+        """Decode (and forward) a captured request frame; try to unseal x.
+
+        The frame is forwarded byte-identical -- a faithful relay gains
+        nothing and blocks nothing.
+        """
+        decoded = decode_frame(frame)
+        if decoded.ftype != FT_REQUEST:
+            raise SerializationError("expected a request frame")
+        package = decode_payload(decoded)
         self.observed_packages.append(package)
         # Best effort: decrypt under a random guess key -- succeeds with
         # probability 2^-256; the point is there is no oracle to do better.
@@ -51,41 +77,67 @@ class ManInTheMiddle:
         if x is not None:
             self.outcome.read_x = True
             self.outcome.notes.append("confirmation verified under a guessed key (!)")
-        return package
+        return frame
 
-    def substitute_reply(self, reply: Reply) -> Reply:
-        """Replace every reply element with attacker-keyed ones.
+    def substitute_reply(self, frame: bytes) -> bytes:
+        """Decode-then-tamper: re-frame the reply with attacker-keyed elements.
 
-        Classic MITM splice attempt: if the initiator accepted one of these,
-        the attacker would share ``y'`` with it.  The ACK check defeats it
-        because the attacker cannot encrypt under the true ``x``.
+        Classic MITM splice attempt: the forgery is a perfectly valid
+        *frame* (fresh envelope, correct checksum), so the codec accepts
+        it -- if the initiator accepted one of its elements, the attacker
+        would share ``y'`` with it.  The ACK check defeats it because the
+        attacker cannot encrypt under the true ``x``.
         """
+        decoded = decode_frame(frame)
+        if decoded.ftype != FT_REPLY:
+            raise SerializationError("expected a reply frame")
+        reply = decode_payload(decoded)
         self.observed_replies.append(reply)
-        forged = tuple(
-            build_reply_element(os.urandom(32), os.urandom(32), similarity=255)
-            for _ in reply.elements
-        )
-        return Reply(
+        forged = Reply(
             request_id=reply.request_id,
             responder_id=reply.responder_id,
-            elements=forged,
+            elements=tuple(
+                build_reply_element(os.urandom(32), os.urandom(32), similarity=255)
+                for _ in reply.elements
+            ),
             sent_at_ms=reply.sent_at_ms,
         )
+        return encode_reply_frame(forged, ttl=decoded.ttl, seq=decoded.seq)
 
-    def attack_session(self, channel_message: bytes, candidate_keys: list[bytes]) -> bool:
-        """Try to read a session message with whatever keys were gathered."""
+    def tamper_frame(self, frame: bytes, bit_index: int = 0) -> bytes:
+        """Flip one bit in flight without re-framing.
+
+        The envelope CRC catches this: :func:`decode_frame` raises and the
+        receiving endpoint drops the datagram whole -- no protocol code
+        ever sees the mangled payload.
+        """
+        return flip_bit(frame, bit_index)
+
+    def attack_session(self, session_frame: bytes, candidate_keys: list[bytes]) -> bool:
+        """Try to read a captured session frame with whatever keys were gathered."""
+        try:
+            _, ciphertext = decode_session_message(session_frame)
+        except SerializationError:
+            return False
         for key in candidate_keys:
             try:
-                SecureChannel(key).receive(channel_message)
+                SecureChannel(key).receive(ciphertext)
             except (AuthenticationError, ValueError):
                 continue
             self.outcome.session_messages_read += 1
             return True
         return False
 
-    def tamper_session(self, channel_message: bytes) -> bytes:
-        """Flip ciphertext bits; the receiver's MAC check must reject it."""
-        tampered = bytearray(channel_message)
-        tampered[len(tampered) // 2] ^= 0x01
+    def tamper_session(self, session_frame: bytes) -> bytes:
+        """Re-frame a session message with its AEAD ciphertext bit-flipped.
+
+        Decode-then-tamper with a *valid* envelope: the codec accepts the
+        forgery, and the receiver's MAC check must be what rejects it.
+        """
+        from repro.core.wire import encode_session_message
+
+        channel_id, ciphertext = decode_session_message(session_frame)
+        mangled = bytearray(ciphertext)
+        mangled[len(mangled) // 2] ^= 0x01
         self.outcome.session_messages_forged += 1
-        return bytes(tampered)
+        return encode_session_message(channel_id, bytes(mangled))

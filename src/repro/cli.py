@@ -28,6 +28,7 @@ from repro.dataset.stats import (
 )
 from repro.crypto.backend import available_backends, use_backend
 from repro.dataset.weibo import WeiboGenerator
+from repro.network.channel_model import ChannelModel
 from repro.network.engine import FriendingEngine
 from repro.network.simulator import AdHocNetwork
 from repro.network.topology import random_geometric_topology
@@ -72,6 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--workers", type=int, default=1,
         help="shard episodes across N processes (default: 1 = one event queue)",
+    )
+    simulate.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="per-hop frame drop probability (default: 0 = perfect channel)",
+    )
+    simulate.add_argument(
+        "--dup", type=float, default=0.0, metavar="P",
+        help="per-hop link-layer duplication probability (default: 0)",
+    )
+    simulate.add_argument(
+        "--reorder", type=float, default=0.0, metavar="P",
+        help="per-copy reordering probability (extra hold-back delay; default: 0)",
+    )
+    simulate.add_argument(
+        "--corrupt", type=float, default=0.0, metavar="P",
+        help="per-copy bit-flip probability; CRC-rejected at the receiver (default: 0)",
+    )
+    simulate.add_argument(
+        "--jitter-ms", type=int, default=0,
+        help="uniform extra per-hop latency in [0, N] simulated ms (default: 0)",
+    )
+    simulate.add_argument(
+        "--retries", type=int, default=0,
+        help="retransmission waves for unanswered requests (default: 0)",
     )
 
     sub.add_parser("tables", help="regenerate measured PPL tables I and II")
@@ -173,11 +198,23 @@ def _cmd_simulate(args) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    try:
+        channel = ChannelModel(
+            drop_rate=args.loss, dup_rate=args.dup, reorder_rate=args.reorder,
+            corrupt_rate=args.corrupt, jitter_ms=args.jitter_ms, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not 0 <= args.retries <= 255:
+        print("error: --retries must be in [0, 255] (one envelope byte names "
+              "the retransmission wave)", file=sys.stderr)
+        return 2
     with use_backend(args.backend):
-        return _run_simulate(args)
+        return _run_simulate(args, channel)
 
 
-def _run_simulate(args) -> int:
+def _run_simulate(args, channel: ChannelModel) -> int:
     rng = random.Random(args.seed)
     users = WeiboGenerator(
         n_users=args.nodes, tag_vocabulary=1_000, seed=args.seed
@@ -195,12 +232,16 @@ def _run_simulate(args) -> int:
             theta=args.theta, normalized=True,
         )
 
-    def initiator_for(user):
+    def initiator_for(user, episode: int = 0):
         # The remainder prime must exceed the request size m_t, which here
-        # is however many tags the target user happens to have.
+        # is however many tags the target user happens to have.  Each
+        # episode gets its own seeded RNG: the engine's sharding identity
+        # (workers=N == workers=1) requires that an episode's request
+        # bytes never depend on how many episodes ran before it.
         request = request_for(user)
         return Initiator(
-            request, protocol=args.protocol, p=_prime_exceeding(len(user.tags)), rng=rng
+            request, protocol=args.protocol, p=_prime_exceeding(len(user.tags)),
+            rng=random.Random(args.seed * 1000 + episode),
         )
 
     if episodes == 1:
@@ -212,8 +253,8 @@ def _run_simulate(args) -> int:
         participants[nodes[0]] = None
         target = users[min(len(users) - 1, args.nodes // 2)]
         initiator = initiator_for(target)
-        network = AdHocNetwork(adjacency, participants, rng=rng)
-        result = network.run_friending(nodes[0], initiator)
+        network = AdHocNetwork(adjacency, participants, rng=rng, channel=channel)
+        result = network.run_friending(nodes[0], initiator, retries=args.retries)
         metrics = result.metrics.as_dict()
         print(render_table(
             f"friending episode (n={args.nodes}, theta={args.theta}, protocol {args.protocol})",
@@ -231,14 +272,14 @@ def _run_simulate(args) -> int:
         )
         for node, user in zip(nodes, users)
     }
-    network = AdHocNetwork(adjacency, participants, rng=rng)
+    network = AdHocNetwork(adjacency, participants, rng=rng, channel=channel)
     stride = max(1, len(nodes) // episodes)
     launches = []
     for i in range(episodes):
         initiator_node = nodes[(i * stride) % len(nodes)]
         target = users[(i * stride + len(users) // 2) % len(users)]
-        launches.append((initiator_node, initiator_for(target)))
-    result = FriendingEngine(network).run_staggered(
+        launches.append((initiator_node, initiator_for(target, episode=i)))
+    result = FriendingEngine(network, retries=args.retries).run_staggered(
         launches, arrival_ms=args.arrival_ms, workers=args.workers
     )
 

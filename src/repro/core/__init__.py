@@ -67,9 +67,15 @@ from repro.core.remainder import (
 from repro.core.request import RequestPackage
 from repro.core.agent import AgentEvent, SealedBottleAgent
 from repro.core.wire import (
+    Frame,
+    decode_frame,
+    decode_payload,
     decode_reply,
     decode_session_message,
+    encode_frame,
     encode_reply,
+    encode_reply_frame,
+    encode_request_frame,
     encode_session_message,
     reply_wire_size,
 )
@@ -105,11 +111,17 @@ __all__ = [
     "SealedBottleError",
     "SecureChannel",
     "SerializationError",
+    "Frame",
     "build_hint_matrix",
     "build_request",
+    "decode_frame",
+    "decode_payload",
     "decode_reply",
     "decode_session_message",
+    "encode_frame",
     "encode_reply",
+    "encode_reply_frame",
+    "encode_request_frame",
     "encode_session_message",
     "enumerate_candidates",
     "group_session_key",

@@ -20,12 +20,15 @@ from repro.core.entropy import EntropyPolicy
 from repro.core.exceptions import SealedBottleError, SerializationError
 from repro.core.location import LatticeSpec, vicinity_request
 from repro.core.protocols import Initiator, MatchRecord, Participant
-from repro.core.request import REQUEST_MAGIC, RequestPackage
 from repro.core.wire import (
-    REPLY_MAGIC,
-    decode_reply,
+    FT_REPLY,
+    FT_REQUEST,
+    FT_SESSION,
+    decode_frame,
+    decode_payload,
     decode_session_message,
-    encode_reply,
+    encode_reply_frame,
+    encode_request_frame,
     encode_session_message,
 )
 
@@ -113,11 +116,11 @@ class SealedBottleAgent:
     # Initiating searches
 
     def search(self, request: RequestProfile, *, now_ms: int = 0, p: int = 11) -> bytes:
-        """Start a profile search; returns the datagram to broadcast."""
+        """Start a profile search; returns the frame to broadcast."""
         initiator = Initiator(request, protocol=self.protocol, p=p, rng=self.rng)
         package = initiator.create_request(now_ms=now_ms)
         self._initiators[package.request_id] = initiator
-        return package.encode()
+        return encode_request_frame(package)
 
     def search_vicinity(
         self, search_range: float, theta: float, *, now_ms: int = 0, p: int = 1009
@@ -131,7 +134,7 @@ class SealedBottleAgent:
         initiator = Initiator(request, protocol=self.protocol, p=p, rng=self.rng)
         package = initiator.create_request(now_ms=now_ms)
         self._initiators[package.request_id] = initiator
-        return package.encode()
+        return encode_request_frame(package)
 
     def matches(self) -> list[MatchRecord]:
         """All verified matches across outstanding searches."""
@@ -141,29 +144,34 @@ class SealedBottleAgent:
     # Inbound datagrams
 
     def handle_datagram(self, data: bytes, *, now_ms: int = 0) -> tuple[bytes | None, AgentEvent | None]:
-        """Process one inbound packet.
+        """Process one inbound frame (any of the three message classes).
 
-        Returns ``(outbound, event)``: *outbound* is a datagram to send
-        back towards the packet's origin (a reply, or None), *event* tells
-        the application what happened (a verified match, a relay decision).
+        Returns ``(outbound, event)``: *outbound* is a frame to send back
+        towards the packet's origin (a reply, or None), *event* tells the
+        application what happened (a verified match, a relay decision, an
+        inbound session message).  Malformed frames raise
+        :class:`SerializationError` -- a real endpoint drops them.
         """
-        if data[:4] == REQUEST_MAGIC:
-            return self._handle_request(data, now_ms)
-        if data[:4] == REPLY_MAGIC:
-            return None, self._handle_reply(data, now_ms)
-        raise SerializationError("unknown datagram type")
+        frame = decode_frame(data)
+        if frame.ftype == FT_REQUEST:
+            return self._handle_request(frame, now_ms)
+        if frame.ftype == FT_REPLY:
+            return None, self._handle_reply(frame, now_ms)
+        if frame.ftype == FT_SESSION:
+            return None, self.handle_session(data)
+        raise SerializationError(f"unknown datagram type {frame.ftype}")  # pragma: no cover
 
-    def _handle_request(self, data: bytes, now_ms: int) -> tuple[bytes | None, AgentEvent | None]:
-        package = RequestPackage.decode(data)
+    def _handle_request(self, frame, now_ms: int) -> tuple[bytes | None, AgentEvent | None]:
+        package = decode_payload(frame)
         if package.request_id in self._initiators:
             return None, None  # our own broadcast echoed back
         reply = self._participant.handle_request(package, now_ms=now_ms)
         if reply is None:
             return None, AgentEvent(kind="relay")
-        return encode_reply(reply), AgentEvent(kind="relay")
+        return encode_reply_frame(reply), AgentEvent(kind="relay")
 
-    def _handle_reply(self, data: bytes, now_ms: int) -> AgentEvent | None:
-        reply = decode_reply(data)
+    def _handle_reply(self, frame, now_ms: int) -> AgentEvent | None:
+        reply = decode_payload(frame)
         initiator = self._initiators.get(reply.request_id)
         if initiator is None:
             return None

@@ -155,6 +155,8 @@ class RequestPackage:
         ciphertext = data[offset : offset + clen]
         if len(ciphertext) != clen:
             raise SerializationError("truncated ciphertext")
+        if offset + clen != len(data):
+            raise SerializationError("trailing bytes after request package")
         return cls(
             protocol=protocol,
             p=p,

@@ -1,45 +1,267 @@
-"""Wire formats for replies and session messages.
+"""Wire formats: the frame envelope and the per-message payload codecs.
 
-The request package has its own encoding in :mod:`repro.core.request`;
-this module covers the other two message classes so the whole protocol can
-run over raw datagrams: the acknowledge reply (request id + element set)
-and the framed session message (channel id + AEAD ciphertext).  Byte
-layouts are what the network simulator and communication-cost benches
-account.
+Every datagram the simulated radios exchange is one **frame**:
+
+    offset  field        size  notes
+    ------  -----------  ----  -------------------------------------------
+    0       magic        4     ``b"SBFM"``
+    4       version      1     :data:`FRAME_VERSION`; unknown versions rejected
+    5       type         1     :data:`FT_REQUEST` / :data:`FT_REPLY` / :data:`FT_SESSION`
+    6       ttl          1     live hop budget (routing state, not payload)
+    7       seq          1     retransmission wave (requests) / flow sequence
+    8       length       4     payload length, big-endian
+    12      crc32        4     CRC-32 over bytes 4..12 and the payload
+    16      payload      len   one of the three message-class encodings
+
+The envelope carries the *routing* state (TTL, retransmission wave) so a
+relay can forward a frame by patching two header bytes and the checksum
+without re-encoding the payload -- the payload bytes stay identical hop to
+hop, which is what the per-episode byte accounting and the attack modules
+rely on.  The CRC makes in-flight corruption (``ChannelModel.corrupt_rate``)
+detectable: a frame that fails any envelope check raises
+:class:`~repro.core.exceptions.SerializationError` and is dropped by the
+receiving endpoint, never half-parsed.
+
+Payload codecs: request packages encode themselves
+(:meth:`repro.core.request.RequestPackage.encode`); this module owns the
+other two message classes -- the acknowledge reply (request id + element
+set) and the session message (channel id + AEAD ciphertext).  Session
+messages ride the same envelope as everything else (``FT_SESSION``) rather
+than a parallel framing path.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
+from dataclasses import dataclass
+from typing import Union
 
 from repro.core.exceptions import SerializationError
 from repro.core.protocols import Reply
+from repro.core.request import RequestPackage
 
 __all__ = [
+    "Frame",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "FRAME_HEADER_LEN",
+    "FT_REQUEST",
+    "FT_REPLY",
+    "FT_SESSION",
+    "FRAME_TYPES",
+    "encode_frame",
+    "decode_frame",
+    "reframe",
+    "encode_request_frame",
+    "encode_reply_frame",
+    "encode_session_frame",
+    "decode_payload",
+    "flip_bit",
     "encode_reply",
     "decode_reply",
     "reply_wire_size",
     "encode_session_message",
     "decode_session_message",
     "REPLY_MAGIC",
-    "SESSION_MAGIC",
+    "REPLY_ELEMENT_LEN",
+    "MAX_REPLY_ELEMENTS_WIRE",
+    "MAX_RESPONDER_ID_LEN",
 ]
 
+FRAME_MAGIC = b"SBFM"
+FRAME_VERSION = 1
+FRAME_HEADER_LEN = 16
+FT_REQUEST = 1
+FT_REPLY = 2
+FT_SESSION = 3
+FRAME_TYPES = (FT_REQUEST, FT_REPLY, FT_SESSION)
+
+_MAX_PAYLOAD = 0xFFFF_FFFF
+_HEADER = ">BBBBI"  # version, type, ttl, seq, payload length (crc packed after)
+
 REPLY_MAGIC = b"SBRP"
-SESSION_MAGIC = b"SBSM"
-_ELEMENT_LEN = 48
-_MAX_RESPONDER_ID = 255
+REPLY_ELEMENT_LEN = 48
+MAX_REPLY_ELEMENTS_WIRE = 0xFFFF
+MAX_RESPONDER_ID_LEN = 255
+SESSION_CHANNEL_ID_LEN = 8
+MAX_SESSION_CIPHERTEXT = 0xFFFF
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded datagram envelope."""
+
+    ftype: int
+    payload: bytes
+    ttl: int = 0
+    seq: int = 0
+
+
+def encode_frame(ftype: int, payload: bytes, *, ttl: int = 0, seq: int = 0) -> bytes:
+    """Wrap *payload* in the versioned frame envelope."""
+    if ftype not in FRAME_TYPES:
+        raise SerializationError(f"unknown frame type {ftype!r}")
+    if not 0 <= ttl <= 255:
+        raise SerializationError(f"frame ttl must fit one byte, got {ttl!r}")
+    if not 0 <= seq <= 255:
+        raise SerializationError(f"frame seq must fit one byte, got {seq!r}")
+    if len(payload) > _MAX_PAYLOAD:
+        raise SerializationError("frame payload too large")
+    header = struct.pack(_HEADER, FRAME_VERSION, ftype, ttl, seq, len(payload))
+    crc = zlib.crc32(header) & 0xFFFF_FFFF
+    crc = zlib.crc32(payload, crc) & 0xFFFF_FFFF
+    return FRAME_MAGIC + header + struct.pack(">I", crc) + payload
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse and validate one frame; reject anything malformed.
+
+    Rejection is strict and total: bad magic, unknown version, unknown
+    type, truncated header, length mismatch (short *or* trailing bytes)
+    and checksum failure all raise
+    :class:`~repro.core.exceptions.SerializationError`.
+    """
+    if len(data) < FRAME_HEADER_LEN:
+        raise SerializationError("frame shorter than its header")
+    if data[:4] != FRAME_MAGIC:
+        raise SerializationError("bad frame magic")
+    version, ftype, ttl, seq, length = struct.unpack_from(_HEADER, data, 4)
+    (crc,) = struct.unpack_from(">I", data, 12)
+    if version != FRAME_VERSION:
+        raise SerializationError(f"unsupported frame version {version}")
+    if ftype not in FRAME_TYPES:
+        raise SerializationError(f"unknown frame type {ftype}")
+    if len(data) != FRAME_HEADER_LEN + length:
+        raise SerializationError("frame length field does not match the datagram")
+    payload = data[FRAME_HEADER_LEN:]
+    expected = zlib.crc32(data[4:12]) & 0xFFFF_FFFF
+    expected = zlib.crc32(payload, expected) & 0xFFFF_FFFF
+    if crc != expected:
+        raise SerializationError("frame checksum mismatch")
+    return Frame(ftype=ftype, payload=payload, ttl=ttl, seq=seq)
+
+
+def reframe(frame: bytes, *, ttl: int | None = None, seq: int | None = None) -> bytes:
+    """Return *frame* with its TTL and/or wave patched, checksum refreshed.
+
+    This is the relay fast path: the payload is not touched (or validated),
+    only the two routing bytes and the CRC change.  Callers must pass a
+    frame they already decoded successfully.
+    """
+    out = bytearray(frame)
+    if ttl is not None:
+        if not 0 <= ttl <= 255:
+            raise SerializationError(f"frame ttl must fit one byte, got {ttl!r}")
+        out[6] = ttl
+    if seq is not None:
+        if not 0 <= seq <= 255:
+            raise SerializationError(f"frame seq must fit one byte, got {seq!r}")
+        out[7] = seq
+    crc = zlib.crc32(bytes(out[4:12])) & 0xFFFF_FFFF
+    crc = zlib.crc32(bytes(out[FRAME_HEADER_LEN:]), crc) & 0xFFFF_FFFF
+    out[12:16] = struct.pack(">I", crc)
+    return bytes(out)
+
+
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    """Return *data* with one bit flipped (indices wrap modulo the length).
+
+    The in-flight-corruption primitive shared by the channel model and
+    the MITM attacker; the envelope CRC guarantees the result fails
+    :func:`decode_frame`.
+    """
+    if not data:
+        return data
+    out = bytearray(data)
+    out[(bit_index // 8) % len(out)] ^= 1 << (bit_index % 8)
+    return bytes(out)
+
+
+def encode_request_frame(
+    package: RequestPackage, *, ttl: int | None = None, seq: int = 0
+) -> bytes:
+    """Encode a request package into a broadcast-ready frame.
+
+    The envelope TTL is the *live* hop budget and defaults to the package's
+    initial ``ttl`` field; relays decrement the envelope copy only.
+    """
+    return encode_frame(
+        FT_REQUEST,
+        package.encode(),
+        ttl=package.ttl if ttl is None else ttl,
+        seq=seq,
+    )
+
+
+def encode_reply_frame(reply: Reply, *, ttl: int = 0, seq: int = 0) -> bytes:
+    """Encode an acknowledge reply into a unicast-ready frame."""
+    return encode_frame(FT_REPLY, encode_reply(reply), ttl=ttl, seq=seq)
+
+
+def encode_session_frame(channel_id: bytes, ciphertext: bytes, *, ttl: int = 0) -> bytes:
+    """Frame one authenticated session message (``FT_SESSION``).
+
+    *channel_id* is a public 8-byte routing tag (e.g. the request id) so
+    relays can route without learning anything about the content.
+    """
+    if len(channel_id) != SESSION_CHANNEL_ID_LEN:
+        raise SerializationError(
+            f"channel id must be {SESSION_CHANNEL_ID_LEN} bytes, got {len(channel_id)}"
+        )
+    if len(ciphertext) > MAX_SESSION_CIPHERTEXT:
+        raise SerializationError("session message too large for one frame")
+    return encode_frame(FT_SESSION, channel_id + ciphertext, ttl=ttl)
+
+
+def decode_payload(frame: Frame) -> Union[RequestPackage, Reply, tuple[bytes, bytes]]:
+    """Decode a frame's payload according to its type tag.
+
+    Returns a :class:`RequestPackage`, a :class:`Reply`, or a
+    ``(channel_id, ciphertext)`` pair for session frames.
+    """
+    if frame.ftype == FT_REQUEST:
+        return RequestPackage.decode(frame.payload)
+    if frame.ftype == FT_REPLY:
+        return decode_reply(frame.payload)
+    if frame.ftype == FT_SESSION:
+        if len(frame.payload) < SESSION_CHANNEL_ID_LEN:
+            raise SerializationError("session payload shorter than its channel id")
+        return frame.payload[:SESSION_CHANNEL_ID_LEN], frame.payload[SESSION_CHANNEL_ID_LEN:]
+    raise SerializationError(f"unknown frame type {frame.ftype}")  # pragma: no cover
+
+
+# -- reply payload codec ----------------------------------------------------
 
 
 def encode_reply(reply: Reply) -> bytes:
-    """Serialize a :class:`~repro.core.protocols.Reply` to bytes."""
+    """Serialize a :class:`~repro.core.protocols.Reply` to bytes.
+
+    Every boundary is a typed :class:`SerializationError`, never a raw
+    ``struct.error``: responder ids longer than
+    :data:`MAX_RESPONDER_ID_LEN` encoded bytes, elements that are not
+    exactly :data:`REPLY_ELEMENT_LEN` bytes, acknowledge sets larger than
+    :data:`MAX_REPLY_ELEMENTS_WIRE`, request ids that are not 8 bytes and
+    timestamps outside the unsigned 64-bit range are all rejected.
+    """
     responder = reply.responder_id.encode("utf-8")
-    if len(responder) > _MAX_RESPONDER_ID:
-        raise SerializationError("responder id too long")
+    if len(responder) > MAX_RESPONDER_ID_LEN:
+        raise SerializationError(
+            f"responder id too long: {len(responder)} bytes > {MAX_RESPONDER_ID_LEN}"
+        )
+    if len(reply.request_id) != 8:
+        raise SerializationError("reply request id must be 8 bytes")
+    if len(reply.elements) > MAX_REPLY_ELEMENTS_WIRE:
+        raise SerializationError(
+            f"acknowledge set too large: {len(reply.elements)} elements "
+            f"> {MAX_REPLY_ELEMENTS_WIRE}"
+        )
+    if not 0 <= reply.sent_at_ms <= 0xFFFF_FFFF_FFFF_FFFF:
+        raise SerializationError(f"sent_at_ms out of range: {reply.sent_at_ms!r}")
     for element in reply.elements:
-        if len(element) != _ELEMENT_LEN:
+        if len(element) != REPLY_ELEMENT_LEN:
             raise SerializationError(
-                f"reply elements must be {_ELEMENT_LEN} bytes, got {len(element)}"
+                f"reply elements must be {REPLY_ELEMENT_LEN} bytes, got {len(element)}"
             )
     out = bytearray()
     out += REPLY_MAGIC
@@ -62,11 +284,11 @@ def decode_reply(data: bytes) -> Reply:
         offset += id_len
         elements = []
         for _ in range(n_elements):
-            element = data[offset : offset + _ELEMENT_LEN]
-            if len(element) != _ELEMENT_LEN:
+            element = data[offset : offset + REPLY_ELEMENT_LEN]
+            if len(element) != REPLY_ELEMENT_LEN:
                 raise SerializationError("truncated reply element")
             elements.append(element)
-            offset += _ELEMENT_LEN
+            offset += REPLY_ELEMENT_LEN
         if offset != len(data):
             raise SerializationError("trailing bytes after reply")
     except (struct.error, UnicodeDecodeError) as exc:
@@ -80,35 +302,27 @@ def decode_reply(data: bytes) -> Reply:
 
 
 def reply_wire_size(n_elements: int, responder_id: str = "") -> int:
-    """Size in bytes of an encoded reply with *n_elements* elements."""
+    """Size in bytes of an encoded reply payload with *n_elements* elements."""
     return 4 + struct.calcsize(">8sQHB") + len(responder_id.encode("utf-8")) + (
-        n_elements * _ELEMENT_LEN
+        n_elements * REPLY_ELEMENT_LEN
     )
 
 
-def encode_session_message(channel_id: bytes, ciphertext: bytes) -> bytes:
-    """Frame one authenticated session message.
+# -- session message convenience wrappers -----------------------------------
 
-    *channel_id* is a public 8-byte routing tag (e.g. the request id) so
-    relays can route without learning anything about the content.
+
+def encode_session_message(channel_id: bytes, ciphertext: bytes) -> bytes:
+    """Frame one session message as a full ``FT_SESSION`` datagram.
+
+    Thin wrapper over :func:`encode_session_frame`, kept for the agent
+    API; session traffic shares the one frame envelope.
     """
-    if len(channel_id) != 8:
-        raise SerializationError("channel id must be 8 bytes")
-    if len(ciphertext) > 0xFFFF:
-        raise SerializationError("session message too large for one frame")
-    return SESSION_MAGIC + channel_id + struct.pack(">H", len(ciphertext)) + ciphertext
+    return encode_session_frame(channel_id, ciphertext)
 
 
 def decode_session_message(data: bytes) -> tuple[bytes, bytes]:
-    """Unframe a session message; returns (channel_id, ciphertext)."""
-    try:
-        if data[:4] != SESSION_MAGIC:
-            raise SerializationError("bad session magic")
-        channel_id = data[4:12]
-        (length,) = struct.unpack_from(">H", data, 12)
-        ciphertext = data[14 : 14 + length]
-        if len(channel_id) != 8 or len(ciphertext) != length or len(data) != 14 + length:
-            raise SerializationError("truncated session message")
-    except struct.error as exc:
-        raise SerializationError(f"malformed session message: {exc}") from exc
-    return channel_id, ciphertext
+    """Unframe a session datagram; returns (channel_id, ciphertext)."""
+    frame = decode_frame(data)
+    if frame.ftype != FT_SESSION:
+        raise SerializationError(f"expected a session frame, got type {frame.ftype}")
+    return decode_payload(frame)

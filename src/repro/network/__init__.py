@@ -8,13 +8,16 @@ suppression, per-hop latency, request expiry, per-neighbor rate limiting
 (the paper's DoS defence), and byte-level accounting of every transmission.
 """
 
+from repro.network.channel_model import ChannelModel, Delivery, PerfectChannel
 from repro.network.events import (
     BroadcastEvent,
     EventQueue,
-    ReceiveEvent,
+    FrameEvent,
     ReplyHopEvent,
+    RetransmitEvent,
     TopologyRefreshEvent,
 )
+from repro.network.sessions import Session, SessionTable
 from repro.network.metrics import AggregateMetrics, NetworkMetrics, percentile
 from repro.network.topology import (
     SpatialGrid,
@@ -35,21 +38,27 @@ __all__ = [
     "AdHocNetwork",
     "AggregateMetrics",
     "BroadcastEvent",
+    "ChannelModel",
+    "Delivery",
     "EngineResult",
     "EpisodeResult",
     "EpisodeSpec",
     "EventQueue",
+    "FrameEvent",
     "FriendingEngine",
     "FriendingResult",
     "MobileScenario",
     "NetworkMetrics",
     "Node",
+    "PerfectChannel",
     "RandomWaypoint",
     "RateLimiter",
-    "ReceiveEvent",
     "ReplyHopEvent",
+    "RetransmitEvent",
     "ScenarioSummary",
     "SearchReport",
+    "Session",
+    "SessionTable",
     "SpatialGrid",
     "StaticPlacement",
     "TopologyRefreshEvent",

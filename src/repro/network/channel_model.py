@@ -1,0 +1,158 @@
+"""Per-hop lossy-channel model for the datagram engine.
+
+A :class:`ChannelModel` decides what the radio medium does to each frame
+transmitted over one link: deliver it, drop it, deliver a duplicate copy,
+corrupt bits in flight, and/or delay it (latency jitter, which is also how
+reordering arises -- a jittered frame can overtake or fall behind its
+neighbours in the event queue).
+
+Determinism is the load-bearing property.  Every transmission's fate is a
+pure function of ``(channel seed, flow id, link, seq)`` -- derived by
+hashing those values into a private :class:`random.Random` -- never of a
+shared RNG stream.  Two consequences:
+
+- a lossy run is reproducible from ``(seed, spec)`` alone, and
+- the fate of a transmission does not depend on how concurrent episodes
+  interleave in the event queue, so a sharded engine run
+  (:meth:`~repro.network.engine.FriendingEngine.run_parallel`) perturbs
+  exactly the same frames as a sequential one.
+
+:class:`PerfectChannel` (all rates zero) short-circuits before any
+hashing: one copy, base latency, bytes untouched -- byte-identical to the
+object-passing engine it replaced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from dataclasses import dataclass
+
+from repro.core.wire import flip_bit
+
+__all__ = ["ChannelModel", "PerfectChannel", "Delivery"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One physical copy the channel puts on the air for a transmission."""
+
+    delay_ms: int
+    data: bytes
+    corrupted: bool = False
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Seedable lossy radio medium applied independently per transmission.
+
+    Parameters (all probabilities in ``[0, 1]``):
+
+    drop_rate:
+        The frame is transmitted but never received.
+    dup_rate:
+        The link-layer delivers a second copy (e.g. an ACK was lost and
+        the sender repeated itself).
+    reorder_rate:
+        The copy is held back by an extra :attr:`reorder_delay_ms`,
+        letting later frames overtake it.
+    corrupt_rate:
+        One random bit of the copy is flipped in flight; the frame
+        envelope's CRC turns this into a clean endpoint-side rejection.
+    jitter_ms:
+        Uniform extra per-copy latency in ``[0, jitter_ms]`` simulated ms.
+    seed:
+        Folded into every per-transmission hash; two channels with
+        different seeds perturb different frames.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    jitter_ms: int = 0
+    reorder_delay_ms: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "reorder_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not 0 <= value <= 1:
+                raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+        if not isinstance(self.jitter_ms, int) or self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be a non-negative integer, got {self.jitter_ms!r}")
+        if not isinstance(self.reorder_delay_ms, int) or self.reorder_delay_ms < 0:
+            raise ValueError(
+                f"reorder_delay_ms must be a non-negative integer, got {self.reorder_delay_ms!r}"
+            )
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when the channel can never perturb a frame."""
+        return (
+            self.drop_rate == 0
+            and self.dup_rate == 0
+            and self.reorder_rate == 0
+            and self.corrupt_rate == 0
+            and self.jitter_ms == 0
+        )
+
+    def _rng(self, flow: bytes, link: tuple[str, str], seq: int) -> random.Random:
+        digest = hashlib.sha256(
+            struct.pack(">qI", self.seed, seq & 0xFFFF_FFFF)
+            + flow
+            + b"\x00"
+            + link[0].encode("utf-8")
+            + b"\x00"
+            + link[1].encode("utf-8")
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def transmit(
+        self,
+        frame: bytes,
+        *,
+        flow: bytes,
+        link: tuple[str, str],
+        seq: int,
+        latency_ms: int,
+    ) -> list[Delivery]:
+        """Decide this transmission's fate; returns the delivered copies.
+
+        *flow* names the logical stream (request id plus direction),
+        *link* is ``(src, dst)`` and *seq* distinguishes repeat
+        transmissions of the same flow over the same link (retransmission
+        waves, reply hop indices).  An empty list means the frame was
+        lost in the air.
+        """
+        if self.is_perfect:
+            return [Delivery(latency_ms, frame)]
+        rng = self._rng(flow, link, seq)
+        if rng.random() < self.drop_rate:
+            return []
+        copies = 2 if rng.random() < self.dup_rate else 1
+        out = []
+        for _ in range(copies):
+            delay = latency_ms
+            if self.jitter_ms:
+                delay += rng.randint(0, self.jitter_ms)
+            if self.reorder_rate and rng.random() < self.reorder_rate:
+                delay += self.reorder_delay_ms
+            data = frame
+            corrupted = False
+            if self.corrupt_rate and rng.random() < self.corrupt_rate:
+                data = flip_bit(frame, rng.randrange(max(1, len(frame) * 8)))
+                corrupted = True
+            out.append(Delivery(delay, data, corrupted))
+        return out
+
+
+@dataclass(frozen=True)
+class PerfectChannel(ChannelModel):
+    """Lossless, jitter-free medium: one copy per transmission, untouched.
+
+    The engine's default.  Runs over a perfect channel are byte-identical
+    (matches, wire elements, metrics) to the pre-datagram object-passing
+    engine, which is pinned by ``tests/network/test_engine_golden.py``.
+    """

@@ -1,36 +1,69 @@
-"""Concurrent multi-episode friending engine.
+"""Concurrent multi-episode friending engine over a datagram network.
 
 The paper's typical scenario (Table VII) assumes many users friending
 *simultaneously* in one network.  This engine runs N overlapping episodes --
 each its own initiator, request package and metrics -- through a single
 :class:`~repro.network.events.EventQueue` over one shared set of
-:class:`~repro.network.simulator.Node` objects:
+:class:`~repro.network.simulator.Node` objects.
 
-- episodes start at staggered times (Poisson-ish arrival is just a choice
-  of ``start_ms`` values);
-- per-node flood state is keyed by request id, so floods interleave
-  without cross-talk while genuinely shared resources (the per-neighbour
-  rate limiter, each participant's disclosure ledger) stay shared;
-- optional mid-run topology refresh re-snapshots a mobility model so the
-  network moves underneath long runs.
+The unit of transmission is a **datagram**: every hop carries the encoded
+frame bytes (``docs/wire_format.md``), pushed through the network's
+:class:`~repro.network.channel_model.ChannelModel`, and every receiving
+node learns what it knows by decoding those bytes.  Concretely:
 
-Per-episode results carry the usual :class:`NetworkMetrics`; the engine
+- a broadcast puts one request frame per neighbour on the channel, which
+  may drop, duplicate, delay or corrupt each copy independently;
+- a receiving node validates the envelope (corrupted frames fail the CRC
+  and are rejected, counted per episode), dedupes against its bounded
+  :class:`~repro.network.sessions.SessionTable`, hands the decoded package
+  to its participant, and forwards with the envelope TTL decremented;
+- replies are encoded once and hop back as frames, deduplicated at the
+  initiator endpoint (duplicate-frame idempotence);
+- initiators whose requests go unanswered re-broadcast up to ``retries``
+  retransmission *waves* (envelope seq); nodes forward each wave at most
+  once without re-processing, so a wave heals loss holes at flood cost
+  but never double-replies.
+
+Per-episode results carry the usual :class:`NetworkMetrics` (the paper's
+payload accounting plus the new frame-layer counters); the engine
 additionally reports aggregate throughput and reply-latency percentiles.
+
+Determinism: with the default :class:`PerfectChannel` a run is
+byte-identical (matches, wire elements, metrics) to the pre-datagram
+object-passing engine (pinned by ``tests/network/test_engine_golden.py``);
+with a lossy channel every frame's fate is a pure function of
+``(channel seed, flow, link, seq)``, so runs reproduce from (seed, spec)
+alone and ``run_parallel`` shards equal sequential runs.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 
+from repro.core.exceptions import SerializationError
 from repro.core.protocols import Initiator, MatchRecord, Reply
+from repro.core.request import RequestPackage
+from repro.core.wire import (
+    FRAME_HEADER_LEN,
+    FT_REPLY,
+    FT_REQUEST,
+    Frame,
+    decode_frame,
+    decode_reply,
+    encode_reply_frame,
+    encode_request_frame,
+    reframe,
+    reply_wire_size,
+)
 from repro.crypto.backend import current_backend, set_backend
 from repro.network.events import (
     BroadcastEvent,
     EventQueue,
-    ReceiveEvent,
+    FrameEvent,
     ReplyHopEvent,
+    RetransmitEvent,
     TopologyRefreshEvent,
 )
 from repro.network.metrics import AggregateMetrics, NetworkMetrics, percentile
@@ -40,7 +73,10 @@ from repro.network.simulator import (
     AdHocNetwork,
 )
 
-__all__ = ["EpisodeSpec", "EpisodeResult", "EngineResult", "FriendingEngine"]
+__all__ = ["EpisodeSpec", "EpisodeResult", "EngineResult", "FriendingEngine",
+           "DEFAULT_RETRANSMIT_TIMEOUT_MS"]
+
+DEFAULT_RETRANSMIT_TIMEOUT_MS = 1_000
 
 
 @dataclass(frozen=True)
@@ -89,20 +125,30 @@ class EngineResult:
 
 
 class _Episode:
-    """Mutable in-flight state of one episode."""
+    """Mutable in-flight state of one episode (the initiator endpoint)."""
 
-    __slots__ = ("spec", "index", "package", "package_bytes", "rid", "metrics",
-                 "replies", "last_event_ms")
+    __slots__ = ("spec", "index", "package", "package_bytes", "rid", "frame",
+                 "metrics", "replies", "last_event_ms", "seen_responders")
 
-    def __init__(self, spec: EpisodeSpec, index: int):
+    def __init__(self, spec: EpisodeSpec, index: int, wire: bool):
         self.spec = spec
         self.index = index
         self.package = spec.initiator.create_request(now_ms=spec.start_ms)
         self.package_bytes = self.package.wire_size_bytes()
         self.rid = self.package.request_id
+        # The request is encoded exactly once; relays patch only the
+        # envelope's routing bytes, so the payload on the air is identical
+        # at every hop.  In the object-passing baseline the "frame" is the
+        # un-serialized envelope dataclass carrying the package itself.
+        if wire:
+            self.frame = encode_request_frame(self.package)
+        else:
+            self.frame = Frame(FT_REQUEST, self.package,
+                               ttl=self.package.ttl, seq=0)
         self.metrics = NetworkMetrics()
         self.replies: list[Reply] = []
         self.last_event_ms = spec.start_ms
+        self.seen_responders: set[str] = set()
 
 
 def _run_episode_shard(
@@ -110,15 +156,22 @@ def _run_episode_shard(
     indexed_specs: list[tuple[int, EpisodeSpec]],
     until_ms: int | None,
     backend_name: str,
+    retries: int,
+    retransmit_timeout_ms: int,
+    wire: bool,
 ) -> tuple[list[EpisodeResult], int]:
     """Worker-process entry point: run one shard of episodes sequentially.
 
-    *network* arrives as this process's private pickled copy, so shards
-    never share mutable state.  Episode indices are restored to their
-    position in the caller's spec list before results travel back.
+    *network* arrives as this process's private pickled copy (channel model
+    included), so shards never share mutable state.  Episode indices are
+    restored to their position in the caller's spec list before results
+    travel back.
     """
     set_backend(backend_name)
-    engine = FriendingEngine(network)
+    engine = FriendingEngine(
+        network, retries=retries, retransmit_timeout_ms=retransmit_timeout_ms,
+        wire=wire,
+    )
     result = engine.run([spec for _, spec in indexed_specs], until_ms=until_ms)
     for (original_index, _), episode in zip(indexed_specs, result.episodes):
         episode.episode = original_index
@@ -132,15 +185,15 @@ class FriendingEngine:
     latencies, refresh intervals); aggregate throughput is reported in
     episodes per simulated second.  Wall-clock time never enters the
     simulation, so a run is deterministic given seeded initiator and
-    participant RNGs: the same specs over the same network produce
-    bit-identical event orders, metrics and match sets, and N overlapping
-    episodes match N isolated runs episode-for-episode
-    (``tests/network/test_engine.py::TestDeterminism``).
+    participant RNGs: the same specs over the same network (and the same
+    channel model) produce bit-identical event orders, metrics and match
+    sets, and N overlapping episodes match N isolated runs episode-for-
+    episode (``tests/network/test_engine.py::TestDeterminism``).
 
     Parameters
     ----------
     network:
-        The shared node set and latency model.
+        The shared node set, channel model and latency parameters.
     mobility / radio_radius / refresh_interval_ms:
         When all three are given, the engine steps *mobility* every
         *refresh_interval_ms* of simulated time and rewires the network
@@ -149,6 +202,22 @@ class FriendingEngine:
         links.  Models exposing ``topology_delta`` (the grid-backed ones in
         :mod:`repro.network.mobility`) are refreshed incrementally: only
         the adjacency rows disturbed by motion are rewired.
+    retries / retransmit_timeout_ms:
+        Initiator-side reliability: when an episode has received no reply
+        *retransmit_timeout_ms* after a (re)broadcast, the origin floods a
+        fresh retransmission wave, up to *retries* times.  ``retries=0``
+        (the default) is exactly the old single-shot behaviour.
+    frame_tap:
+        Optional callable ``(src, dst, data: bytes)`` invoked for every
+        datagram copy the channel delivers -- the global-eavesdropper hook
+        (:class:`repro.attacks.eavesdrop.Eavesdropper.capture`).  Requires
+        the wire runtime.
+    wire:
+        ``False`` selects the object-passing baseline: identical event
+        flow and metrics but no serialization, no channel perturbation
+        (the channel must be perfect) and no tap.  It exists so
+        ``benchmarks/bench_wire_runtime.py`` can price the codec; real
+        runs keep the default.
     """
 
     def __init__(
@@ -158,6 +227,10 @@ class FriendingEngine:
         mobility=None,
         radio_radius: float | None = None,
         refresh_interval_ms: int | None = None,
+        retries: int = 0,
+        retransmit_timeout_ms: int = DEFAULT_RETRANSMIT_TIMEOUT_MS,
+        frame_tap=None,
+        wire: bool = True,
     ):
         if (mobility is None) != (refresh_interval_ms is None):
             raise ValueError("mobility and refresh_interval_ms must be given together")
@@ -165,15 +238,34 @@ class FriendingEngine:
             raise ValueError("topology refresh needs a radio_radius")
         if refresh_interval_ms is not None and refresh_interval_ms <= 0:
             raise ValueError("refresh interval must be positive")
+        if not 0 <= retries <= 255:
+            raise ValueError(
+                "retries must be in [0, 255]: one envelope byte names the wave"
+            )
+        if retransmit_timeout_ms <= 0:
+            raise ValueError("retransmit_timeout_ms must be positive")
+        if not wire:
+            if not network.channel.is_perfect:
+                raise ValueError(
+                    "the object-passing baseline cannot apply a lossy channel; "
+                    "use wire=True"
+                )
+            if frame_tap is not None:
+                raise ValueError("frame_tap requires the wire runtime (wire=True)")
         self.network = network
         self.mobility = mobility
         self.radio_radius = radio_radius
         self.refresh_interval_ms = refresh_interval_ms
+        self.retries = retries
+        self.retransmit_timeout_ms = retransmit_timeout_ms
+        self.frame_tap = frame_tap
+        self.wire = wire
         self.topology_refreshes = 0
         self._episodes: list[_Episode] = []
         self._queue: EventQueue | None = None
         self._pending_episode_events = 0
         self._refresh_horizon_ms = 0
+        self._package_cache: dict[bytes, RequestPackage] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -210,20 +302,30 @@ class FriendingEngine:
 
         first_start = min(spec.start_ms for spec in specs)
         queue = self._queue = EventQueue(first_start)
-        self._episodes = [_Episode(spec, i) for i, spec in enumerate(specs)]
+        self._episodes = [_Episode(spec, i, self.wire) for i, spec in enumerate(specs)]
         self.topology_refreshes = 0
         self._pending_episode_events = 0
+        self._package_cache = {}
 
         for episode in self._episodes:
-            # The initiator's own node never re-processes its own request.
+            # The initiator's own node never re-processes its own request:
+            # its session exists from the start (hops 0, no parent).
             origin = self.network.nodes[episode.spec.initiator_node]
-            origin.seen.add(episode.rid)
-            origin.hops[episode.rid] = 0
+            origin.sessions.open(
+                episode.rid, parent=None, hops=0,
+                expires_ms=episode.package.expiry_ms,
+                now_ms=episode.spec.start_ms,
+            )
             self._schedule(
                 episode.spec.start_ms - first_start,
                 BroadcastEvent(episode.index, episode.spec.initiator_node,
-                               episode.package.ttl),
+                               episode.frame),
             )
+            if self.retries > 0:
+                self._schedule(
+                    episode.spec.start_ms - first_start + self.retransmit_timeout_ms,
+                    RetransmitEvent(episode.index, attempt=1),
+                )
 
         if self.mobility is not None:
             self._schedule_refreshes(first_start, until_ms)
@@ -270,7 +372,9 @@ class FriendingEngine:
         (``tests/network/test_engine.py::TestDeterminism``), so sharding
         preserves results episode-for-episode: ``run_parallel(workers=4)``
         returns the same matches, metrics and aggregate as :meth:`run`
-        (pinned by ``tests/network/test_engine_parallel.py``).
+        (pinned by ``tests/network/test_engine_parallel.py``).  A lossy
+        channel keeps this property because every frame's fate hashes
+        from (seed, flow, link, seq), never from a shared RNG stream.
 
         Differences from :meth:`run`:
 
@@ -280,6 +384,11 @@ class FriendingEngine:
         - mid-run topology refresh is not supported (a refresh is a
           cross-episode side effect, which sharding removes) -- engines
           configured with a mobility model must use :meth:`run`;
+        - the frame tap is not forwarded to workers (taps close over
+          caller-side state); capture frames with a sequential run;
+        - session-table overflow is cross-episode coupling too: shard
+          results match sequential ones only while no node's table fills
+          (see :mod:`repro.network.sessions`);
         - the active crypto backend's *name* is forwarded to workers, so
           sharded runs measure the same backend as sequential ones.
         """
@@ -304,7 +413,8 @@ class FriendingEngine:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
-                    _run_episode_shard, self.network, shard, until_ms, backend_name
+                    _run_episode_shard, self.network, shard, until_ms, backend_name,
+                    self.retries, self.retransmit_timeout_ms, self.wire,
                 )
                 for shard in shards
             ]
@@ -323,18 +433,85 @@ class FriendingEngine:
             topology_refreshes=0,
         )
 
+    # -- frame plumbing -----------------------------------------------------
+
+    def _decode(self, data) -> Frame:
+        """Envelope validation: bytes in, checked Frame out (or raises)."""
+        if isinstance(data, Frame):  # object-passing baseline
+            return data
+        return decode_frame(data)
+
+    def _request_package(self, frame: Frame) -> RequestPackage:
+        """Decode a request payload, memoized on the exact payload bytes.
+
+        The payload is identical at every hop (relays patch only envelope
+        routing bytes), so each distinct request decodes once per engine
+        -- the cache key being the bytes keeps this transparent: any
+        corruption changes the key and fails envelope validation first.
+        """
+        if isinstance(frame.payload, RequestPackage):
+            return frame.payload
+        package = self._package_cache.get(frame.payload)
+        if package is None:
+            package = RequestPackage.decode(frame.payload)
+            self._package_cache[frame.payload] = package
+        return package
+
+    def _reframe(self, frame, *, ttl: int | None = None, seq: int | None = None):
+        if isinstance(frame, Frame):
+            updates = {}
+            if ttl is not None:
+                updates["ttl"] = ttl
+            if seq is not None:
+                updates["seq"] = seq
+            return replace(frame, **updates)
+        return reframe(frame, ttl=ttl, seq=seq)
+
+    @staticmethod
+    def _meta(frame) -> tuple[int, int]:
+        """(ttl, seq) straight from the envelope without a full decode."""
+        if isinstance(frame, Frame):
+            return frame.ttl, frame.seq
+        return frame[6], frame[7]
+
+    def _transmit(
+        self, episode: _Episode, frame, *, flow: bytes, link: tuple[str, str],
+        seq: int, latency_ms: int, frame_len: int,
+    ) -> list:
+        """Push one datagram through the channel; account the frame layer."""
+        deliveries = self.network.channel.transmit(
+            frame, flow=flow, link=link, seq=seq, latency_ms=latency_ms
+        )
+        metrics = episode.metrics
+        copies = len(deliveries)
+        metrics.frames_sent += max(1, copies)
+        metrics.frame_bytes += frame_len * max(1, copies)
+        if copies == 0:
+            metrics.frames_dropped += 1
+        elif copies > 1:
+            metrics.frames_duplicated += copies - 1
+        for delivery in deliveries:
+            if delivery.corrupted:
+                metrics.frames_corrupted += 1
+            if self.frame_tap is not None:
+                self.frame_tap(link[0], link[1], delivery.data)
+        return deliveries
+
     # -- event handling -----------------------------------------------------
 
     def _dispatch(self, event) -> None:
-        if isinstance(event, ReceiveEvent):
+        if isinstance(event, FrameEvent):
             self._pending_episode_events -= 1
-            self._on_receive(event)
+            self._on_frame(event)
         elif isinstance(event, BroadcastEvent):
             self._pending_episode_events -= 1
             self._on_broadcast(event)
         elif isinstance(event, ReplyHopEvent):
             self._pending_episode_events -= 1
             self._on_reply_hop(event)
+        elif isinstance(event, RetransmitEvent):
+            self._pending_episode_events -= 1
+            self._on_retransmit(event)
         elif isinstance(event, TopologyRefreshEvent):
             self._on_topology_refresh(event)
         else:  # pragma: no cover -- the engine only schedules the above
@@ -352,48 +529,78 @@ class FriendingEngine:
         episode.metrics.broadcasts += 1
         episode.metrics.bytes_broadcast += episode.package_bytes
         episode.last_event_ms = self._queue.now_ms
+        frame = event.frame
+        _, wave = self._meta(frame)
+        frame_len = FRAME_HEADER_LEN + episode.package_bytes
+        flow = episode.rid + b"Q"
         for neighbour in node.neighbours:
-            self._schedule(
-                self.network.hop_latency_ms,
-                ReceiveEvent(event.episode, neighbour, event.node, event.ttl),
+            deliveries = self._transmit(
+                episode, frame, flow=flow, link=(event.node, neighbour),
+                seq=wave, latency_ms=self.network.hop_latency_ms,
+                frame_len=frame_len,
             )
+            for delivery in deliveries:
+                self._schedule(
+                    delivery.delay_ms,
+                    FrameEvent(event.episode, neighbour, event.node, delivery.data),
+                )
 
-    def _on_receive(self, event: ReceiveEvent) -> None:
+    def _on_frame(self, event: FrameEvent) -> None:
         episode = self._episodes[event.episode]
         node = self.network.nodes[event.node]
         queue = self._queue
         episode.last_event_ms = queue.now_ms
-        if episode.rid in node.seen:
-            episode.metrics.dropped_duplicate += 1
+        try:
+            frame = self._decode(event.data)
+            if frame.ftype != FT_REQUEST:
+                raise SerializationError(f"unexpected frame type {frame.ftype} on flood")
+            package = self._request_package(frame)
+        except SerializationError:
+            # Corrupted or malformed on the air: the endpoint drops it whole.
+            episode.metrics.frames_rejected += 1
             return
-        if episode.package.is_expired(queue.now_ms):
+        rid = package.request_id
+        session = node.sessions.get(rid)
+        if session is not None:
+            if frame.seq > session.last_seq:
+                self._forward_wave(episode, event, node, frame, package, session)
+            else:
+                episode.metrics.dropped_duplicate += 1
+            return
+        if package.is_expired(queue.now_ms):
             episode.metrics.dropped_expired += 1
             return
         if not node.limiter.allow(event.from_node, queue.now_ms):
             episode.metrics.dropped_rate_limited += 1
             return
-        node.seen.add(episode.rid)
-        node.parent[episode.rid] = event.from_node
-        hops = self.network.nodes[event.from_node].hops.get(episode.rid, 0) + 1
-        node.hops[episode.rid] = hops
+        # Hop count derives from the bytes: initial TTL minus what remains.
+        hops = package.ttl - frame.ttl + 1
+        session = node.sessions.open(
+            rid, parent=event.from_node, hops=hops,
+            expires_ms=package.expiry_ms, now_ms=queue.now_ms,
+        )
+        if session is None:
+            episode.metrics.sessions_overflow += 1
+            return
+        session.last_seq = frame.seq
         episode.metrics.nodes_reached += 1
 
         participant = node.participant
         if participant is not None:
-            reply = participant.handle_request(episode.package, now_ms=queue.now_ms)
+            reply = participant.handle_request(package, now_ms=queue.now_ms)
             outcome = participant.last_outcome
             if outcome is not None and outcome.candidate:
                 episode.metrics.candidates += 1
             if reply is not None:
                 episode.metrics.replies += 1
-                self._schedule(
-                    self.network.processing_latency_ms,
-                    ReplyHopEvent(event.episode, reply, event.node, hops),
-                )
-        if event.ttl > 1:
+                self._send_reply(episode, reply, event.node, hops)
+        if frame.ttl > 1:
+            # Forward the *datagram* (event.data), not the decoded view:
+            # the relay patches the envelope TTL on the received bytes.
             self._schedule(
                 self.network.processing_latency_ms,
-                BroadcastEvent(event.episode, event.node, event.ttl - 1),
+                BroadcastEvent(event.episode, event.node,
+                               self._reframe(event.data, ttl=frame.ttl - 1)),
             )
         else:
             # TTL exhausted: the packet was received and fully processed
@@ -402,25 +609,132 @@ class FriendingEngine:
             # suppression here, at the point of suppression.
             episode.metrics.dropped_ttl += 1
 
+    def _forward_wave(self, episode, event, node, frame, package, session) -> None:
+        """Forward a fresh retransmission wave without re-processing.
+
+        The node already served this request (its session is open); a
+        higher envelope seq means the origin re-flooded.  The node relays
+        the wave exactly once -- patching nothing but its own wave mark --
+        so retransmissions heal loss holes at flood cost, while the
+        participant layer stays idempotent (it never sees the request
+        again).
+
+        The wave mark is only advanced once the copy survives the expiry
+        and rate-limit checks: a rejected copy leaves state untouched, so
+        a later copy of the same wave from another neighbour (whose
+        limiter budget is intact) can still carry the wave onward --
+        mirroring the first-contact path, where a rate-limited copy does
+        not open the session.
+        """
+        if package.is_expired(self._queue.now_ms):
+            episode.metrics.dropped_expired += 1
+            return
+        if not node.limiter.allow(event.from_node, self._queue.now_ms):
+            episode.metrics.dropped_rate_limited += 1
+            return
+        session.last_seq = frame.seq
+        if frame.ttl > 1:
+            self._schedule(
+                self.network.processing_latency_ms,
+                BroadcastEvent(event.episode, event.node,
+                               self._reframe(event.data, ttl=frame.ttl - 1)),
+            )
+        else:
+            episode.metrics.dropped_ttl += 1
+
+    def _send_reply(self, episode: _Episode, reply: Reply, via: str, hops: int) -> None:
+        """Encode a participant's reply and start it hopping home."""
+        n_elements = len(reply.elements)
+        if self.wire:
+            frame = encode_reply_frame(reply, ttl=min(hops, 255))
+            frame_len = len(frame)
+        else:
+            frame = Frame(FT_REPLY, reply, ttl=min(hops, 255))
+            frame_len = FRAME_HEADER_LEN + reply_wire_size(n_elements, reply.responder_id)
+        self._schedule(
+            self.network.processing_latency_ms,
+            ReplyHopEvent(
+                episode.index, frame, via, hops, n_elements, frame_len,
+                flow=episode.rid + b"R" + reply.responder_id.encode("utf-8"),
+            ),
+        )
+
     def _on_reply_hop(self, event: ReplyHopEvent) -> None:
         episode = self._episodes[event.episode]
         episode.last_event_ms = self._queue.now_ms
         if event.remaining_hops <= 0:
-            episode.spec.initiator.handle_reply(event.reply, self._queue.now_ms)
-            episode.metrics.reply_latency_ms.append(
-                self._queue.now_ms - episode.spec.start_ms
-            )
-            episode.replies.append(event.reply)
+            self._deliver_reply(episode, event)
             return
         episode.metrics.unicasts += 1
         episode.metrics.bytes_unicast += (
-            REPLY_OVERHEAD_BYTES + len(event.reply.elements) * REPLY_ELEMENT_BYTES
+            REPLY_OVERHEAD_BYTES + event.n_elements * REPLY_ELEMENT_BYTES
         )
+        # The channel seq folds in the copy lineage so sibling copies of a
+        # duplicated reply draw independent fates at every later hop
+        # (otherwise duplication would be all-or-nothing redundancy).
+        deliveries = self._transmit(
+            episode, event.frame, flow=event.flow,
+            link=(event.via, episode.spec.initiator_node),
+            seq=event.remaining_hops + (event.copy << 8),
+            latency_ms=self.network.hop_latency_ms,
+            frame_len=event.frame_len,
+        )
+        for fork, delivery in enumerate(deliveries):
+            self._schedule(
+                delivery.delay_ms,
+                ReplyHopEvent(event.episode, delivery.data, event.via,
+                              event.remaining_hops - 1, event.n_elements,
+                              event.frame_len, event.flow,
+                              copy=event.copy * 2 + fork),
+            )
+
+    def _deliver_reply(self, episode: _Episode, event: ReplyHopEvent) -> None:
+        """Initiator endpoint: validate, dedupe, and hand up one reply frame."""
+        try:
+            frame = self._decode(event.frame)
+            if frame.ftype != FT_REPLY:
+                raise SerializationError(f"unexpected frame type {frame.ftype} for a reply")
+            reply = frame.payload if isinstance(frame.payload, Reply) else decode_reply(frame.payload)
+        except SerializationError:
+            episode.metrics.frames_rejected += 1
+            return
+        if reply.responder_id in episode.seen_responders:
+            # Duplicate-frame idempotence: link-layer copies of a reply
+            # reach the endpoint once.
+            episode.metrics.duplicate_replies += 1
+            return
+        episode.seen_responders.add(reply.responder_id)
+        episode.spec.initiator.handle_reply(reply, self._queue.now_ms)
+        episode.metrics.reply_latency_ms.append(
+            self._queue.now_ms - episode.spec.start_ms
+        )
+        episode.replies.append(reply)
+
+    def _on_retransmit(self, event: RetransmitEvent) -> None:
+        episode = self._episodes[event.episode]
+        if episode.replies:
+            return  # answered: the timer dies quietly
+        if episode.package.is_expired(self._queue.now_ms):
+            return
+        episode.metrics.retransmissions += 1
+        episode.last_event_ms = self._queue.now_ms
+        origin = self.network.nodes[episode.spec.initiator_node]
+        session = origin.sessions.get(episode.rid)
+        if session is not None:
+            session.last_seq = event.attempt
         self._schedule(
-            self.network.hop_latency_ms,
-            ReplyHopEvent(event.episode, event.reply, event.via,
-                          event.remaining_hops - 1),
+            0,
+            BroadcastEvent(
+                event.episode, episode.spec.initiator_node,
+                self._reframe(episode.frame, ttl=episode.package.ttl,
+                              seq=event.attempt),
+            ),
         )
+        if event.attempt < self.retries:
+            self._schedule(
+                self.retransmit_timeout_ms,
+                RetransmitEvent(event.episode, attempt=event.attempt + 1),
+            )
 
     def _on_topology_refresh(self, event: TopologyRefreshEvent) -> None:
         self.mobility.step(event.interval_ms / 1000)

@@ -1,9 +1,13 @@
 """Discrete-event queue and the typed events of a friending episode.
 
 The queue itself is payload-agnostic (time-ordered callbacks); the event
-dataclasses below are the vocabulary the multi-episode engine speaks.  Each
-carries the episode index it belongs to, so any number of overlapping
-episodes can share one queue and one set of nodes.
+dataclasses below are the vocabulary the multi-episode engine speaks.  The
+unit the events carry is a **datagram** -- the encoded frame bytes that
+would be on the air -- so everything a receiving node learns, it learns by
+decoding bytes.  Each event also carries the episode index it belongs to;
+that index is engine bookkeeping (metrics attribution), never protocol
+state: any number of overlapping episodes can share one queue and one set
+of nodes, and the protocol handling derives everything from the frame.
 """
 
 from __future__ import annotations
@@ -16,43 +20,72 @@ from typing import Any
 __all__ = [
     "EventQueue",
     "BroadcastEvent",
-    "ReceiveEvent",
+    "FrameEvent",
     "ReplyHopEvent",
+    "RetransmitEvent",
     "TopologyRefreshEvent",
 ]
 
 
 @dataclass(frozen=True)
 class BroadcastEvent:
-    """Node *node* transmits episode *episode*'s request to all neighbours."""
+    """Node *node* transmits episode *episode*'s request frame to all neighbours.
+
+    ``frame`` is the encoded request datagram; its envelope TTL is the
+    remaining hop budget and its envelope seq the retransmission wave.
+    (In the engine's object-passing baseline mode it is an un-serialized
+    :class:`~repro.core.wire.Frame`, hence the loose type.)
+    """
 
     episode: int
     node: str
-    ttl: int
+    frame: Any
 
 
 @dataclass(frozen=True)
-class ReceiveEvent:
-    """One copy of the request arrives at *node* from *from_node*."""
+class FrameEvent:
+    """One datagram copy arrives at *node* from *from_node*.
+
+    ``data`` is exactly what the channel delivered -- possibly corrupted
+    bytes that will fail the envelope checksum.
+    """
 
     episode: int
     node: str
     from_node: str
-    ttl: int
+    data: Any
 
 
 @dataclass(frozen=True)
 class ReplyHopEvent:
-    """A reply travels one hop back towards the episode's initiator.
+    """A reply frame travels one hop back towards the episode's initiator.
 
-    ``reply`` is a :class:`repro.core.protocols.Reply`; typed loosely so the
-    event vocabulary stays free of protocol-layer imports.
+    ``frame`` is the encoded reply datagram; ``remaining_hops`` counts down
+    to endpoint delivery.  ``n_elements`` and ``frame_len`` ride along for
+    the byte accounting at relay hops (the paper's cost model counts
+    payload bytes; the frame counters count datagram bytes), and ``flow``
+    is the channel-model flow id derived once at reply creation.  ``copy``
+    is the lineage index of this physical copy (link-layer duplication
+    forks it), folded into the channel seq so sibling copies draw
+    independent fates at subsequent hops.
     """
 
     episode: int
-    reply: Any
+    frame: Any
     via: str
     remaining_hops: int
+    n_elements: int
+    frame_len: int
+    flow: bytes
+    copy: int = 0
+
+
+@dataclass(frozen=True)
+class RetransmitEvent:
+    """Initiator-side retransmission timer for an unanswered request."""
+
+    episode: int
+    attempt: int
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,19 @@ class NetworkMetrics:
     A *broadcast* is one node transmitting the request package to all of
     its neighbours at once (the wireless medium is shared); a *unicast* is
     one hop of a reply travelling back towards the initiator.
+
+    Two byte accountings coexist deliberately.  ``bytes_broadcast`` /
+    ``bytes_unicast`` follow the paper's communication cost model (payload
+    bytes, Table VII) and are unchanged by the datagram runtime.  The
+    ``frames_*`` / ``frame_bytes`` counters account the datagram layer:
+    one frame per link transmission, envelope included, with the channel
+    model's drops, link-layer duplicates and in-flight corruption broken
+    out.  ``frames_rejected`` counts frames an endpoint discarded at
+    decode time (checksum or codec failure); ``duplicate_replies`` counts
+    reply copies the initiator endpoint deduplicated; ``retransmissions``
+    counts origin re-broadcast waves for unanswered requests; and
+    ``sessions_overflow`` counts requests refused because a node's bounded
+    session table was full.
     """
 
     broadcasts: int = 0
@@ -40,6 +53,15 @@ class NetworkMetrics:
     dropped_ttl: int = 0
     dropped_expired: int = 0
     dropped_rate_limited: int = 0
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    frames_duplicated: int = 0
+    frames_corrupted: int = 0
+    frames_rejected: int = 0
+    frame_bytes: int = 0
+    duplicate_replies: int = 0
+    retransmissions: int = 0
+    sessions_overflow: int = 0
     reply_latency_ms: list[int] = field(default_factory=list)
 
     @property
@@ -60,6 +82,15 @@ class NetworkMetrics:
         self.dropped_ttl += other.dropped_ttl
         self.dropped_expired += other.dropped_expired
         self.dropped_rate_limited += other.dropped_rate_limited
+        self.frames_sent += other.frames_sent
+        self.frames_dropped += other.frames_dropped
+        self.frames_duplicated += other.frames_duplicated
+        self.frames_corrupted += other.frames_corrupted
+        self.frames_rejected += other.frames_rejected
+        self.frame_bytes += other.frame_bytes
+        self.duplicate_replies += other.duplicate_replies
+        self.retransmissions += other.retransmissions
+        self.sessions_overflow += other.sessions_overflow
         self.reply_latency_ms.extend(other.reply_latency_ms)
 
     def as_dict(self) -> dict[str, float]:
@@ -77,6 +108,15 @@ class NetworkMetrics:
             "dropped_ttl": self.dropped_ttl,
             "dropped_expired": self.dropped_expired,
             "dropped_rate_limited": self.dropped_rate_limited,
+            "frames_sent": self.frames_sent,
+            "frames_dropped": self.frames_dropped,
+            "frames_duplicated": self.frames_duplicated,
+            "frames_corrupted": self.frames_corrupted,
+            "frames_rejected": self.frames_rejected,
+            "frame_bytes": self.frame_bytes,
+            "duplicate_replies": self.duplicate_replies,
+            "retransmissions": self.retransmissions,
+            "sessions_overflow": self.sessions_overflow,
             "mean_reply_latency_ms": (
                 sum(self.reply_latency_ms) / len(self.reply_latency_ms)
                 if self.reply_latency_ms

@@ -19,7 +19,9 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.core.protocols import Initiator, MatchRecord, Participant, Reply
+from repro.network.channel_model import ChannelModel, PerfectChannel
 from repro.network.metrics import NetworkMetrics
+from repro.network.sessions import DEFAULT_SESSION_LIMIT, SessionTable
 
 __all__ = [
     "AdHocNetwork",
@@ -59,16 +61,17 @@ class RateLimiter:
 
 
 class Node:
-    """One radio node: identity, links, and per-request flood state.
+    """One radio node: identity, links, and per-request session state.
 
-    The flood state is keyed by request id, so a node can take part in any
-    number of overlapping episodes: ``seen`` suppresses duplicate copies,
-    ``parent``/``hops`` record the reverse path each request flooded in on,
-    and the limiter is *shared* across episodes -- it models the node's
-    per-neighbour traffic budget, not per-request bookkeeping.
+    Session state is keyed by request id, so a node can take part in any
+    number of overlapping episodes: the :class:`SessionTable` suppresses
+    duplicate copies and records the reverse path (parent, hop count) each
+    request flooded in on, bounded and TTL-evicted.  The limiter is
+    *shared* across episodes -- it models the node's per-neighbour traffic
+    budget, not per-request bookkeeping.
     """
 
-    __slots__ = ("node_id", "participant", "neighbours", "limiter", "seen", "parent", "hops")
+    __slots__ = ("node_id", "participant", "neighbours", "limiter", "sessions")
 
     def __init__(
         self,
@@ -76,14 +79,14 @@ class Node:
         participant: Participant | None,
         neighbours: list[str],
         limiter: RateLimiter | None = None,
+        session_limit: int = DEFAULT_SESSION_LIMIT,
+        session_overflow: str = "evict_oldest",
     ):
         self.node_id = node_id
         self.participant = participant
         self.neighbours = list(neighbours)
         self.limiter = limiter or RateLimiter(max_events=50, window_ms=10_000)
-        self.seen: set[bytes] = set()
-        self.parent: dict[bytes, str] = {}
-        self.hops: dict[bytes, int] = {}
+        self.sessions = SessionTable(session_limit, session_overflow)
 
 
 @dataclass
@@ -121,6 +124,13 @@ class AdHocNetwork:
     hop_latency_ms / processing_latency_ms:
         Per-hop radio latency and per-node processing delay, in simulated
         milliseconds.
+    channel:
+        The :class:`~repro.network.channel_model.ChannelModel` every hop's
+        frames pass through; defaults to a lossless
+        :class:`~repro.network.channel_model.PerfectChannel`.
+    session_limit / session_overflow:
+        Per-node :class:`~repro.network.sessions.SessionTable` bound and
+        overflow policy (``"evict_oldest"`` or ``"drop_new"``).
     """
 
     def __init__(
@@ -132,6 +142,9 @@ class AdHocNetwork:
         processing_latency_ms: int = 1,
         rate_limit: RateLimiter | None = None,
         rng: random.Random | None = None,
+        channel: ChannelModel | None = None,
+        session_limit: int = DEFAULT_SESSION_LIMIT,
+        session_overflow: str = "evict_oldest",
     ):
         unknown = set(participants) - set(adjacency)
         if unknown:
@@ -140,6 +153,7 @@ class AdHocNetwork:
         self.hop_latency_ms = hop_latency_ms
         self.processing_latency_ms = processing_latency_ms
         self.rng = rng or random.Random()
+        self.channel = channel if channel is not None else PerfectChannel()
         self.nodes = {
             node: Node(
                 node,
@@ -149,6 +163,8 @@ class AdHocNetwork:
                     max_events=rate_limit.max_events if rate_limit else 50,
                     window_ms=rate_limit.window_ms if rate_limit else 10_000,
                 ),
+                session_limit=session_limit,
+                session_overflow=session_overflow,
             )
             for node, neigh in adjacency.items()
         }
@@ -176,11 +192,16 @@ class AdHocNetwork:
         *,
         start_ms: int = 0,
         deadline_ms: int | None = None,
+        retries: int = 0,
     ) -> FriendingResult:
-        """Run one full episode and return matches plus metrics."""
+        """Run one full episode and return matches plus metrics.
+
+        *retries* is the initiator's retransmission budget for an
+        unanswered request (meaningful over a lossy ``channel``).
+        """
         from repro.network.engine import EpisodeSpec, FriendingEngine
 
-        engine = FriendingEngine(self)
+        engine = FriendingEngine(self, retries=retries)
         result = engine.run(
             [EpisodeSpec(initiator_node=initiator_node, initiator=initiator, start_ms=start_ms)],
             until_ms=deadline_ms,

@@ -14,6 +14,7 @@ from repro.attacks.eavesdrop import (
 from repro.attacks.eavesdrop import profiling_guesses_log2
 from repro.core.attributes import Profile, RequestProfile
 from repro.core.protocols import Initiator, Participant
+from repro.core.wire import encode_reply_frame, encode_request_frame
 
 
 class TestProfilingCost:
@@ -54,17 +55,71 @@ class TestObservations:
         participant = Participant(Profile(["tag:a", "tag:b"], user_id="m", normalized=True))
         reply = participant.handle_request(package, now_ms=1)
         eve.observe_reply(reply)
-        return eve, package
+        return eve, package, reply
 
     def test_no_attribute_hashes_on_the_wire(self):
-        eve, _ = self._traffic()
+        eve, _, _ = self._traffic()
         assert eve.attribute_hashes_observed() == 0
 
     def test_remainder_information_bounded(self):
-        eve, package = self._traffic()
+        eve, package, _ = self._traffic()
         expected = len(package.remainders) * math.log2(package.p)
         assert eve.remainder_information_bits() == pytest.approx(expected)
 
-    def test_byte_accounting(self):
-        eve, package = self._traffic()
-        assert eve.traffic.observed_bytes == package.wire_size_bytes() + 48
+    def test_byte_accounting_is_frame_level(self):
+        eve, package, reply = self._traffic()
+        expected = len(encode_request_frame(package)) + len(encode_reply_frame(reply))
+        assert eve.traffic.observed_bytes == expected
+        assert eve.traffic.frames_captured == 2
+
+    def test_rebroadcast_copies_add_no_information(self):
+        """The same request on many links: one package, many frames."""
+        eve, package, _ = self._traffic()
+        bits_before = eve.remainder_information_bits()
+        frame = encode_request_frame(package)
+        for dst in ("n1", "n2", "n3"):
+            eve.capture("n0", dst, frame)
+        assert len(eve.traffic.packages) == 1
+        assert eve.traffic.frames_captured == 5
+        assert eve.remainder_information_bits() == bits_before
+
+    def test_corrupted_frames_unreadable_to_the_adversary_too(self):
+        eve, package, _ = self._traffic()
+        frame = bytearray(encode_request_frame(package))
+        frame[len(frame) // 2] ^= 0x40
+        eve.capture("n0", "n1", bytes(frame))
+        assert eve.traffic.undecodable == 1
+        assert len(eve.traffic.packages) == 1  # only the clean copy decoded
+
+
+class TestEngineTap:
+    def test_eavesdropper_reconstructs_flood_from_the_tap(self):
+        """Wired as the engine's frame tap, Eve sees every datagram copy."""
+        from repro.network.engine import EpisodeSpec, FriendingEngine
+        from repro.network.simulator import AdHocNetwork
+        from repro.network.topology import line_topology
+
+        eve = Eavesdropper()
+        adjacency, _ = line_topology(4)
+        participants = {
+            "n0": None,
+            "n1": Participant(Profile(["tag:x1"], user_id="n1", normalized=True)),
+            "n2": Participant(Profile(["tag:x2"], user_id="n2", normalized=True)),
+            "n3": Participant(Profile(["tag:a", "tag:b"], user_id="n3", normalized=True),
+                              rng=random.Random(9)),
+        }
+        network = AdHocNetwork(adjacency, participants)
+        initiator = Initiator(
+            RequestProfile.exact(["tag:a", "tag:b"], normalized=True),
+            protocol=2, rng=random.Random(1),
+        )
+        engine = FriendingEngine(network, frame_tap=eve.capture)
+        result = engine.run([EpisodeSpec(initiator_node="n0", initiator=initiator)])
+
+        # Eve captured every link transmission and decoded the one request.
+        metrics = result.episodes[0].metrics
+        assert eve.traffic.frames_captured == metrics.frames_sent
+        assert list(eve.traffic.packages) == [initiator.secret.request_id]
+        # She also saw the matching user's acknowledge set -- as ciphertext.
+        assert [r.responder_id for r in eve.traffic.replies] == ["n3"]
+        assert eve.attribute_hashes_observed() == 0

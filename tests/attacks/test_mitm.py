@@ -1,4 +1,4 @@
-"""Man-in-the-middle resistance tests (Sec. IV-A2)."""
+"""Man-in-the-middle resistance tests over actual wire frames (Sec. IV-A2)."""
 
 from __future__ import annotations
 
@@ -9,7 +9,16 @@ import pytest
 from repro.attacks.mitm import ManInTheMiddle
 from repro.core.attributes import Profile, RequestProfile
 from repro.core.channel import SecureChannel
+from repro.core.exceptions import SerializationError
 from repro.core.protocols import Initiator, Participant
+from repro.core.wire import (
+    decode_frame,
+    decode_payload,
+    decode_session_message,
+    encode_reply_frame,
+    encode_request_frame,
+    encode_session_message,
+)
 from repro.crypto.authenticated import AuthenticationError
 
 REQUEST = RequestProfile.exact(["tag:a", "tag:b"], normalized=True)
@@ -17,9 +26,13 @@ MATCH = Profile(["tag:a", "tag:b", "tag:c"], user_id="match", normalized=True)
 
 
 def _run_with_mitm(protocol=2):
+    """One friending exchange with the attacker on the wire."""
     mitm = ManInTheMiddle()
     initiator = Initiator(REQUEST, protocol=protocol, rng=random.Random(4))
-    package = mitm.intercept_request(initiator.create_request(now_ms=0))
+    request_frame = mitm.intercept_request(
+        encode_request_frame(initiator.create_request(now_ms=0))
+    )
+    package = decode_payload(decode_frame(request_frame))
     participant = Participant(MATCH)
     reply = participant.handle_request(package, now_ms=1)
     return mitm, initiator, participant, package, reply
@@ -30,39 +43,64 @@ class TestPassiveMitm:
         mitm, *_ = _run_with_mitm()
         assert not mitm.outcome.read_x
 
+    def test_forwarded_request_is_byte_identical(self):
+        mitm = ManInTheMiddle()
+        initiator = Initiator(REQUEST, protocol=2, rng=random.Random(4))
+        frame = encode_request_frame(initiator.create_request(now_ms=0))
+        assert mitm.intercept_request(frame) == frame
+
     def test_cannot_read_session_traffic(self):
         mitm, initiator, participant, package, reply = _run_with_mitm()
         record = initiator.handle_reply(reply, now_ms=2)
-        message = SecureChannel(record.session_key).send(b"secret chat")
+        session_frame = encode_session_message(
+            package.request_id, SecureChannel(record.session_key).send(b"secret chat")
+        )
         guessed_keys = [bytes([i]) * 32 for i in range(16)]
-        assert not mitm.attack_session(message, guessed_keys)
+        assert not mitm.attack_session(session_frame, guessed_keys)
 
 
 class TestActiveMitm:
-    def test_substituted_reply_rejected(self):
-        """The classic splice: replace y with the attacker's own secret."""
+    def test_substituted_reply_wellformed_but_rejected_by_protocol(self):
+        """The classic splice: a *valid frame* whose elements fail the ACK check."""
         mitm, initiator, participant, package, reply = _run_with_mitm()
-        forged = mitm.substitute_reply(reply)
+        forged_frame = mitm.substitute_reply(encode_reply_frame(reply))
+        forged = decode_payload(decode_frame(forged_frame))  # codec accepts it
         assert initiator.handle_reply(forged, now_ms=2) is None
         assert initiator.matches == []
+        assert initiator.rejected[-1].reason == "no element verified"
 
-    def test_tampered_session_message_rejected(self):
+    def test_bitflipped_frame_rejected_by_codec(self):
+        """Tampering without re-framing dies at the envelope checksum."""
+        mitm, initiator, participant, package, reply = _run_with_mitm()
+        reply_frame = encode_reply_frame(reply)
+        for bit_index in (0, 7 * 8, len(reply_frame) * 8 - 3):
+            with pytest.raises(SerializationError):
+                decode_frame(mitm.tamper_frame(reply_frame, bit_index))
+
+    def test_tampered_session_message_rejected_by_mac(self):
         mitm, initiator, participant, package, reply = _run_with_mitm()
         record = initiator.handle_reply(reply, now_ms=2)
         channel = SecureChannel(record.session_key)
-        tampered = mitm.tamper_session(channel.send(b"meet at noon"))
+        session_frame = encode_session_message(
+            package.request_id, channel.send(b"meet at noon")
+        )
+        tampered = mitm.tamper_session(session_frame)
+        # Decode-then-tamper keeps the envelope valid...
+        _, ciphertext = decode_session_message(tampered)
         receiver = SecureChannel(record.session_key)
+        # ...so the AEAD layer must be what rejects it.
         with pytest.raises(AuthenticationError):
-            receiver.receive(tampered)
+            receiver.receive(ciphertext)
 
     def test_original_reply_still_works_when_relayed(self):
         """MITM that faithfully relays gains nothing and blocks nothing."""
         mitm, initiator, participant, package, reply = _run_with_mitm()
-        mitm.substitute_reply(reply)  # attacker keeps a forged copy
+        mitm.substitute_reply(encode_reply_frame(reply))  # attacker keeps a forged copy
         record = initiator.handle_reply(reply, now_ms=2)  # genuine one arrives
         assert record is not None
 
     def test_protocol1_equally_resistant(self):
         mitm, initiator, participant, package, reply = _run_with_mitm(protocol=1)
-        forged = mitm.substitute_reply(reply)
+        forged_frame = mitm.substitute_reply(encode_reply_frame(reply))
+        forged = decode_payload(decode_frame(forged_frame))
         assert initiator.handle_reply(forged, now_ms=2) is None

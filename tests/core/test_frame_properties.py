@@ -1,0 +1,201 @@
+"""Hypothesis property tests for the frame envelope (all message classes).
+
+The contract under test: ``decode_frame(encode_frame(...))`` is the
+identity for every message class, and *every* malformed input --
+truncation, any single bit flip, unknown version, unknown type tag,
+length-field lies, trailing bytes -- raises
+:class:`~repro.core.exceptions.SerializationError`, never a partial parse.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import RequestProfile
+from repro.core.exceptions import SerializationError
+from repro.core.matching import build_request
+from repro.core.protocols import Reply
+from repro.core.wire import (
+    FRAME_HEADER_LEN,
+    FRAME_TYPES,
+    FT_REPLY,
+    FT_REQUEST,
+    FT_SESSION,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_reply_frame,
+    encode_request_frame,
+    encode_session_frame,
+    reframe,
+)
+
+# -- generators for the three message classes --------------------------------
+
+
+@st.composite
+def request_frames(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n_optional = draw(st.integers(min_value=1, max_value=5))
+    beta = draw(st.integers(min_value=0, max_value=n_optional - 1)) if n_optional > 1 else 0
+    protocol = draw(st.sampled_from([1, 2, 3]))
+    request = RequestProfile(
+        necessary=[f"tag:n{seed}"],
+        optional=[f"tag:o{i}" for i in range(n_optional)],
+        beta=beta,
+        normalized=True,
+    )
+    package, _ = build_request(
+        request, protocol=protocol, p=11, rng=random.Random(seed), now_ms=0
+    )
+    return package, encode_request_frame(package)
+
+
+@st.composite
+def reply_frames(draw):
+    n = draw(st.integers(min_value=0, max_value=8))
+    responder = draw(
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FFF), max_size=40)
+    )
+    reply = Reply(
+        request_id=draw(st.binary(min_size=8, max_size=8)),
+        responder_id=responder,
+        elements=tuple(bytes([i % 256]) * 48 for i in range(n)),
+        sent_at_ms=draw(st.integers(min_value=0, max_value=2**63 - 1)),
+    )
+    ttl = draw(st.integers(min_value=0, max_value=255))
+    return reply, encode_reply_frame(reply, ttl=ttl)
+
+
+@st.composite
+def session_frames(draw):
+    channel_id = draw(st.binary(min_size=8, max_size=8))
+    ciphertext = draw(st.binary(min_size=0, max_size=200))
+    return (channel_id, ciphertext), encode_session_frame(channel_id, ciphertext)
+
+
+ANY_FRAME = st.one_of(request_frames(), reply_frames(), session_frames())
+
+
+# -- round trips -------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(request_frames())
+    @settings(max_examples=25, deadline=None)
+    def test_request_identity(self, built):
+        package, frame = built
+        decoded = decode_frame(frame)
+        assert decoded.ftype == FT_REQUEST
+        assert decoded.ttl == package.ttl
+        assert decode_payload(decoded) == package
+
+    @given(reply_frames())
+    @settings(max_examples=40, deadline=None)
+    def test_reply_identity(self, built):
+        reply, frame = built
+        decoded = decode_frame(frame)
+        assert decoded.ftype == FT_REPLY
+        assert decode_payload(decoded) == reply
+
+    @given(session_frames())
+    @settings(max_examples=40, deadline=None)
+    def test_session_identity(self, built):
+        (channel_id, ciphertext), frame = built
+        decoded = decode_frame(frame)
+        assert decoded.ftype == FT_SESSION
+        assert decode_payload(decoded) == (channel_id, ciphertext)
+
+    @given(reply_frames(), st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_reframe_patches_only_routing_bytes(self, built, ttl, seq):
+        reply, frame = built
+        patched = decode_frame(reframe(frame, ttl=ttl, seq=seq))
+        assert (patched.ttl, patched.seq) == (ttl, seq)
+        assert patched.payload == decode_frame(frame).payload
+
+
+# -- strict rejection --------------------------------------------------------
+
+
+class TestRejection:
+    @given(ANY_FRAME, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_rejected(self, built, data):
+        _, frame = built
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(SerializationError):
+            decode_frame(frame[:cut])
+
+    @given(ANY_FRAME, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_bit_flip_rejected(self, built, data):
+        """CRC-32 detects every single-bit error; magic/header flips too."""
+        _, frame = built
+        bit = data.draw(st.integers(min_value=0, max_value=len(frame) * 8 - 1))
+        flipped = bytearray(frame)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(SerializationError):
+            decode_frame(bytes(flipped))
+
+    @given(ANY_FRAME, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_trailing_bytes_rejected(self, built, data):
+        _, frame = built
+        tail = data.draw(st.binary(min_size=1, max_size=16))
+        with pytest.raises(SerializationError):
+            decode_frame(frame + tail)
+
+    @given(ANY_FRAME, st.integers(min_value=2, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_unknown_version_rejected(self, built, version):
+        """A future version must be rejected even with a refreshed checksum."""
+        import struct
+        import zlib
+
+        _, frame = built
+        forged = bytearray(frame)
+        forged[4] = version
+        crc = zlib.crc32(bytes(forged[4:12])) & 0xFFFF_FFFF
+        crc = zlib.crc32(bytes(forged[FRAME_HEADER_LEN:]), crc) & 0xFFFF_FFFF
+        forged[12:16] = struct.pack(">I", crc)
+        with pytest.raises(SerializationError, match="version"):
+            decode_frame(bytes(forged))
+
+    @given(ANY_FRAME, st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_unknown_type_rejected(self, built, ftype):
+        import struct
+        import zlib
+
+        if ftype in FRAME_TYPES:
+            return
+        _, frame = built
+        forged = bytearray(frame)
+        forged[5] = ftype
+        crc = zlib.crc32(bytes(forged[4:12])) & 0xFFFF_FFFF
+        crc = zlib.crc32(bytes(forged[FRAME_HEADER_LEN:]), crc) & 0xFFFF_FFFF
+        forged[12:16] = struct.pack(">I", crc)
+        with pytest.raises(SerializationError, match="type"):
+            decode_frame(bytes(forged))
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes_never_half_parse(self, data):
+        try:
+            decode_frame(data)
+        except SerializationError:
+            pass
+
+    def test_encode_rejects_bad_type_and_ranges(self):
+        with pytest.raises(SerializationError):
+            encode_frame(99, b"x")
+        with pytest.raises(SerializationError):
+            encode_frame(FT_REPLY, b"x", ttl=256)
+        with pytest.raises(SerializationError):
+            encode_frame(FT_REPLY, b"x", seq=-1)

@@ -68,10 +68,23 @@ class TestWireFormatPins:
         reply = Reply(request_id=b"12345678", responder_id="r", elements=(), sent_at_ms=0)
         assert encode_reply(reply)[:4] == b"SBRP"
 
-    def test_session_magic(self):
-        from repro.core.wire import encode_session_message
+    def test_session_rides_the_frame_envelope(self):
+        from repro.core.wire import FT_SESSION, encode_session_message
 
-        assert encode_session_message(b"12345678", b"x")[:4] == b"SBSM"
+        framed = encode_session_message(b"12345678", b"x")
+        assert framed[:4] == b"SBFM"  # one envelope for every message class
+        assert framed[4] == 1  # frame version byte
+        assert framed[5] == FT_SESSION
+
+    def test_frame_envelope_layout_stable(self):
+        from repro.core.wire import FRAME_HEADER_LEN, FT_REPLY, decode_frame, encode_frame
+
+        frame = encode_frame(FT_REPLY, b"payload", ttl=3, seq=1)
+        assert frame[:4] == b"SBFM"
+        assert frame[4] == 1 and frame[5] == FT_REPLY
+        assert frame[6] == 3 and frame[7] == 1
+        assert len(frame) == FRAME_HEADER_LEN + len(b"payload")
+        assert decode_frame(frame).payload == b"payload"
 
 
 class TestCrossDeviceAgreement:

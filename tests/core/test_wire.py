@@ -9,6 +9,9 @@ from hypothesis import strategies as st
 from repro.core.exceptions import SerializationError
 from repro.core.protocols import Reply
 from repro.core.wire import (
+    MAX_REPLY_ELEMENTS_WIRE,
+    MAX_RESPONDER_ID_LEN,
+    REPLY_ELEMENT_LEN,
     decode_reply,
     decode_session_message,
     encode_reply,
@@ -80,6 +83,69 @@ class TestReplyValidation:
         data = encode_reply(_reply(1))
         with pytest.raises(SerializationError):
             decode_reply(data + b"junk")
+
+
+class TestReplyBoundaries:
+    """Every wire limit is a typed SerializationError at the exact boundary."""
+
+    def test_responder_id_at_limit_round_trips(self):
+        reply = _reply(1, responder="x" * MAX_RESPONDER_ID_LEN)
+        assert decode_reply(encode_reply(reply)) == reply
+
+    def test_responder_id_one_past_limit_rejected(self):
+        with pytest.raises(SerializationError, match="responder id too long"):
+            encode_reply(_reply(1, responder="x" * (MAX_RESPONDER_ID_LEN + 1)))
+
+    def test_responder_limit_is_encoded_bytes_not_characters(self):
+        # 128 two-byte characters encode to 256 bytes: one past the limit.
+        with pytest.raises(SerializationError, match="responder id too long"):
+            encode_reply(_reply(1, responder="é" * 128))
+
+    @pytest.mark.parametrize("bad_len", [REPLY_ELEMENT_LEN - 1, REPLY_ELEMENT_LEN + 1, 0])
+    def test_element_length_off_by_one_rejected(self, bad_len):
+        reply = Reply(
+            request_id=b"12345678", responder_id="x",
+            elements=(b"e" * bad_len,), sent_at_ms=0,
+        )
+        with pytest.raises(SerializationError, match="reply elements must be"):
+            encode_reply(reply)
+
+    def test_element_count_at_wire_limit_encodes(self):
+        reply = Reply(
+            request_id=b"12345678", responder_id="",
+            elements=(b"e" * REPLY_ELEMENT_LEN,) * MAX_REPLY_ELEMENTS_WIRE,
+            sent_at_ms=0,
+        )
+        encoded = encode_reply(reply)
+        assert len(encoded) == reply_wire_size(MAX_REPLY_ELEMENTS_WIRE)
+
+    def test_element_count_one_past_wire_limit_rejected(self):
+        reply = Reply(
+            request_id=b"12345678", responder_id="",
+            elements=(b"e" * REPLY_ELEMENT_LEN,) * (MAX_REPLY_ELEMENTS_WIRE + 1),
+            sent_at_ms=0,
+        )
+        with pytest.raises(SerializationError, match="acknowledge set too large"):
+            encode_reply(reply)
+
+    @pytest.mark.parametrize("rid", [b"", b"1234567", b"123456789"])
+    def test_request_id_must_be_exactly_8_bytes(self, rid):
+        reply = Reply(request_id=rid, responder_id="x",
+                      elements=(), sent_at_ms=0)
+        with pytest.raises(SerializationError, match="request id"):
+            encode_reply(reply)
+
+    @pytest.mark.parametrize("sent", [-1, 2**64])
+    def test_timestamp_range_is_typed_not_struct_error(self, sent):
+        reply = Reply(request_id=b"12345678", responder_id="x",
+                      elements=(), sent_at_ms=sent)
+        with pytest.raises(SerializationError, match="sent_at_ms"):
+            encode_reply(reply)
+
+    def test_timestamp_at_limit_round_trips(self):
+        reply = Reply(request_id=b"12345678", responder_id="x",
+                      elements=(), sent_at_ms=2**64 - 1)
+        assert decode_reply(encode_reply(reply)).sent_at_ms == 2**64 - 1
 
 
 class TestSessionMessages:

@@ -1,0 +1,114 @@
+"""ChannelModel: determinism, fate distribution, PerfectChannel passthrough."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.core.wire import FT_SESSION, decode_frame, encode_frame
+from repro.network.channel_model import ChannelModel, PerfectChannel
+
+FRAME = encode_frame(FT_SESSION, b"payload-bytes" * 3, ttl=4)
+
+
+class TestPerfectChannel:
+    def test_passthrough_is_byte_identical(self):
+        channel = PerfectChannel()
+        assert channel.is_perfect
+        deliveries = channel.transmit(
+            FRAME, flow=b"f", link=("a", "b"), seq=0, latency_ms=2
+        )
+        assert len(deliveries) == 1
+        assert deliveries[0].delay_ms == 2
+        assert deliveries[0].data is FRAME  # not even copied
+        assert not deliveries[0].corrupted
+
+    def test_all_zero_channel_model_is_perfect(self):
+        assert ChannelModel().is_perfect
+        assert not ChannelModel(drop_rate=0.1).is_perfect
+        assert not ChannelModel(jitter_ms=1).is_perfect
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["drop_rate", "dup_rate", "reorder_rate", "corrupt_rate"])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError, match=field):
+            ChannelModel(**{field: 1.5})
+        with pytest.raises(ValueError, match=field):
+            ChannelModel(**{field: -0.1})
+
+    def test_jitter_must_be_non_negative_int(self):
+        with pytest.raises(ValueError):
+            ChannelModel(jitter_ms=-1)
+        with pytest.raises(ValueError):
+            ChannelModel(jitter_ms=1.5)
+
+
+class TestDeterminism:
+    def test_same_key_same_fate(self):
+        """A transmission's fate is a pure function of (seed, flow, link, seq)."""
+        a = ChannelModel(drop_rate=0.3, dup_rate=0.2, corrupt_rate=0.2, jitter_ms=5, seed=7)
+        b = ChannelModel(drop_rate=0.3, dup_rate=0.2, corrupt_rate=0.2, jitter_ms=5, seed=7)
+        for seq in range(50):
+            assert a.transmit(FRAME, flow=b"f1", link=("x", "y"), seq=seq, latency_ms=2) == (
+                b.transmit(FRAME, flow=b"f1", link=("x", "y"), seq=seq, latency_ms=2)
+            )
+
+    def test_fate_independent_of_call_order(self):
+        """Interleaving (episode scheduling) cannot change any frame's fate."""
+        channel = ChannelModel(drop_rate=0.4, jitter_ms=3, seed=1)
+        keys = [(bytes([i]), ("a", f"n{j}"), k) for i in range(4) for j in range(4) for k in range(4)]
+        forward = [channel.transmit(FRAME, flow=f, link=link, seq=s, latency_ms=2)
+                   for f, link, s in keys]
+        backward = [channel.transmit(FRAME, flow=f, link=link, seq=s, latency_ms=2)
+                    for f, link, s in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_perturb_different_frames(self):
+        a = ChannelModel(drop_rate=0.5, seed=1)
+        b = ChannelModel(drop_rate=0.5, seed=2)
+        fates_a = [bool(a.transmit(FRAME, flow=bytes([i]), link=("x", "y"), seq=0, latency_ms=1))
+                   for i in range(64)]
+        fates_b = [bool(b.transmit(FRAME, flow=bytes([i]), link=("x", "y"), seq=0, latency_ms=1))
+                   for i in range(64)]
+        assert fates_a != fates_b
+
+
+class TestFates:
+    def _fates(self, channel, n=2000):
+        return [
+            channel.transmit(FRAME, flow=i.to_bytes(4, "big"), link=("a", "b"),
+                             seq=0, latency_ms=2)
+            for i in range(n)
+        ]
+
+    def test_drop_rate_is_roughly_honoured(self):
+        deliveries = self._fates(ChannelModel(drop_rate=0.2, seed=3))
+        dropped = sum(1 for d in deliveries if not d) / len(deliveries)
+        assert 0.15 < dropped < 0.25
+
+    def test_duplicates_are_two_copies(self):
+        deliveries = self._fates(ChannelModel(dup_rate=0.3, seed=3))
+        dup = sum(1 for d in deliveries if len(d) == 2) / len(deliveries)
+        assert 0.25 < dup < 0.35
+        assert all(len(d) in (1, 2) for d in deliveries)
+
+    def test_corruption_flips_and_crc_catches_it(self):
+        deliveries = self._fates(ChannelModel(corrupt_rate=1.0, seed=3), n=50)
+        for (delivery,) in deliveries:
+            assert delivery.corrupted
+            assert delivery.data != FRAME
+            assert len(delivery.data) == len(FRAME)
+            with pytest.raises(SerializationError):
+                decode_frame(delivery.data)
+
+    def test_jitter_bounds_delay(self):
+        deliveries = self._fates(ChannelModel(jitter_ms=5, seed=3))
+        delays = {d[0].delay_ms for d in deliveries}
+        assert delays <= set(range(2, 8))
+        assert len(delays) > 1
+
+    def test_reorder_adds_holdback(self):
+        channel = ChannelModel(reorder_rate=1.0, reorder_delay_ms=9, seed=3)
+        (delivery,) = channel.transmit(FRAME, flow=b"f", link=("a", "b"), seq=0, latency_ms=2)
+        assert delivery.delay_ms == 11

@@ -142,14 +142,16 @@ class TestCrossEpisodeIsolation:
         assert matcher._seen_requests == set(rids)
         assert set(matcher._pending_secrets) == set(rids)
 
-        # Per-request reverse paths coexist on every relay node.
+        # Per-request reverse paths coexist in every relay node's sessions.
         for node_id, expected_parent, expected_hops in (
             ("n1", "n0", 1), ("n2", "n1", 2), ("n3", "n2", 3),
         ):
             node = network.nodes[node_id]
             for rid in rids:
-                assert node.parent[rid] == expected_parent
-                assert node.hops[rid] == expected_hops
+                session = node.sessions.get(rid)
+                assert session is not None
+                assert session.parent == expected_parent
+                assert session.hops == expected_hops
 
     def test_entropy_ledger_accumulates_across_episodes(self):
         """The φ budget spans episodes (cumulative union), never resets."""

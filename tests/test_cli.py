@@ -110,6 +110,55 @@ class TestConcurrentSimulate:
             ]
         assert outputs["pure"] == outputs["tables"]
 
+    def test_workers_choice_leaves_outcomes_unchanged(self, capsys):
+        """Sharding identity holds on the CLI path, lossy channel included.
+
+        Requires per-episode seeded initiator RNGs in `_run_simulate`: an
+        episode's request bytes must not depend on how many episodes ran
+        before it in the same process.
+        """
+        outputs = {}
+        for workers in ("1", "3"):
+            assert main([
+                "simulate", "--nodes", "30", "--episodes", "4", "--seed", "9",
+                "--loss", "0.1", "--retries", "1", "--workers", workers,
+            ]) == 0
+            out = capsys.readouterr().out
+            outputs[workers] = [
+                line for line in out.splitlines() if "workers=" not in line
+            ]
+        assert outputs["1"] == outputs["3"]
+
+
+class TestLossyChannelFlags:
+    def test_lossy_flags_flow_into_metrics(self, capsys):
+        assert main([
+            "simulate", "--nodes", "24", "--episodes", "3", "--seed", "5",
+            "--loss", "0.2", "--dup", "0.1", "--corrupt", "0.05",
+            "--jitter-ms", "2", "--retries", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "frames_sent" in out
+        assert "frames_dropped" in out
+
+    def test_lossy_run_is_seed_deterministic(self, capsys):
+        runs = []
+        for _ in range(2):
+            assert main([
+                "simulate", "--nodes", "24", "--episodes", "3", "--seed", "5",
+                "--loss", "0.15", "--retries", "1",
+            ]) == 0
+            runs.append(capsys.readouterr().out)
+        assert runs[0] == runs[1]
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--loss", "1.5"), ("--dup", "-0.1"), ("--corrupt", "2"),
+        ("--jitter-ms", "-3"), ("--retries", "-1"), ("--retries", "256"),
+    ])
+    def test_bad_channel_values_exit_cleanly(self, flag, value, capsys):
+        assert main(["simulate", "--nodes", "10", flag, value]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
 
 class TestExperiments:
     SPEC = {
