@@ -98,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0,
         help="retransmission waves for unanswered requests (default: 0)",
     )
+    simulate.add_argument(
+        "--profile-top", type=int, default=0, metavar="N",
+        help="run under cProfile and print the top-N functions by internal "
+             "time after the tables (0 = off; tools/profile_engine.py offers "
+             "the spec-driven variant)",
+    )
 
     sub.add_parser("tables", help="regenerate measured PPL tables I and II")
 
@@ -210,7 +216,26 @@ def _cmd_simulate(args) -> int:
         print("error: --retries must be in [0, 255] (one envelope byte names "
               "the retransmission wave)", file=sys.stderr)
         return 2
+    if args.profile_top < 0:
+        print("error: --profile-top must be >= 0", file=sys.stderr)
+        return 2
     with use_backend(args.backend):
+        if args.profile_top:
+            import cProfile
+            import io
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            code = _run_simulate(args, channel)
+            profiler.disable()
+            buffer = io.StringIO()
+            pstats.Stats(profiler, stream=buffer).sort_stats("tottime").print_stats(
+                args.profile_top
+            )
+            print()
+            print(buffer.getvalue().rstrip())
+            return code
         return _run_simulate(args, channel)
 
 

@@ -117,7 +117,9 @@ class CandidateVector:
 
     def is_complete(self) -> bool:
         """True when no position is unknown."""
-        return all(v is not None for v in self.values)
+        # C-speed membership test: values are ints or None, for which
+        # ``in`` (identity-then-equality) is exactly the `is not None` scan.
+        return None not in self.values
 
 
 @dataclass
@@ -150,12 +152,24 @@ def is_candidate(
     _check_mode(mode)
     if buckets is None:
         buckets = build_buckets(remainders, participant_values, p, counter)
-    # state[u] = minimal last own-index used by a feasible prefix with u unknowns
-    state: dict[int, int] = {0: -1}
+    # state[u] = minimal last own-index used by a feasible prefix with u
+    # unknowns, or INF when no such prefix exists.  A dense list beats the
+    # dict the DP used to keep: gamma is tiny and this check runs once per
+    # request per reached node of a flood.
+    infinity = 1 << 62
+    robust = mode == "robust"
+    # A hostile package can imply a negative gamma (beta > optional count);
+    # unknowns are then simply never allowed, as in the dict-based DP.
+    width = max(gamma, 0) + 1
+    state = [infinity] * width
+    state[0] = -1
     for pos, bucket in enumerate(buckets):
         necessary = necessary_mask[pos]
-        new_state: dict[int, int] = {}
-        for used, last in state.items():
+        new_state = [infinity] * width
+        alive = False
+        for used, last in enumerate(state):
+            if last == infinity:
+                continue
             # Option 1: assign the smallest bucket index beyond `last`.
             if bucket:
                 if counter is not NULL_COUNTER:
@@ -163,14 +177,15 @@ def is_candidate(
                 nxt = bisect_right(bucket, last)
                 if nxt < len(bucket):
                     idx = bucket[nxt]
-                    if idx < new_state.get(used, 1 << 62):
+                    if idx < new_state[used]:
                         new_state[used] = idx
+                        alive = True
             # Option 2: leave the position unknown (optional positions only).
-            allow_unknown = not necessary and (mode == "robust" or not bucket)
-            if allow_unknown and used + 1 <= gamma:
-                if last < new_state.get(used + 1, 1 << 62):
+            if used < gamma and not necessary and (robust or not bucket):
+                if last < new_state[used + 1]:
                     new_state[used + 1] = last
-        if not new_state:
+                    alive = True
+        if not alive:
             return False
         state = new_state
     return True

@@ -24,6 +24,16 @@ REQUEST_MAGIC = b"SBRQ"
 _VERSION = 1
 _FLAG_HINT = 0x01
 
+# Precompiled codecs and a byte -> bit-tuple expansion table: request
+# decoding is the per-flood hot path (every relay's first copy pays it),
+# so the per-call format parsing and the per-bit shifts are batched away.
+_FIXED_HEADER = struct.Struct(">BBBHH8sBQH")
+_HINT_HEADER = struct.Struct(">HH")
+_U16 = struct.Struct(">H")
+_BYTE_BITS = tuple(
+    tuple(bool(byte >> bit & 1) for bit in range(8)) for byte in range(256)
+)
+
 
 @dataclass(frozen=True)
 class RequestPackage:
@@ -52,7 +62,7 @@ class RequestPackage:
         # unaligned can never unseal and would crash trial decryption.
         if not self.ciphertext or len(self.ciphertext) % 16:
             raise SerializationError("sealed message must be non-empty AES blocks")
-        if any(r >= self.p for r in self.remainders):
+        if self.remainders and max(self.remainders) >= self.p:
             raise SerializationError("remainder not reduced modulo p")
 
     @property
@@ -75,8 +85,7 @@ class RequestPackage:
         flags = _FLAG_HINT if self.hint is not None else 0
         out = bytearray()
         out += REQUEST_MAGIC
-        out += struct.pack(
-            ">BBBHH8sBQH",
+        out += _FIXED_HEADER.pack(
             _VERSION,
             self.protocol,
             flags,
@@ -92,17 +101,15 @@ class RequestPackage:
             if necessary:
                 mask_bytes[i // 8] |= 1 << (i % 8)
         out += mask_bytes
-        for r in self.remainders:
-            out += struct.pack(">I", r)
+        out += struct.pack(f">{self.m_t}I", *self.remainders)
         if self.hint is not None:
-            out += struct.pack(">HH", self.hint.gamma, self.hint.beta)
+            out += _HINT_HEADER.pack(self.hint.gamma, self.hint.beta)
             for row in self.hint.r_block:
-                for coeff in row:
-                    out += struct.pack(">I", coeff)
+                out += struct.pack(f">{len(row)}I", *row)
             for b in self.hint.b_vector:
                 encoded = b.to_bytes((b.bit_length() + 7) // 8 or 1, "big")
-                out += struct.pack(">H", len(encoded)) + encoded
-        out += struct.pack(">H", len(self.ciphertext)) + self.ciphertext
+                out += _U16.pack(len(encoded)) + encoded
+        out += _U16.pack(len(self.ciphertext)) + self.ciphertext
         return bytes(out)
 
     @classmethod
@@ -118,23 +125,27 @@ class RequestPackage:
         if data[:4] != REQUEST_MAGIC:
             raise SerializationError("bad magic")
         offset = 4
-        (version, protocol, flags, p, m_t, request_id, ttl, expiry_ms, beta) = struct.unpack_from(
-            ">BBBHH8sBQH", data, offset
+        (version, protocol, flags, p, m_t, request_id, ttl, expiry_ms, beta) = (
+            _FIXED_HEADER.unpack_from(data, offset)
         )
         if version != _VERSION:
             raise SerializationError(f"unsupported version {version}")
-        offset += struct.calcsize(">BBBHH8sBQH")
+        offset += _FIXED_HEADER.size
         mask_len = (m_t + 7) // 8
         mask_bytes = data[offset : offset + mask_len]
+        if len(mask_bytes) != mask_len:
+            raise SerializationError("truncated necessary mask")
         offset += mask_len
-        necessary_mask = tuple(
-            bool(mask_bytes[i // 8] >> (i % 8) & 1) for i in range(m_t)
-        )
+        bits: list[bool] = []
+        byte_bits = _BYTE_BITS
+        for byte in mask_bytes:
+            bits.extend(byte_bits[byte])
+        necessary_mask = tuple(bits[:m_t])
         remainders = struct.unpack_from(f">{m_t}I", data, offset)
         offset += 4 * m_t
         hint = None
         if flags & _FLAG_HINT:
-            gamma, hint_beta = struct.unpack_from(">HH", data, offset)
+            gamma, hint_beta = _HINT_HEADER.unpack_from(data, offset)
             offset += 4
             r_block = []
             for _ in range(gamma):
@@ -143,14 +154,14 @@ class RequestPackage:
                 r_block.append(tuple(row))
             b_vector = []
             for _ in range(gamma):
-                (blen,) = struct.unpack_from(">H", data, offset)
+                (blen,) = _U16.unpack_from(data, offset)
                 offset += 2
                 b_vector.append(int.from_bytes(data[offset : offset + blen], "big"))
                 offset += blen
             hint = HintMatrix(
                 gamma=gamma, beta=hint_beta, r_block=tuple(r_block), b_vector=tuple(b_vector)
             )
-        (clen,) = struct.unpack_from(">H", data, offset)
+        (clen,) = _U16.unpack_from(data, offset)
         offset += 2
         ciphertext = data[offset : offset + clen]
         if len(ciphertext) != clen:

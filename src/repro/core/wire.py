@@ -33,6 +33,7 @@ than a parallel framing path.
 from __future__ import annotations
 
 import struct
+import sys
 import zlib
 from dataclasses import dataclass
 from typing import Union
@@ -53,6 +54,7 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "reframe",
+    "patch_frame",
     "encode_request_frame",
     "encode_reply_frame",
     "encode_session_frame",
@@ -79,6 +81,10 @@ FRAME_TYPES = (FT_REQUEST, FT_REPLY, FT_SESSION)
 
 _MAX_PAYLOAD = 0xFFFF_FFFF
 _HEADER = ">BBBBI"  # version, type, ttl, seq, payload length (crc packed after)
+# Precompiled codecs: every frame passes through these on every hop, so the
+# per-call format-string parse of struct.pack/unpack is pure overhead.
+_HEADER_STRUCT = struct.Struct(_HEADER)
+_CRC_STRUCT = struct.Struct(">I")
 
 REPLY_MAGIC = b"SBRP"
 REPLY_ELEMENT_LEN = 48
@@ -98,8 +104,16 @@ class Frame:
     seq: int = 0
 
 
+# One scratch buffer serves every encode: small-frame encodes used to pay
+# two allocations (the packed header plus the final concatenation); now the
+# header, CRC and payload are assembled in place and only the immutable
+# return value is allocated.  Single-threaded by design, like the engine.
+_ENCODE_SCRATCH = bytearray(4096)
+
+
 def encode_frame(ftype: int, payload: bytes, *, ttl: int = 0, seq: int = 0) -> bytes:
     """Wrap *payload* in the versioned frame envelope."""
+    global _ENCODE_SCRATCH
     if ftype not in FRAME_TYPES:
         raise SerializationError(f"unknown frame type {ftype!r}")
     if not 0 <= ttl <= 255:
@@ -108,10 +122,17 @@ def encode_frame(ftype: int, payload: bytes, *, ttl: int = 0, seq: int = 0) -> b
         raise SerializationError(f"frame seq must fit one byte, got {seq!r}")
     if len(payload) > _MAX_PAYLOAD:
         raise SerializationError("frame payload too large")
-    header = struct.pack(_HEADER, FRAME_VERSION, ftype, ttl, seq, len(payload))
-    crc = zlib.crc32(header) & 0xFFFF_FFFF
+    total = FRAME_HEADER_LEN + len(payload)
+    if len(_ENCODE_SCRATCH) < total:
+        _ENCODE_SCRATCH = bytearray(total)
+    buf = _ENCODE_SCRATCH
+    buf[0:4] = FRAME_MAGIC
+    _HEADER_STRUCT.pack_into(buf, 4, FRAME_VERSION, ftype, ttl, seq, len(payload))
+    buf[FRAME_HEADER_LEN:total] = payload
+    crc = zlib.crc32(memoryview(buf)[4:12]) & 0xFFFF_FFFF
     crc = zlib.crc32(payload, crc) & 0xFFFF_FFFF
-    return FRAME_MAGIC + header + struct.pack(">I", crc) + payload
+    _CRC_STRUCT.pack_into(buf, 12, crc)
+    return bytes(memoryview(buf)[:total])
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -126,8 +147,8 @@ def decode_frame(data: bytes) -> Frame:
         raise SerializationError("frame shorter than its header")
     if data[:4] != FRAME_MAGIC:
         raise SerializationError("bad frame magic")
-    version, ftype, ttl, seq, length = struct.unpack_from(_HEADER, data, 4)
-    (crc,) = struct.unpack_from(">I", data, 12)
+    version, ftype, ttl, seq, length = _HEADER_STRUCT.unpack_from(data, 4)
+    (crc,) = _CRC_STRUCT.unpack_from(data, 12)
     if version != FRAME_VERSION:
         raise SerializationError(f"unsupported frame version {version}")
     if ftype not in FRAME_TYPES:
@@ -142,25 +163,85 @@ def decode_frame(data: bytes) -> Frame:
     return Frame(ftype=ftype, payload=payload, ttl=ttl, seq=seq)
 
 
-def reframe(frame: bytes, *, ttl: int | None = None, seq: int | None = None) -> bytes:
-    """Return *frame* with its TTL and/or wave patched, checksum refreshed.
+# CRC-32 is linear over GF(2): flipping one byte of the message XORs the
+# checksum with a delta that depends only on the byte-difference and the
+# number of message bytes that follow it.  The tables below cache those
+# 256 deltas per tail length, so a relay patching the TTL/wave bytes never
+# re-reads the payload: the new CRC is ``old_crc ^ table[old ^ new]``.
+# (Derivation: for equal-length messages m, m', crc(m') = crc(m) ^ crc(d)
+# ^ crc(0) with d = m ^ m' -- the init/xor-out constants cancel pairwise --
+# and for a single-byte difference that XOR depends only on the differing
+# byte and its distance from the end.)
+_CRC_DELTA_TABLES: dict[int, list[int]] = {}
 
-    This is the relay fast path: the payload is not touched (or validated),
-    only the two routing bytes and the CRC change.  Callers must pass a
-    frame they already decoded successfully.
+# Message-offset geometry of the two routing bytes: the CRC covers bytes
+# 4..12 of the envelope plus the payload, so the TTL (offset 6) has
+# ``len(frame) - 11`` message bytes after it and the seq (offset 7) has
+# ``len(frame) - 12``.
+_TTL_TAIL_BIAS = 11
+_SEQ_TAIL_BIAS = 12
+
+
+def _crc_delta_table(tail_len: int) -> list[int]:
+    """256 CRC deltas for a byte-difference *tail_len* bytes before the end."""
+    table = _CRC_DELTA_TABLES.get(tail_len)
+    if table is None:
+        buf = bytearray(tail_len + 1)
+        base = zlib.crc32(buf)
+        deltas = []
+        for value in range(256):
+            buf[0] = value
+            deltas.append(zlib.crc32(buf) ^ base)
+        table = _CRC_DELTA_TABLES[tail_len] = deltas
+    return table
+
+
+def patch_frame(
+    frame: bytearray | memoryview, *, ttl: int | None = None, seq: int | None = None
+) -> None:
+    """Patch TTL/wave routing bytes of *frame* in place, CRC updated incrementally.
+
+    The zero-copy relay primitive: the payload is neither read nor copied
+    -- the two routing bytes are written through the buffer and the CRC is
+    refreshed from the cached per-byte-position delta tables
+    (O(1) regardless of payload size).  The caller must hand in a frame
+    whose embedded CRC is valid (i.e. one that decoded successfully);
+    patching a corrupt frame yields another corrupt frame.
     """
-    out = bytearray(frame)
+    length = len(frame)
+    delta = 0
     if ttl is not None:
         if not 0 <= ttl <= 255:
             raise SerializationError(f"frame ttl must fit one byte, got {ttl!r}")
-        out[6] = ttl
+        changed = frame[6] ^ ttl
+        if changed:
+            delta ^= _crc_delta_table(length - _TTL_TAIL_BIAS)[changed]
+            frame[6] = ttl
     if seq is not None:
         if not 0 <= seq <= 255:
             raise SerializationError(f"frame seq must fit one byte, got {seq!r}")
-        out[7] = seq
-    crc = zlib.crc32(bytes(out[4:12])) & 0xFFFF_FFFF
-    crc = zlib.crc32(bytes(out[FRAME_HEADER_LEN:]), crc) & 0xFFFF_FFFF
-    out[12:16] = struct.pack(">I", crc)
+        changed = frame[7] ^ seq
+        if changed:
+            delta ^= _crc_delta_table(length - _SEQ_TAIL_BIAS)[changed]
+            frame[7] = seq
+    if delta:
+        (crc,) = _CRC_STRUCT.unpack_from(frame, 12)
+        _CRC_STRUCT.pack_into(frame, 12, crc ^ delta)
+
+
+def reframe(frame: bytes, *, ttl: int | None = None, seq: int | None = None) -> bytes:
+    """Return *frame* with its TTL and/or wave patched, checksum refreshed.
+
+    This is the relay fast path: the payload is not touched, validated or
+    re-encoded -- only the two routing bytes change, and the CRC is
+    updated incrementally through :func:`patch_frame` rather than
+    recomputed over the datagram.  Callers must pass a frame they already
+    decoded successfully (the incremental update extends the embedded
+    CRC, so garbage in means garbage out -- exactly like the envelope
+    contract demands).
+    """
+    out = bytearray(frame)
+    patch_frame(out, ttl=ttl, seq=seq)
     return bytes(out)
 
 
@@ -233,6 +314,8 @@ def decode_payload(frame: Frame) -> Union[RequestPackage, Reply, tuple[bytes, by
 
 # -- reply payload codec ----------------------------------------------------
 
+_REPLY_HEADER_STRUCT = struct.Struct(">8sQHB")
+
 
 def encode_reply(reply: Reply) -> bytes:
     """Serialize a :class:`~repro.core.protocols.Reply` to bytes.
@@ -265,7 +348,9 @@ def encode_reply(reply: Reply) -> bytes:
             )
     out = bytearray()
     out += REPLY_MAGIC
-    out += struct.pack(">8sQHB", reply.request_id, reply.sent_at_ms, len(reply.elements), len(responder))
+    out += _REPLY_HEADER_STRUCT.pack(
+        reply.request_id, reply.sent_at_ms, len(reply.elements), len(responder)
+    )
     out += responder
     for element in reply.elements:
         out += element
@@ -273,14 +358,22 @@ def encode_reply(reply: Reply) -> bytes:
 
 
 def decode_reply(data: bytes) -> Reply:
-    """Parse bytes back into a Reply."""
+    """Parse bytes back into a Reply.
+
+    Responder ids are interned: a simulation decodes the same node names
+    over and over (every hop of every reply), and interning collapses
+    them to one shared string whose cached hash makes the endpoint's
+    dedup-set and dict lookups identity-fast.
+    """
     try:
         if data[:4] != REPLY_MAGIC:
             raise SerializationError("bad reply magic")
         offset = 4
-        request_id, sent_at_ms, n_elements, id_len = struct.unpack_from(">8sQHB", data, offset)
-        offset += struct.calcsize(">8sQHB")
-        responder = data[offset : offset + id_len].decode("utf-8")
+        request_id, sent_at_ms, n_elements, id_len = _REPLY_HEADER_STRUCT.unpack_from(
+            data, offset
+        )
+        offset += _REPLY_HEADER_STRUCT.size
+        responder = sys.intern(data[offset : offset + id_len].decode("utf-8"))
         offset += id_len
         elements = []
         for _ in range(n_elements):
@@ -303,7 +396,7 @@ def decode_reply(data: bytes) -> Reply:
 
 def reply_wire_size(n_elements: int, responder_id: str = "") -> int:
     """Size in bytes of an encoded reply payload with *n_elements* elements."""
-    return 4 + struct.calcsize(">8sQHB") + len(responder_id.encode("utf-8")) + (
+    return 4 + _REPLY_HEADER_STRUCT.size + len(responder_id.encode("utf-8")) + (
         n_elements * REPLY_ELEMENT_LEN
     )
 

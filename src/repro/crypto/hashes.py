@@ -9,6 +9,7 @@ conventions so that initiator and participants always agree bit-for-bit.
 from __future__ import annotations
 
 import hashlib
+import hmac
 from collections.abc import Iterable, Sequence
 
 __all__ = [
@@ -76,10 +77,11 @@ def hash_vector_key(hash_values: Sequence[int] | Iterable[int]) -> bytes:
 
 
 def hmac_sha256(key: bytes, data: bytes) -> bytes:
-    """HMAC-SHA256 (RFC 2104) built directly on the hash primitive."""
-    block_size = 64
-    if len(key) > block_size:
-        key = sha256(key)
-    key = key.ljust(block_size, b"\x00")
-    inner = sha256(bytes(k ^ 0x36 for k in key) + data)
-    return sha256(bytes(k ^ 0x5C for k in key) + inner)
+    """HMAC-SHA256 (RFC 2104) via the stdlib one-shot fast path.
+
+    ``hmac.digest`` computes the identical RFC 2104 construction (same
+    pads, same block size) inside OpenSSL; the per-byte pad XOR this
+    helper used to spell out in Python was costing more than both hash
+    invocations together, and it runs once per reply a participant sends.
+    """
+    return hmac.digest(key, data, "sha256")

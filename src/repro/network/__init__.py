@@ -11,6 +11,7 @@ suppression, per-hop latency, request expiry, per-neighbor rate limiting
 from repro.network.channel_model import ChannelModel, Delivery, PerfectChannel
 from repro.network.events import (
     BroadcastEvent,
+    DeliveryEvent,
     EventQueue,
     FrameEvent,
     ReplyHopEvent,
@@ -40,6 +41,7 @@ __all__ = [
     "BroadcastEvent",
     "ChannelModel",
     "Delivery",
+    "DeliveryEvent",
     "EngineResult",
     "EpisodeResult",
     "EpisodeSpec",

@@ -28,15 +28,33 @@ import hashlib
 import random
 import struct
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.core.wire import flip_bit
 
 __all__ = ["ChannelModel", "PerfectChannel", "Delivery"]
 
+# One Mersenne-Twister instance serves every fate draw: ``Random(x)`` and
+# ``rng.seed(x)`` initialise the identical generator state, but reseeding
+# skips the object construction that used to dominate the per-transmission
+# cost.  Single-threaded by design (the engine is), and never shared with
+# callers beyond the duration of one fate draw.
+_SCRATCH_RNG = random.Random()
+# The C base-class seed, bound to the scratch instance: for an int seed the
+# Python-level ``random.Random.seed`` wrapper only type-dispatches (and
+# resets unused gauss state) before delegating here, and that wrapper is
+# measurable at one call per transmission of a city flood.  State produced
+# is bit-identical for ints; the transmit-equivalence test pins it.
+_SCRATCH_RESEED = random.Random.__base__.seed.__get__(_SCRATCH_RNG)
 
-@dataclass(frozen=True)
-class Delivery:
-    """One physical copy the channel puts on the air for a transmission."""
+
+class Delivery(NamedTuple):
+    """One physical copy the channel puts on the air for a transmission.
+
+    A named tuple rather than a dataclass: one is allocated per delivered
+    copy of every transmission of a flood, and tuple construction is the
+    cheapest immutable record CPython offers.
+    """
 
     delay_ms: int
     data: bytes
@@ -107,7 +125,35 @@ class ChannelModel:
             + b"\x00"
             + link[1].encode("utf-8")
         ).digest()
-        return random.Random(int.from_bytes(digest[:8], "big"))
+        rng = _SCRATCH_RNG
+        _SCRATCH_RESEED(int.from_bytes(digest[:8], "big"))
+        return rng
+
+    def _fate(self, frame, rng: random.Random, latency_ms: int) -> list[Delivery]:
+        """Draw one transmission's fate from an already-seeded *rng*."""
+        if rng.random() < self.drop_rate:
+            return []
+        copies = 2 if rng.random() < self.dup_rate else 1
+        return self._copies(frame, rng, latency_ms, copies)
+
+    def _copies(
+        self, frame, rng: random.Random, latency_ms: int, copies: int
+    ) -> list[Delivery]:
+        """Draw the per-copy perturbations (jitter, reorder, corruption)."""
+        out = []
+        for _ in range(copies):
+            delay = latency_ms
+            if self.jitter_ms:
+                delay += rng.randint(0, self.jitter_ms)
+            if self.reorder_rate and rng.random() < self.reorder_rate:
+                delay += self.reorder_delay_ms
+            data = frame
+            corrupted = False
+            if self.corrupt_rate and rng.random() < self.corrupt_rate:
+                data = flip_bit(frame, rng.randrange(max(1, len(frame) * 8)))
+                corrupted = True
+            out.append(Delivery(delay, data, corrupted))
+        return out
 
     def transmit(
         self,
@@ -128,23 +174,86 @@ class ChannelModel:
         """
         if self.is_perfect:
             return [Delivery(latency_ms, frame)]
-        rng = self._rng(flow, link, seq)
-        if rng.random() < self.drop_rate:
-            return []
-        copies = 2 if rng.random() < self.dup_rate else 1
+        return self._fate(frame, self._rng(flow, link, seq), latency_ms)
+
+    def transmit_many(
+        self,
+        frame: bytes,
+        *,
+        flow: bytes,
+        src: str,
+        dsts: list[str],
+        seq: int,
+        latency_ms: int,
+    ) -> list[list[Delivery]]:
+        """Draw the fates of one broadcast over every ``(src, dst)`` link.
+
+        Returns one :meth:`transmit` result per destination, in order,
+        with bit-identical per-link values: each link's fate still hashes
+        from ``(seed, flow, (src, dst), seq)``.  The batching win is the
+        shared hash prefix -- ``seed | seq | flow | src`` is absorbed into
+        one SHA-256 state that is then copied per destination -- plus a
+        single short-circuit for the perfect channel, where every link
+        shares one immutable :class:`Delivery`.
+        """
+        if self.is_perfect:
+            delivery = [Delivery(latency_ms, frame)]
+            return [delivery for _ in dsts]
+        prefix = hashlib.sha256(
+            struct.pack(">qI", self.seed, seq & 0xFFFF_FFFF)
+            + flow
+            + b"\x00"
+            + src.encode("utf-8")
+            + b"\x00"
+        )
+        # The loop below is `_fate` unrolled for the single-copy case with
+        # everything hoisted: this path runs once per neighbour of every
+        # broadcast of a city flood, and the draw order must replicate
+        # `_fate` exactly (drop, dup, then per-copy jitter/reorder/corrupt)
+        # so batched fates stay bit-identical to one-at-a-time ones.
+        rng = _SCRATCH_RNG
+        reseed = _SCRATCH_RESEED
+        rand = rng.random
+        getrandbits = rng.getrandbits
+        from_bytes = int.from_bytes
+        prefix_copy = prefix.copy
+        drop_rate = self.drop_rate
+        dup_rate = self.dup_rate
+        reorder_rate = self.reorder_rate
+        corrupt_rate = self.corrupt_rate
+        # randint(0, jitter_ms) inlined as CPython's _randbelow rejection
+        # loop (k-bit draws until < n): same underlying getrandbits stream,
+        # same values, three call layers fewer.  The transmit-equivalence
+        # test pins this against Random.randint, so a CPython algorithm
+        # change would fail loudly rather than silently fork the fates.
+        jitter_n = self.jitter_ms + 1
+        jitter_bits = jitter_n.bit_length()
+        has_jitter = self.jitter_ms > 0
         out = []
-        for _ in range(copies):
+        append = out.append
+        for dst in dsts:
+            h = prefix_copy()
+            h.update(dst.encode("utf-8"))
+            reseed(from_bytes(h.digest()[:8], "big"))
+            if rand() < drop_rate:
+                append([])
+                continue
+            if rand() < dup_rate:
+                append(self._copies(frame, rng, latency_ms, 2))
+                continue
             delay = latency_ms
-            if self.jitter_ms:
-                delay += rng.randint(0, self.jitter_ms)
-            if self.reorder_rate and rng.random() < self.reorder_rate:
+            if has_jitter:
+                r = getrandbits(jitter_bits)
+                while r >= jitter_n:
+                    r = getrandbits(jitter_bits)
+                delay += r
+            if reorder_rate and rand() < reorder_rate:
                 delay += self.reorder_delay_ms
-            data = frame
-            corrupted = False
-            if self.corrupt_rate and rng.random() < self.corrupt_rate:
+            if corrupt_rate and rand() < corrupt_rate:
                 data = flip_bit(frame, rng.randrange(max(1, len(frame) * 8)))
-                corrupted = True
-            out.append(Delivery(delay, data, corrupted))
+                append([Delivery(delay, data, True)])
+            else:
+                append([Delivery(delay, frame)])
         return out
 
 

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from functools import partial
 
 from repro.core.exceptions import SerializationError
 from repro.core.protocols import Initiator, MatchRecord, Reply
@@ -60,6 +59,7 @@ from repro.core.wire import (
 from repro.crypto.backend import current_backend, set_backend
 from repro.network.events import (
     BroadcastEvent,
+    DeliveryEvent,
     EventQueue,
     FrameEvent,
     ReplyHopEvent,
@@ -127,8 +127,9 @@ class EngineResult:
 class _Episode:
     """Mutable in-flight state of one episode (the initiator endpoint)."""
 
-    __slots__ = ("spec", "index", "package", "package_bytes", "rid", "frame",
-                 "metrics", "replies", "last_event_ms", "seen_responders")
+    __slots__ = ("spec", "index", "package", "package_bytes", "rid", "flow",
+                 "frame", "metrics", "replies", "last_event_ms",
+                 "seen_responders")
 
     def __init__(self, spec: EpisodeSpec, index: int, wire: bool):
         self.spec = spec
@@ -136,6 +137,9 @@ class _Episode:
         self.package = spec.initiator.create_request(now_ms=spec.start_ms)
         self.package_bytes = self.package.wire_size_bytes()
         self.rid = self.package.request_id
+        # The request flood's channel-model flow id, built once: every
+        # broadcast of every wave reuses this exact bytes object.
+        self.flow = self.rid + b"Q"
         # The request is encoded exactly once; relays patch only the
         # envelope's routing bytes, so the payload on the air is identical
         # at every hop.  In the object-passing baseline the "frame" is the
@@ -266,6 +270,18 @@ class FriendingEngine:
         self._pending_episode_events = 0
         self._refresh_horizon_ms = 0
         self._package_cache: dict[bytes, RequestPackage] = {}
+        self._frame_cache: dict[bytes, Frame] = {}
+        # Event dispatch jump table: one dict lookup on the exact event
+        # type replaces the old isinstance chain on the hot path.  The
+        # engine only ever schedules these concrete types.
+        self._handlers = {
+            DeliveryEvent: self._on_delivery,
+            BroadcastEvent: self._on_broadcast,
+            ReplyHopEvent: self._on_reply_hop,
+            FrameEvent: self._on_frame,
+            RetransmitEvent: self._on_retransmit,
+            TopologyRefreshEvent: self._on_topology_refresh,
+        }
 
     # -- public API ---------------------------------------------------------
 
@@ -306,6 +322,7 @@ class FriendingEngine:
         self.topology_refreshes = 0
         self._pending_episode_events = 0
         self._package_cache = {}
+        self._frame_cache = {}
 
         for episode in self._episodes:
             # The initiator's own node never re-processes its own request:
@@ -436,10 +453,24 @@ class FriendingEngine:
     # -- frame plumbing -----------------------------------------------------
 
     def _decode(self, data) -> Frame:
-        """Envelope validation: bytes in, checked Frame out (or raises)."""
+        """Envelope validation: bytes in, checked Frame out (or raises).
+
+        Memoized on the exact datagram bytes: a broadcast delivers the
+        same frame object to every neighbour and a relay's reframe output
+        is value-identical across relays of the same (ttl, wave), so each
+        distinct datagram pays the CRC walk once per run.  Corrupt
+        datagrams are deliberately *not* cached -- each corruption is a
+        unique random bit flip delivered exactly once, so caching it
+        would retain the dead bytes for the whole run and never hit.
+        The cache lives for one :meth:`run`.
+        """
         if isinstance(data, Frame):  # object-passing baseline
             return data
-        return decode_frame(data)
+        frame = self._frame_cache.get(data)
+        if frame is None:
+            frame = decode_frame(data)
+            self._frame_cache[data] = frame
+        return frame
 
     def _request_package(self, frame: Frame) -> RequestPackage:
         """Decode a request payload, memoized on the exact payload bytes.
@@ -500,83 +531,183 @@ class FriendingEngine:
     # -- event handling -----------------------------------------------------
 
     def _dispatch(self, event) -> None:
-        if isinstance(event, FrameEvent):
-            self._pending_episode_events -= 1
-            self._on_frame(event)
-        elif isinstance(event, BroadcastEvent):
-            self._pending_episode_events -= 1
-            self._on_broadcast(event)
-        elif isinstance(event, ReplyHopEvent):
-            self._pending_episode_events -= 1
-            self._on_reply_hop(event)
-        elif isinstance(event, RetransmitEvent):
-            self._pending_episode_events -= 1
-            self._on_retransmit(event)
-        elif isinstance(event, TopologyRefreshEvent):
-            self._on_topology_refresh(event)
-        else:  # pragma: no cover -- the engine only schedules the above
+        cls = type(event)
+        handler = self._handlers.get(cls)
+        if handler is None:  # pragma: no cover -- the engine only schedules known types
             raise TypeError(f"unknown event {event!r}")
+        if cls is not TopologyRefreshEvent:
+            self._pending_episode_events -= 1
+        handler(event)
 
     def _schedule(self, delay_ms: int, event) -> None:
-        assert self._queue is not None
-        if not isinstance(event, TopologyRefreshEvent):
+        """Queue an episode event (counted against the refresh horizon).
+
+        Without a mobility model there is no refresh timer to gate, so the
+        in-flight counter is dead weight: events then go straight to their
+        handler, skipping the dispatch hop entirely.
+        """
+        if self.mobility is not None:
             self._pending_episode_events += 1
-        self._queue.schedule(delay_ms, partial(self._dispatch, event))
+            self._queue.schedule(delay_ms, self._dispatch, event)
+        else:
+            self._queue.schedule(delay_ms, self._handlers[type(event)], event)
+
+    def _schedule_refresh_event(self, delay_ms: int, event: TopologyRefreshEvent) -> None:
+        """Queue a topology tick without counting it as episode work."""
+        self._queue.schedule(delay_ms, self._dispatch, event)
 
     def _on_broadcast(self, event: BroadcastEvent) -> None:
+        """Flood one hop: draw every link's fate at once, batch deliveries.
+
+        All per-neighbour channel fates are drawn in one
+        :meth:`~repro.network.channel_model.ChannelModel.transmit_many`
+        pass (bit-identical per-link values), and the resulting copies are
+        aggregated into one :class:`DeliveryEvent` per arrival instant
+        instead of one queue entry per copy.  Within a time bucket the
+        receiver order is the per-link scheduling order, so execution
+        order -- and therefore every golden-pinned result -- matches the
+        old copy-at-a-time path exactly.
+        """
         episode = self._episodes[event.episode]
         node = self.network.nodes[event.node]
-        episode.metrics.broadcasts += 1
-        episode.metrics.bytes_broadcast += episode.package_bytes
+        metrics = episode.metrics
+        metrics.broadcasts += 1
+        metrics.bytes_broadcast += episode.package_bytes
         episode.last_event_ms = self._queue.now_ms
         frame = event.frame
         _, wave = self._meta(frame)
+        neighbours = node.neighbours
+        if not neighbours:
+            return
         frame_len = FRAME_HEADER_LEN + episode.package_bytes
-        flow = episode.rid + b"Q"
-        for neighbour in node.neighbours:
-            deliveries = self._transmit(
-                episode, frame, flow=flow, link=(event.node, neighbour),
-                seq=wave, latency_ms=self.network.hop_latency_ms,
-                frame_len=frame_len,
+        fates = self.network.channel.transmit_many(
+            frame, flow=episode.flow, src=event.node, dsts=neighbours,
+            seq=wave, latency_ms=self.network.hop_latency_ms,
+        )
+        tap = self.frame_tap
+        frames_sent = 0
+        dropped = 0
+        duplicated = 0
+        corrupted = 0
+        groups: dict[int, list[tuple[str, object]]] = {}
+        groups_get = groups.get
+        for neighbour, deliveries in zip(neighbours, fates):
+            copies = len(deliveries)
+            if copies == 0:
+                frames_sent += 1
+                dropped += 1
+                continue
+            frames_sent += copies
+            if copies > 1:
+                duplicated += copies - 1
+            for delay_ms, data, was_corrupted in deliveries:
+                if was_corrupted:
+                    corrupted += 1
+                if tap is not None:
+                    tap(event.node, neighbour, data)
+                group = groups_get(delay_ms)
+                if group is None:
+                    group = groups[delay_ms] = []
+                group.append((neighbour, data))
+        metrics.frames_sent += frames_sent
+        metrics.frame_bytes += frame_len * frames_sent
+        if dropped:
+            metrics.frames_dropped += dropped
+        if duplicated:
+            metrics.frames_duplicated += duplicated
+        if corrupted:
+            metrics.frames_corrupted += corrupted
+        for delay_ms, batch in groups.items():
+            self._schedule(
+                delay_ms,
+                DeliveryEvent(event.episode, event.node, tuple(batch)),
             )
-            for delivery in deliveries:
-                self._schedule(
-                    delivery.delay_ms,
-                    FrameEvent(event.episode, neighbour, event.node, delivery.data),
-                )
+
+    def _on_delivery(self, event: DeliveryEvent) -> None:
+        """Process every copy of one broadcast arriving at this instant.
+
+        The batch shares one decode per distinct datagram (untouched
+        copies are literally the same bytes object; corruption forks a
+        private one) and then runs the per-receiver protocol handling in
+        the batch's scheduling order.
+        """
+        episode = self._episodes[event.episode]
+        episode.last_event_ms = self._queue.now_ms
+        metrics = episode.metrics
+        nodes = self.network.nodes
+        from_node = event.from_node
+        last_data: object = None
+        frame = None
+        package = None
+        rid = b""
+        seq = 0
+        for node_id, data in event.deliveries:
+            if data is not last_data:
+                last_data = data
+                try:
+                    frame = self._decode(data)
+                    if frame.ftype != FT_REQUEST:
+                        raise SerializationError(
+                            f"unexpected frame type {frame.ftype} on flood"
+                        )
+                    package = self._request_package(frame)
+                except SerializationError:
+                    # Corrupted or malformed on the air: dropped whole.
+                    frame = None
+                else:
+                    rid = package.request_id
+                    seq = frame.seq
+            if frame is None:
+                metrics.frames_rejected += 1
+                continue
+            node = nodes[node_id]
+            session = node.sessions.lookup(rid)
+            if session is not None and seq <= session.last_seq:
+                # The overwhelmingly common flood outcome -- the node has
+                # already served this request and this is just another
+                # neighbour's copy -- handled inline, before the call.
+                metrics.dropped_duplicate += 1
+                continue
+            self._handle_request_copy(
+                episode, node, node_id, from_node, frame, package, session, data
+            )
 
     def _on_frame(self, event: FrameEvent) -> None:
-        episode = self._episodes[event.episode]
-        node = self.network.nodes[event.node]
+        """Single-copy compatibility path: a batch of one."""
+        self._on_delivery(
+            DeliveryEvent(event.episode, event.from_node,
+                          ((event.node, event.data),))
+        )
+
+    def _handle_request_copy(
+        self, episode: _Episode, node, node_id: str, from_node: str,
+        frame: Frame, package: RequestPackage, session, data,
+    ) -> None:
+        """A request copy that is not a plain duplicate: process or forward.
+
+        *session* is the node's existing session for this request id (the
+        caller already looked it up), or None on first contact.  A non-None
+        session with a stale wave mark never reaches this method -- the
+        duplicate drop happens inline at the delivery loop.
+        """
         queue = self._queue
-        episode.last_event_ms = queue.now_ms
-        try:
-            frame = self._decode(event.data)
-            if frame.ftype != FT_REQUEST:
-                raise SerializationError(f"unexpected frame type {frame.ftype} on flood")
-            package = self._request_package(frame)
-        except SerializationError:
-            # Corrupted or malformed on the air: the endpoint drops it whole.
-            episode.metrics.frames_rejected += 1
-            return
         rid = package.request_id
-        session = node.sessions.get(rid)
         if session is not None:
-            if frame.seq > session.last_seq:
-                self._forward_wave(episode, event, node, frame, package, session)
-            else:
-                episode.metrics.dropped_duplicate += 1
+            # Session exists and frame.seq > session.last_seq: a fresh
+            # retransmission wave to relay without re-processing.
+            self._forward_wave(episode, node, node_id, from_node,
+                               frame, package, session, data)
             return
         if package.is_expired(queue.now_ms):
             episode.metrics.dropped_expired += 1
             return
-        if not node.limiter.allow(event.from_node, queue.now_ms):
+        if not node.limiter.allow(from_node, queue.now_ms):
             episode.metrics.dropped_rate_limited += 1
             return
         # Hop count derives from the bytes: initial TTL minus what remains.
         hops = package.ttl - frame.ttl + 1
         session = node.sessions.open(
-            rid, parent=event.from_node, hops=hops,
+            rid, parent=from_node, hops=hops,
             expires_ms=package.expiry_ms, now_ms=queue.now_ms,
         )
         if session is None:
@@ -593,14 +724,14 @@ class FriendingEngine:
                 episode.metrics.candidates += 1
             if reply is not None:
                 episode.metrics.replies += 1
-                self._send_reply(episode, reply, event.node, hops)
+                self._send_reply(episode, reply, node_id, hops)
         if frame.ttl > 1:
-            # Forward the *datagram* (event.data), not the decoded view:
-            # the relay patches the envelope TTL on the received bytes.
+            # Forward the *datagram* (data), not the decoded view: the
+            # relay patches the envelope TTL on the received bytes.
             self._schedule(
                 self.network.processing_latency_ms,
-                BroadcastEvent(event.episode, event.node,
-                               self._reframe(event.data, ttl=frame.ttl - 1)),
+                BroadcastEvent(episode.index, node_id,
+                               self._reframe(data, ttl=frame.ttl - 1)),
             )
         else:
             # TTL exhausted: the packet was received and fully processed
@@ -609,7 +740,10 @@ class FriendingEngine:
             # suppression here, at the point of suppression.
             episode.metrics.dropped_ttl += 1
 
-    def _forward_wave(self, episode, event, node, frame, package, session) -> None:
+    def _forward_wave(
+        self, episode, node, node_id: str, from_node: str,
+        frame, package, session, data,
+    ) -> None:
         """Forward a fresh retransmission wave without re-processing.
 
         The node already served this request (its session is open); a
@@ -629,15 +763,15 @@ class FriendingEngine:
         if package.is_expired(self._queue.now_ms):
             episode.metrics.dropped_expired += 1
             return
-        if not node.limiter.allow(event.from_node, self._queue.now_ms):
+        if not node.limiter.allow(from_node, self._queue.now_ms):
             episode.metrics.dropped_rate_limited += 1
             return
         session.last_seq = frame.seq
         if frame.ttl > 1:
             self._schedule(
                 self.network.processing_latency_ms,
-                BroadcastEvent(event.episode, event.node,
-                               self._reframe(event.data, ttl=frame.ttl - 1)),
+                BroadcastEvent(episode.index, node_id,
+                               self._reframe(data, ttl=frame.ttl - 1)),
             )
         else:
             episode.metrics.dropped_ttl += 1
@@ -757,7 +891,7 @@ class FriendingEngine:
             self._pending_episode_events > 0
             and self._queue.now_ms + event.interval_ms <= self._refresh_horizon_ms
         ):
-            self._schedule(event.interval_ms, event)
+            self._schedule_refresh_event(event.interval_ms, event)
 
     def _schedule_refreshes(self, first_start: int, until_ms: int | None) -> None:
         horizon = until_ms
@@ -766,7 +900,7 @@ class FriendingEngine:
         self._refresh_horizon_ms = horizon
         interval = self.refresh_interval_ms
         if first_start + interval <= horizon:
-            self._schedule(interval, TopologyRefreshEvent(interval))
+            self._schedule_refresh_event(interval, TopologyRefreshEvent(interval))
 
     # -- aggregation --------------------------------------------------------
 

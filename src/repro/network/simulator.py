@@ -15,6 +15,7 @@ is the single-episode convenience wrapper.
 from __future__ import annotations
 
 import random
+import sys
 from collections import deque
 from dataclasses import dataclass
 
@@ -82,9 +83,12 @@ class Node:
         session_limit: int = DEFAULT_SESSION_LIMIT,
         session_overflow: str = "evict_oldest",
     ):
-        self.node_id = node_id
+        # Node ids are the hottest dict keys in the engine (node lookups,
+        # limiter history, channel-fate link encoding): intern them once so
+        # every later comparison is an identity hit on one shared string.
+        self.node_id = sys.intern(node_id)
         self.participant = participant
-        self.neighbours = list(neighbours)
+        self.neighbours = [sys.intern(n) for n in neighbours]
         self.limiter = limiter or RateLimiter(max_events=50, window_ms=10_000)
         self.sessions = SessionTable(session_limit, session_overflow)
 
@@ -182,7 +186,7 @@ class AdHocNetwork:
         if unknown:
             raise ValueError(f"refresh references unknown nodes: {sorted(unknown)}")
         for node_id, neigh in adjacency.items():
-            self.nodes[node_id].neighbours = list(neigh)
+            self.nodes[node_id].neighbours = [sys.intern(n) for n in neigh]
         self.adjacency.update({n: list(v) for n, v in adjacency.items()})
 
     def run_friending(

@@ -31,6 +31,7 @@ from repro.core.wire import (
     encode_reply_frame,
     encode_request_frame,
     encode_session_frame,
+    patch_frame,
     reframe,
 )
 
@@ -118,6 +119,70 @@ class TestRoundTrip:
         patched = decode_frame(reframe(frame, ttl=ttl, seq=seq))
         assert (patched.ttl, patched.seq) == (ttl, seq)
         assert patched.payload == decode_frame(frame).payload
+
+
+# -- zero-copy reframe: incremental CRC == full re-encode --------------------
+
+
+class TestZeroCopyReframe:
+    """The relay fast path patches bytes + CRC deltas; the result must be
+    bit-identical to a from-scratch ``encode_frame`` for every routing
+    state.  This is the invariant that lets relays skip the per-hop
+    payload CRC walk entirely."""
+
+    def test_every_ttl_seq_pair_equals_full_reencode(self):
+        """Exhaustive 256 x 256 sweep of the two routing bytes."""
+        payload = bytes(range(256)) + b"exhaustive-sweep"
+        frame = encode_frame(FT_REQUEST, payload, ttl=9, seq=1)
+        for ttl in range(256):
+            expected_ttl_only = encode_frame(FT_REQUEST, payload, ttl=ttl, seq=1)
+            assert reframe(frame, ttl=ttl) == expected_ttl_only
+            for seq in range(0, 256, 17):
+                expected = encode_frame(FT_REQUEST, payload, ttl=ttl, seq=seq)
+                assert reframe(frame, ttl=ttl, seq=seq) == expected
+        for seq in range(256):
+            assert reframe(frame, seq=seq) == encode_frame(
+                FT_REQUEST, payload, ttl=9, seq=seq
+            )
+
+    @given(
+        st.binary(min_size=0, max_size=400),
+        st.sampled_from(FRAME_TYPES),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_patch_equals_reencode_any_payload(self, payload, ftype, ttl0,
+                                               seq0, ttl1, seq1):
+        frame = encode_frame(ftype, payload, ttl=ttl0, seq=seq0)
+        patched = reframe(frame, ttl=ttl1, seq=seq1)
+        assert patched == encode_frame(ftype, payload, ttl=ttl1, seq=seq1)
+        decoded = decode_frame(patched)  # CRC must verify
+        assert (decoded.ttl, decoded.seq) == (ttl1, seq1)
+        assert decoded.payload == payload
+
+    def test_patch_frame_mutates_in_place_without_copy(self):
+        payload = b"in-place" * 11
+        frame = encode_frame(FT_SESSION, payload, ttl=4, seq=2)
+        buf = bytearray(frame)
+        patch_frame(buf, ttl=3)
+        assert bytes(buf) == encode_frame(FT_SESSION, payload, ttl=3, seq=2)
+        patch_frame(memoryview(buf), seq=9)
+        assert bytes(buf) == encode_frame(FT_SESSION, payload, ttl=3, seq=9)
+
+    def test_patch_noop_keeps_frame_identical(self):
+        frame = encode_frame(FT_REPLY, b"payload", ttl=7, seq=7)
+        assert reframe(frame) == frame
+        assert reframe(frame, ttl=7, seq=7) == frame
+
+    def test_patch_rejects_out_of_range_routing_bytes(self):
+        frame = encode_frame(FT_REPLY, b"x", ttl=1)
+        with pytest.raises(SerializationError):
+            reframe(frame, ttl=256)
+        with pytest.raises(SerializationError):
+            reframe(frame, seq=-1)
 
 
 # -- strict rejection --------------------------------------------------------

@@ -244,3 +244,23 @@ class TestBucketIndex:
     def test_missing_remainder_maps_to_empty_bucket(self):
         index = bucket_index([5], 7)
         assert buckets_for((3,), index) == [[]]
+
+
+class TestHostileGamma:
+    """A wire-decodable package can imply gamma < 0 (beta > optional count);
+    the fast check must reject it as a plain non-candidate, never crash."""
+
+    def test_negative_gamma_matches_dict_dp_semantics(self):
+        # The participant owns a value congruent to the remainder, so the
+        # DP takes the bucket-assignment branch -- the path that used to
+        # index an empty new_state row and crash.  Negative gamma only
+        # forbids unknowns; a fully-assigned candidate is still feasible,
+        # exactly as the original dict-based DP answered.
+        assert is_candidate([1], [False], -1, [1], 5) is True
+        assert is_candidate([2], [False], -1, [1], 5) is False
+
+    def test_negative_gamma_never_enumerates(self):
+        assert list(iter_candidates([1], [False], -1, [1], 5)) == []
+
+    def test_zero_gamma_exact_match_still_passes(self):
+        assert is_candidate([1], [False], 0, [1], 5) is True

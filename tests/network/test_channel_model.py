@@ -112,3 +112,73 @@ class TestFates:
         channel = ChannelModel(reorder_rate=1.0, reorder_delay_ms=9, seed=3)
         (delivery,) = channel.transmit(FRAME, flow=b"f", link=("a", "b"), seq=0, latency_ms=2)
         assert delivery.delay_ms == 11
+
+
+class TestTransmitMany:
+    """The batched broadcast pass must reproduce transmit() bit for bit.
+
+    This is the contract that keeps lossy runs byte-identical across the
+    flood-plane fast path: every link's fate still hashes from
+    (seed, flow, (src, dst), seq), and the batched draws (shared SHA-256
+    prefix, scratch-RNG reseeding, the inlined jitter rejection loop) must
+    produce exactly the values the one-at-a-time path produces.
+    """
+
+    DSTS = [f"n{i}" for i in range(17)]
+
+    @pytest.mark.parametrize("channel", [
+        ChannelModel(drop_rate=0.3, seed=7),
+        ChannelModel(dup_rate=0.5, seed=7),
+        ChannelModel(jitter_ms=5, seed=1),
+        ChannelModel(jitter_ms=1, seed=1),
+        ChannelModel(reorder_rate=0.4, jitter_ms=3, seed=2),
+        ChannelModel(corrupt_rate=0.5, seed=3),
+        ChannelModel(drop_rate=0.2, dup_rate=0.3, reorder_rate=0.25,
+                     corrupt_rate=0.2, jitter_ms=4, seed=11),
+    ])
+    def test_matches_per_link_transmit(self, channel):
+        for seq in (0, 1, 77):
+            batched = channel.transmit_many(
+                FRAME, flow=b"flowQ", src="src-1", dsts=self.DSTS,
+                seq=seq, latency_ms=2,
+            )
+            single = [
+                channel.transmit(FRAME, flow=b"flowQ", link=("src-1", dst),
+                                 seq=seq, latency_ms=2)
+                for dst in self.DSTS
+            ]
+            assert batched == single
+
+    def test_perfect_channel_shares_one_delivery(self):
+        channel = PerfectChannel()
+        batched = channel.transmit_many(
+            FRAME, flow=b"f", src="a", dsts=self.DSTS, seq=0, latency_ms=3
+        )
+        assert len(batched) == len(self.DSTS)
+        for deliveries in batched:
+            assert len(deliveries) == 1
+            assert deliveries[0].delay_ms == 3
+            assert deliveries[0].data is FRAME
+            assert not deliveries[0].corrupted
+
+    def test_empty_destination_list(self):
+        assert ChannelModel(drop_rate=0.5).transmit_many(
+            FRAME, flow=b"f", src="a", dsts=[], seq=0, latency_ms=1
+        ) == []
+        assert PerfectChannel().transmit_many(
+            FRAME, flow=b"f", src="a", dsts=[], seq=0, latency_ms=1
+        ) == []
+
+    def test_flow_and_src_shift_fates(self):
+        channel = ChannelModel(drop_rate=0.5, seed=9)
+        base = channel.transmit_many(
+            FRAME, flow=b"f1", src="a", dsts=self.DSTS, seq=0, latency_ms=1
+        )
+        other_flow = channel.transmit_many(
+            FRAME, flow=b"f2", src="a", dsts=self.DSTS, seq=0, latency_ms=1
+        )
+        other_src = channel.transmit_many(
+            FRAME, flow=b"f1", src="b", dsts=self.DSTS, seq=0, latency_ms=1
+        )
+        assert base != other_flow
+        assert base != other_src

@@ -1,0 +1,46 @@
+"""100k-node city run: the flood plane must hold at another order of magnitude.
+
+Runs the committed ``examples/specs/lossy_city_100k.json`` variant end to
+end (topology build, population, engine, record) and asserts it finishes
+inside a generous wall-clock budget with a healthy outcome.  Locally the
+whole thing takes ~10 s after the PR-5 flood-plane fast path; the budget
+leaves an order of magnitude of headroom for slow shared runners, so a
+failure here means a real scaling regression (e.g. something quadratic
+crept into the flood plane), not noise.
+
+Marked ``slow``: deselect with ``-m "not slow"`` for a quick loop.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import load_plan, run_scenario
+
+SPEC = Path(__file__).resolve().parent.parent.parent / "examples" / "specs" / "lossy_city_100k.json"
+WALL_BUDGET_S = 120.0
+
+
+@pytest.mark.slow
+def test_100k_city_completes_within_budget():
+    plan = load_plan(SPEC)
+    (spec,) = plan.specs
+    assert spec.nodes == 100_000
+
+    start = time.perf_counter()
+    record = run_scenario(spec)
+    elapsed = time.perf_counter() - start
+
+    assert elapsed < WALL_BUDGET_S, (
+        f"100k-node city run took {elapsed:.1f}s > {WALL_BUDGET_S}s budget"
+    )
+    # Healthy outcome, not a degenerate graph: the radio radius is sized
+    # for mean degree ~13, which keeps the city one connected component.
+    assert record["largest_component_fraction"] > 0.9
+    assert record["warnings"] == []
+    assert record["frames_sent"] > 10_000
+    assert record["match_rate"] > 0
+    assert record["matches"] > 0

@@ -1,10 +1,14 @@
-"""Event queue tests."""
+"""Event queue tests: calendar-queue behaviour and heap-order equivalence."""
 
 from __future__ import annotations
 
-import pytest
+import random
 
-from repro.network.events import EventQueue
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.events import EventQueue, _HeapQueue
 
 
 class TestEventQueue:
@@ -57,3 +61,130 @@ class TestEventQueue:
     def test_rejects_negative_delay(self):
         with pytest.raises(ValueError):
             EventQueue().schedule(-1, lambda: None)
+
+    def test_callback_arg_passing(self):
+        """schedule(delay, cb, arg) calls cb(arg); without arg, cb()."""
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1, lambda: seen.append("bare"))
+        queue.schedule(2, seen.append, "arg")
+        queue.schedule(3, seen.append, None)  # None is a real argument
+        queue.run()
+        assert seen == ["bare", "arg", None]
+
+
+class TestCalendarQueue:
+    """Calendar-specific paths: overflow tier, cursor jumps, pull-back."""
+
+    def test_overflow_spill_preserves_order(self):
+        queue = EventQueue(ring_ms=8)  # tiny ring forces the overflow tier
+        order = []
+        queue.schedule(3, order.append, "ring")
+        queue.schedule(100, order.append, "far-1")  # overflow
+        queue.schedule(100, order.append, "far-2")  # overflow, same instant
+        queue.schedule(23, order.append, "mid")  # overflow, earlier
+        assert len(queue) == 4
+        queue.run()
+        assert order == ["ring", "mid", "far-1", "far-2"]
+        assert queue.now_ms == 100
+
+    def test_cursor_jump_over_long_idle_gap(self):
+        queue = EventQueue(ring_ms=16)
+        hits = []
+        queue.schedule(5, hits.append, "near")
+        queue.schedule(1_000_000, hits.append, "far")
+        queue.run()
+        assert hits == ["near", "far"]
+        assert queue.now_ms == 1_000_000
+
+    def test_schedule_after_until_cutoff(self):
+        """A post-cutoff schedule into the gap must still run in order."""
+        queue = EventQueue()
+        hits = []
+        queue.schedule(10, hits.append, "a")
+        queue.schedule(200, hits.append, "b")
+        queue.run(until_ms=50)
+        assert hits == ["a"] and queue.now_ms == 10
+        # now_ms is 10; the cursor sits at 200's bucket -- this pulls it back
+        queue.schedule(0, hits.append, "late")
+        queue.run()
+        assert hits == ["a", "late", "b"]
+
+    def test_pull_back_demotes_colliding_ring_entries(self):
+        """Rewinding the cursor must not mix two fire times in one bucket."""
+        ring = 8
+        queue = EventQueue(ring_ms=ring)
+        hits = []
+        queue.schedule(1, hits.append, "first")
+        queue.schedule(6, hits.append, "mid")
+        queue.run(until_ms=2)  # leaves the cursor scanning ahead of now (1)
+        # This entry's bucket can collide with an entry ring_ms later.
+        queue.schedule(0, hits.append, "pulled")
+        queue.schedule(1 + ring, hits.append, "collider")
+        queue.run()
+        assert hits == ["first", "pulled", "mid", "collider"]
+
+    def test_ring_wraps_across_many_cycles(self):
+        queue = EventQueue(ring_ms=4)
+        hits = []
+
+        def reschedule(round_no):
+            hits.append((queue.now_ms, round_no))
+            if round_no < 30:
+                queue.schedule(3, reschedule, round_no + 1)
+
+        queue.schedule(0, reschedule, 0)
+        queue.run()
+        assert [t for t, _ in hits] == [3 * i for i in range(31)]
+
+
+@st.composite
+def _queue_workload(draw):
+    n = draw(st.integers(min_value=1, max_value=18))
+    delays = draw(
+        st.lists(st.integers(0, 1500), min_size=n, max_size=n)
+    )
+    untils = draw(
+        st.lists(st.one_of(st.none(), st.integers(0, 1600)), min_size=1, max_size=3)
+    )
+    child_seed = draw(st.integers(0, 2**32 - 1))
+    return delays, untils, child_seed
+
+
+class TestHeapEquivalence:
+    """The calendar queue must drain in _HeapQueue's exact (time, seq) order."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(_queue_workload())
+    def test_any_interleaving_matches_heap_reference(self, workload):
+        """Schedules, nested schedules, overflow spills and until_ms
+        cutoffs (plus post-cutoff schedules, the cursor pull-back path)
+        drain identically on both implementations."""
+        delays, untils, child_seed = workload
+
+        def drive(queue_cls, **kwargs):
+            queue = queue_cls(start_ms=3, **kwargs)
+            rng = random.Random(child_seed)
+            log = []
+
+            def cb(arg):
+                tag, depth = arg
+                log.append((queue.now_ms, tag))
+                if depth and rng.random() < 0.5:
+                    queue.schedule(rng.randrange(0, 1200), cb,
+                                   (tag + ".c", depth - 1))
+
+            for i, delay in enumerate(delays):
+                queue.schedule(delay, cb, (f"e{i}", 2))
+            for until in untils:
+                queue.run(
+                    until_ms=None if until is None else queue.now_ms + until
+                )
+                queue.schedule(rng.randrange(0, 40), cb, ("late", 1))
+            queue.run()
+            assert len(queue) == 0
+            return log, queue.now_ms
+
+        # A small ring exercises overflow migration and cursor jumps hard.
+        assert drive(EventQueue, ring_ms=32) == drive(_HeapQueue)
+        assert drive(EventQueue) == drive(_HeapQueue)

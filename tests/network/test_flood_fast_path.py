@@ -1,0 +1,95 @@
+"""Unit coverage for the flood-plane fast path's engine-side machinery.
+
+The golden and lossy suites pin end-to-end byte identity; these tests pin
+the individual mechanisms -- the value-keyed frame decode cache (positive
+and negative), and the single-copy ``FrameEvent`` compatibility path that
+expands to a batch of one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.exceptions import SerializationError
+from repro.core.protocols import Initiator, Participant
+from repro.core.wire import flip_bit
+from repro.network.engine import FriendingEngine
+from repro.network.events import (
+    BroadcastEvent,
+    DeliveryEvent,
+    FrameEvent,
+    ReplyHopEvent,
+    RetransmitEvent,
+    TopologyRefreshEvent,
+)
+from repro.network.simulator import AdHocNetwork
+from repro.network.topology import line_topology
+
+
+def _line_engine():
+    adjacency, _ = line_topology(3)
+    participants = {
+        "n0": None,
+        "n1": Participant(Profile(["tag:a"], user_id="n1", normalized=True),
+                          rng=random.Random(1)),
+        "n2": Participant(Profile(["tag:a", "tag:b"], user_id="n2", normalized=True),
+                          rng=random.Random(2)),
+    }
+    network = AdHocNetwork(adjacency, participants)
+    initiator = Initiator(
+        RequestProfile.exact(["tag:a", "tag:b"], normalized=True),
+        protocol=2, rng=random.Random(3),
+    )
+    return FriendingEngine(network), [("n0", initiator)]
+
+
+class TestFrameDecodeCache:
+    def test_equal_bytes_decode_to_one_frame_object(self):
+        engine, launches = _line_engine()
+        engine.run_staggered(launches)
+        frame_bytes = engine._episodes[0].frame
+        first = engine._decode(frame_bytes)
+        second = engine._decode(bytes(frame_bytes))  # equal, distinct object
+        assert second is first
+
+    def test_corrupt_bytes_reject_and_are_not_retained(self):
+        """Each corruption is a unique bit flip delivered once: caching it
+        would pin dead datagram bytes for the whole run with no hits."""
+        engine, launches = _line_engine()
+        engine.run_staggered(launches)
+        corrupt = flip_bit(engine._episodes[0].frame, 130)
+        with pytest.raises(SerializationError):
+            engine._decode(corrupt)
+        with pytest.raises(SerializationError):  # still rejected, stateless
+            engine._decode(corrupt)
+        assert corrupt not in engine._frame_cache
+
+    def test_cache_resets_per_run(self):
+        engine, launches = _line_engine()
+        engine.run_staggered(launches)
+        assert engine._frame_cache  # the run populated it
+        engine2, launches2 = _line_engine()
+        engine2.run_staggered(launches2)
+        assert engine2._frame_cache
+
+
+class TestSingleCopyCompat:
+    def test_frame_event_is_a_batch_of_one(self):
+        """A manually dispatched FrameEvent follows the delivery path: a
+        copy of an already-served request is a duplicate drop."""
+        engine, launches = _line_engine()
+        engine.run_staggered(launches)
+        episode = engine._episodes[0]
+        before = episode.metrics.dropped_duplicate
+        engine._on_frame(FrameEvent(0, "n1", "n0", episode.frame))
+        assert episode.metrics.dropped_duplicate == before + 1
+
+    def test_handler_table_covers_every_event_type(self):
+        engine, _ = _line_engine()
+        assert set(engine._handlers) == {
+            BroadcastEvent, DeliveryEvent, FrameEvent, ReplyHopEvent,
+            RetransmitEvent, TopologyRefreshEvent,
+        }

@@ -1,0 +1,34 @@
+"""Repository hygiene: no compiled-Python artifacts may ever be tracked.
+
+The CI guard step runs the same check shell-side; this test keeps it in
+tier-1 so a stray ``git add -A`` fails locally before it reaches CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_no_tracked_pycache_or_bytecode():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("git unavailable or not a repository checkout")
+    offenders = [
+        path
+        for path in out.stdout.splitlines()
+        if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+    ]
+    assert offenders == [], f"compiled-python artifacts are tracked: {offenders}"

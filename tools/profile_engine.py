@@ -1,0 +1,147 @@
+"""cProfile the friending engine on a ScenarioSpec and print a top-N report.
+
+The profiling harness behind the before/after tables in
+``docs/performance.md``: builds the population and topology *outside* the
+profiled region (exactly like the experiment runner's ``wall_seconds``
+accounting), then runs the engine under cProfile and prints the top-N
+functions by internal and cumulative time.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_engine.py                      # default spec
+    PYTHONPATH=src python tools/profile_engine.py --spec examples/specs/lossy_city.json \\
+        --loss 0.1 --top 25 --sort tottime
+    PYTHONPATH=src python tools/profile_engine.py --nodes 2000 --episodes 4
+
+The same report is reachable from the CLI as
+``repro simulate --profile-top N`` for one-off runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import gc
+import io
+import pstats
+import random
+import sys
+
+
+def profile_spec(spec, *, top: int, sort: str, out=sys.stdout) -> pstats.Stats:
+    """Profile one engine run of *spec*; print the report; return the stats."""
+    from repro.analysis.experiments import _build_population
+    from repro.crypto.backend import use_backend
+    from repro.network.channel_model import ChannelModel
+    from repro.network.engine import FriendingEngine
+    from repro.network.mobility import RandomWaypoint, StaticPlacement
+    from repro.network.simulator import AdHocNetwork
+
+    rng = random.Random(spec.seed)
+    node_ids, participants, launches, _ = _build_population(spec, rng)
+    if spec.mobility == "random_waypoint":
+        mobility = RandomWaypoint(node_ids, seed=spec.seed)
+    else:
+        mobility = StaticPlacement(node_ids, seed=spec.seed)
+    adjacency = mobility.snapshot_topology(spec.radio_radius)
+    channel = ChannelModel(
+        drop_rate=spec.loss_rate,
+        dup_rate=spec.dup_rate,
+        reorder_rate=spec.reorder_rate,
+        corrupt_rate=spec.corrupt_rate,
+        jitter_ms=spec.jitter_ms,
+        seed=spec.seed,
+    )
+    network = AdHocNetwork(adjacency, participants, channel=channel)
+    # Mirror run_scenario's engine construction exactly, including the
+    # mid-run topology-refresh wiring: the profile must describe the same
+    # workload the experiment runner measures for this spec.
+    if spec.refresh_interval_ms is not None:
+        engine = FriendingEngine(
+            network,
+            mobility=mobility,
+            radio_radius=spec.radio_radius,
+            refresh_interval_ms=spec.refresh_interval_ms,
+            retries=spec.retries,
+        )
+    else:
+        engine = FriendingEngine(network, retries=spec.retries)
+
+    profiler = cProfile.Profile()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with use_backend(spec.backend):
+            profiler.enable()
+            result = engine.run_staggered(
+                launches, arrival_ms=spec.arrival_ms, until_ms=spec.until_ms
+            )
+            profiler.disable()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    agg = result.aggregate
+    print(
+        f"# {spec.name}: {spec.nodes} nodes, {agg.episodes} episodes, "
+        f"loss={spec.loss_rate}, {agg.total.frames_sent} frames, "
+        f"{agg.matches} matches",
+        file=out,
+    )
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    print(buffer.getvalue(), file=out)
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="profile one FriendingEngine run and print the top-N report"
+    )
+    parser.add_argument(
+        "--spec", help="ScenarioSpec JSON (single spec or base+sweep plan)"
+    )
+    parser.add_argument(
+        "--loss", type=float, default=None,
+        help="pick/override the sweep point with this loss_rate",
+    )
+    parser.add_argument("--nodes", type=int, default=None, help="override population")
+    parser.add_argument("--episodes", type=int, default=None)
+    parser.add_argument("--top", type=int, default=25, help="rows to print (default 25)")
+    parser.add_argument(
+        "--sort", choices=("tottime", "cumulative", "calls"), default="tottime"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.experiments import ScenarioSpec, SpecError, load_plan
+
+    try:
+        if args.spec:
+            plan = load_plan(args.spec)
+            spec = plan.specs[0]
+            if args.loss is not None:
+                matching = [s for s in plan.specs if s.loss_rate == args.loss]
+                spec = matching[0] if matching else spec
+        else:
+            spec = ScenarioSpec(name="profile", nodes=1000, episodes=4,
+                                mobility="random_waypoint", radio_radius=0.05)
+        overrides = {}
+        if args.loss is not None and spec.loss_rate != args.loss:
+            overrides["loss_rate"] = args.loss
+        if args.nodes is not None:
+            overrides["nodes"] = args.nodes
+        if args.episodes is not None:
+            overrides["episodes"] = args.episodes
+        if overrides:
+            spec = ScenarioSpec.from_dict({**spec.as_dict(), **overrides})
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    profile_spec(spec, top=args.top, sort=args.sort)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
