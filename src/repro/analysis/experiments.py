@@ -40,7 +40,8 @@ from typing import Any, Mapping
 from repro.core.attributes import Profile, RequestProfile
 from repro.core.protocols import Initiator, Participant, Reply
 from repro.crypto.backend import available_backends, use_backend
-from repro.network.channel_model import ChannelModel
+from repro.network.channel_backend import current_channel_backend
+from repro.network.channel_model import CHANNEL_VERSIONS, ChannelModel
 from repro.network.engine import FriendingEngine
 from repro.network.mobility import RandomWaypoint, StaticPlacement
 from repro.network.simulator import AdHocNetwork
@@ -65,7 +66,7 @@ _SWEEPABLE = (
     "radio_radius", "refresh_interval_ms", "communities",
     "tags_per_community", "seed", "until_ms", "backend", "workers",
     "loss_rate", "dup_rate", "reorder_rate", "corrupt_rate", "jitter_ms",
-    "retries",
+    "retries", "channel_version",
 )
 
 
@@ -133,6 +134,14 @@ class ScenarioSpec:
         default to the perfect channel.  Channel decisions hash from
         ``(seed, flow, link, seq)``, so a lossy run is reproducible from
         the spec alone and sweeps stay deterministic.
+    channel_version:
+        Fate-derivation plane of the channel model: ``1`` (the scratch-MT
+        reference, default) or ``2`` (the counter-mode keystream; same
+        rates, different -- equally valid -- drawn fates, and a much
+        cheaper hot path).  Part of the determinism contract, so it is
+        validated, sweepable and emitted in every record; a recorded run
+        only reproduces under the version that produced it
+        (``docs/wire_format.md`` has the policy).
     retries:
         Initiator-side retransmission budget: how many fresh flood waves
         the origin may launch for a request still unanswered after the
@@ -160,6 +169,7 @@ class ScenarioSpec:
     corrupt_rate: float = 0.0
     jitter_ms: int = 0
     retries: int = 0
+    channel_version: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -247,6 +257,11 @@ class ScenarioSpec:
             raise SpecError(
                 f"retries must be an integer in [0, 255] (one envelope byte "
                 f"names the wave), got {self.retries!r}"
+            )
+        if self.channel_version not in CHANNEL_VERSIONS:
+            raise SpecError(
+                f"channel_version must be one of {CHANNEL_VERSIONS} "
+                f"(1 = scratch-MT, 2 = counter-mode), got {self.channel_version!r}"
             )
         if self.workers > 1 and self.refresh_interval_ms is not None:
             raise SpecError(
@@ -485,6 +500,7 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         corrupt_rate=spec.corrupt_rate,
         jitter_ms=spec.jitter_ms,
         seed=spec.seed,
+        version=spec.channel_version,
     )
     network = AdHocNetwork(adjacency, participants, channel=channel)
     if spec.refresh_interval_ms is not None:
@@ -527,6 +543,13 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "corrupt_rate": spec.corrupt_rate,
         "jitter_ms": spec.jitter_ms,
         "retries": spec.retries,
+        "channel_version": spec.channel_version,
+        # Backend choice is bit-transparent (pure == numpy, pinned by the
+        # equivalence tests), so this is provenance for perf comparisons,
+        # not part of the result's identity.  v1 has no backend seam.
+        "channel_backend": (
+            current_channel_backend().name if spec.channel_version == 2 else None
+        ),
         "attackers": attacker_counts,
         "arrival_ms": spec.arrival_ms,
         "mean_degree": round(mean_degree, 2),
@@ -567,6 +590,7 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         ("mobility", "mobility"),
         ("backend", "backend"),
         ("loss_rate", "loss"),
+        ("channel_version", "chan-v"),
         ("retries", "retries"),
         ("episodes", "episodes"),
         ("matches", "matches"),

@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="retransmission waves for unanswered requests (default: 0)",
     )
     simulate.add_argument(
+        "--channel-version", type=int, choices=(1, 2), default=1,
+        help="channel fate-derivation plane: 1 = scratch-MT reference "
+             "(default), 2 = counter-mode keystream (same rates, different "
+             "drawn fates, faster; see docs/wire_format.md)",
+    )
+    simulate.add_argument(
         "--profile-top", type=int, default=0, metavar="N",
         help="run under cProfile and print the top-N functions by internal "
              "time after the tables (0 = off; tools/profile_engine.py offers "
@@ -208,6 +214,7 @@ def _cmd_simulate(args) -> int:
         channel = ChannelModel(
             drop_rate=args.loss, dup_rate=args.dup, reorder_rate=args.reorder,
             corrupt_rate=args.corrupt, jitter_ms=args.jitter_ms, seed=args.seed,
+            version=args.channel_version,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

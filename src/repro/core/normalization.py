@@ -158,6 +158,20 @@ def _normalize_fixed_point(text: str, abbreviations: Mapping[str, str]) -> str:
     return text
 
 
+def _spell_number(token: str) -> str:
+    """Digit run -> words, falling back to digit-wise beyond 10^12.
+
+    ``number_to_words`` deliberately stops at the scale table's edge;
+    normalization must still terminate (and stay digit-free and
+    idempotent) for arbitrarily long digit runs, so anything larger is
+    spelled one digit at a time ("90010..." -> "nine zero zero one ...").
+    """
+    value = int(token)
+    if value < 10**12:
+        return number_to_words(value)
+    return " ".join(_ONES[int(d)] for d in token)
+
+
 def _normalize_field(text: str, abbreviations: Mapping[str, str]) -> str:
     text = _strip_accents(text).lower()
     # Expand abbreviations token-wise before punctuation is removed.
@@ -165,7 +179,7 @@ def _normalize_field(text: str, abbreviations: Mapping[str, str]) -> str:
     tokens = [abbreviations.get(tok, tok) for tok in tokens if tok]
     text = " ".join(tokens)
     # Numbers to words so "42" and "forty two" collide.
-    text = _NUMBER_RE.sub(lambda m: number_to_words(int(m.group())), text)
+    text = _NUMBER_RE.sub(lambda m: _spell_number(m.group()), text)
     text = text.translate(_PUNCT_TABLE)
     words = text.split()
     if words:

@@ -7,8 +7,7 @@ reordering arises -- a jittered frame can overtake or fall behind its
 neighbours in the event queue).
 
 Determinism is the load-bearing property.  Every transmission's fate is a
-pure function of ``(channel seed, flow id, link, seq)`` -- derived by
-hashing those values into a private :class:`random.Random` -- never of a
+pure function of ``(channel seed, flow id, link, seq)`` -- never of a
 shared RNG stream.  Two consequences:
 
 - a lossy run is reproducible from ``(seed, spec)`` alone, and
@@ -16,6 +15,26 @@ shared RNG stream.  Two consequences:
   interleave in the event queue, so a sharded engine run
   (:meth:`~repro.network.engine.FriendingEngine.run_parallel`) perturbs
   exactly the same frames as a sequential one.
+
+*How* the fate derives from that key is itself versioned, because the
+exact drawn values are part of the reproducibility contract
+(``docs/wire_format.md`` has the policy):
+
+``version=1`` (default)
+    The original plane: the key is hashed and the digest reseeds a
+    private scratch :class:`random.Random` whose draws decide the fate.
+    Kept bit-for-bit stable -- every recorded v1 spec reproduces
+    draw-for-draw, pinned by the flood-plane bench's frame goldens.
+
+``version=2``
+    The counter-mode plane: fates come straight from a SHA-256
+    keystream over ``(seed, flow, link, seq, draw index)`` -- uniform
+    ints via rejection sampling on 32-bit stream words, no scratch-MT
+    reseed, no :class:`random.Random` anywhere on the hot path.  This
+    removes the fixed ~6us per-transmission reseed that dominated v1
+    lossy floods, and the stream computation is pluggable
+    (:mod:`repro.network.channel_backend`: a hashlib reference loop and
+    an optional vectorised numpy implementation, bit-identical).
 
 :class:`PerfectChannel` (all rates zero) short-circuits before any
 hashing: one copy, base latency, bytes untouched -- byte-identical to the
@@ -31,8 +50,46 @@ from dataclasses import dataclass
 from typing import NamedTuple
 
 from repro.core.wire import flip_bit
+from repro.network.channel_backend import (
+    FateParams,
+    current_channel_backend,
+    fate_threshold,
+)
 
 __all__ = ["ChannelModel", "PerfectChannel", "Delivery"]
+
+CHANNEL_VERSIONS = (1, 2)
+
+# v2 hashes node ids and flow ids to fixed-width 32-byte digests so the
+# keystream messages have a static layout (vectorisable, no separator
+# bytes).  Both caches are value-pure -- a digest only depends on its key
+# -- so sharded workers recomputing them stay byte-identical; the bound
+# just stops a pathological id churn from growing them without limit.
+_DIGEST_CACHE_MAX = 1 << 17
+_NODE_DIGESTS: dict[str, bytes] = {}
+_FLOW_DIGESTS: dict[bytes, bytes] = {}
+_PACK_SEED_SEQ = struct.Struct(">qI").pack
+
+
+def _node32(node_id: str) -> bytes:
+    digest = _NODE_DIGESTS.get(node_id)
+    if digest is None:
+        if len(_NODE_DIGESTS) >= _DIGEST_CACHE_MAX:
+            _NODE_DIGESTS.clear()
+        digest = _NODE_DIGESTS[node_id] = hashlib.sha256(
+            node_id.encode("utf-8")
+        ).digest()
+    return digest
+
+
+def _flow32(flow: bytes) -> bytes:
+    digest = _FLOW_DIGESTS.get(flow)
+    if digest is None:
+        if len(_FLOW_DIGESTS) >= _DIGEST_CACHE_MAX:
+            _FLOW_DIGESTS.clear()
+        digest = _FLOW_DIGESTS[flow] = hashlib.sha256(flow).digest()
+    return digest
+
 
 # One Mersenne-Twister instance serves every fate draw: ``Random(x)`` and
 # ``rng.seed(x)`` initialise the identical generator state, but reseeding
@@ -83,6 +140,12 @@ class ChannelModel:
     seed:
         Folded into every per-transmission hash; two channels with
         different seeds perturb different frames.
+    version:
+        Fate-derivation plane, ``1`` (scratch-MT, default) or ``2``
+        (counter-mode keystream).  Part of the determinism contract:
+        the two planes draw *different* (equally valid) fates for the
+        same key, so a recorded run only reproduces under the version
+        that produced it.
     """
 
     drop_rate: float = 0.0
@@ -92,6 +155,7 @@ class ChannelModel:
     jitter_ms: int = 0
     reorder_delay_ms: int = 8
     seed: int = 0
+    version: int = 1
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "dup_rate", "reorder_rate", "corrupt_rate"):
@@ -103,6 +167,30 @@ class ChannelModel:
         if not isinstance(self.reorder_delay_ms, int) or self.reorder_delay_ms < 0:
             raise ValueError(
                 f"reorder_delay_ms must be a non-negative integer, got {self.reorder_delay_ms!r}"
+            )
+        if self.version not in CHANNEL_VERSIONS:
+            raise ValueError(
+                f"version must be one of {CHANNEL_VERSIONS} "
+                f"(1 = scratch-MT, 2 = counter-mode), got {self.version!r}"
+            )
+        if self.version == 2:
+            # Derived draw parameters, precomputed once per channel.  The
+            # dataclass is frozen, so the cache goes through
+            # object.__setattr__; it lives in __dict__ (pickles with the
+            # instance for run_parallel workers) and, not being a field,
+            # never affects __eq__ or repr.
+            object.__setattr__(
+                self,
+                "_fate_params",
+                FateParams(
+                    drop_t=fate_threshold(self.drop_rate),
+                    dup_t=fate_threshold(self.dup_rate),
+                    reorder_t=fate_threshold(self.reorder_rate),
+                    corrupt_t=fate_threshold(self.corrupt_rate),
+                    jitter_n=self.jitter_ms + 1,
+                    jitter_mask=(1 << self.jitter_ms.bit_length()) - 1,
+                    reorder_delay_ms=self.reorder_delay_ms,
+                ),
             )
 
     @property
@@ -174,6 +262,8 @@ class ChannelModel:
         """
         if self.is_perfect:
             return [Delivery(latency_ms, frame)]
+        if self.version == 2:
+            return self._deliveries_v2(frame, flow, link[0], [link[1]], seq, latency_ms)[0]
         return self._fate(frame, self._rng(flow, link, seq), latency_ms)
 
     def transmit_many(
@@ -199,6 +289,8 @@ class ChannelModel:
         if self.is_perfect:
             delivery = [Delivery(latency_ms, frame)]
             return [delivery for _ in dsts]
+        if self.version == 2:
+            return self._deliveries_v2(frame, flow, src, dsts, seq, latency_ms)
         prefix = hashlib.sha256(
             struct.pack(">qI", self.seed, seq & 0xFFFF_FFFF)
             + flow
@@ -254,6 +346,56 @@ class ChannelModel:
                 append([Delivery(delay, data, True)])
             else:
                 append([Delivery(delay, frame)])
+        return out
+
+    def _deliveries_v2(
+        self,
+        frame: bytes,
+        flow: bytes,
+        src: str,
+        dsts: list[str],
+        seq: int,
+        latency_ms: int,
+    ) -> list[list[Delivery]]:
+        """Counter-mode fate plane: one keystream per link, no RNG objects.
+
+        The 76-byte broadcast prefix ``seed | seq | flow32 | src32`` keys
+        the whole neighbourhood; the selected channel backend
+        (:func:`~repro.network.channel_backend.current_channel_backend`)
+        turns it into per-link ``(extra_delay, corrupt_bit)`` fates,
+        which map 1:1 onto :class:`Delivery` copies here.  Backend
+        choice is bit-transparent, so it is process-global state rather
+        than part of the channel's identity.
+        """
+        prefix = (
+            _PACK_SEED_SEQ(self.seed, seq & 0xFFFF_FFFF) + _flow32(flow) + _node32(src)
+        )
+        fates = current_channel_backend().broadcast_fates(
+            prefix,
+            [_node32(dst) for dst in dsts],
+            self._fate_params,
+            max(1, len(frame) * 8),
+        )
+        out = []
+        append = out.append
+        for fate in fates:
+            if not fate:
+                append([])
+            elif len(fate) == 1:
+                extra, bit = fate[0]
+                if bit < 0:
+                    append([Delivery(latency_ms + extra, frame)])
+                else:
+                    append([Delivery(latency_ms + extra, flip_bit(frame, bit), True)])
+            else:
+                append(
+                    [
+                        Delivery(latency_ms + extra, frame)
+                        if bit < 0
+                        else Delivery(latency_ms + extra, flip_bit(frame, bit), True)
+                        for extra, bit in fate
+                    ]
+                )
         return out
 
 

@@ -33,7 +33,11 @@ byte-identical (matches, wire elements, metrics) to the pre-datagram
 object-passing engine (pinned by ``tests/network/test_engine_golden.py``);
 with a lossy channel every frame's fate is a pure function of
 ``(channel seed, flow, link, seq)``, so runs reproduce from (seed, spec)
-alone and ``run_parallel`` shards equal sequential runs.
+alone and ``run_parallel`` shards equal sequential runs.  The fate
+*derivation* is version-gated (``ChannelModel(version=...)``: 1 scratch-MT,
+2 counter-mode keystream); the engine is agnostic -- it hands the channel
+the same keys either way, and both planes keep the pure-function property,
+so the sharding identity holds under every (version, backend) combination.
 """
 
 from __future__ import annotations
@@ -391,7 +395,11 @@ class FriendingEngine:
         returns the same matches, metrics and aggregate as :meth:`run`
         (pinned by ``tests/network/test_engine_parallel.py``).  A lossy
         channel keeps this property because every frame's fate hashes
-        from (seed, flow, link, seq), never from a shared RNG stream.
+        from (seed, flow, link, seq), never from a shared RNG stream --
+        under both fate planes: the pickled network carries the
+        channel's ``version``, v2 workers recompute the same counter-mode
+        streams, and the v2 digest caches are value-pure, so sharded
+        lossy runs stay byte-identical to sequential ones.
 
         Differences from :meth:`run`:
 

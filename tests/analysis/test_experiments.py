@@ -101,6 +101,28 @@ class TestSpecValidation:
         with pytest.raises(SpecError, match="workers"):
             ScenarioSpec.from_dict({**TINY, "workers": 2.5})
 
+    def test_channel_version_defaults_and_validation(self):
+        assert ScenarioSpec().channel_version == 1
+        assert ScenarioSpec.from_dict(
+            {**TINY, "channel_version": 2}
+        ).channel_version == 2
+        with pytest.raises(SpecError, match="channel_version"):
+            ScenarioSpec.from_dict({**TINY, "channel_version": 3})
+        with pytest.raises(SpecError, match="channel_version"):
+            ScenarioSpec.from_dict({**TINY, "channel_version": "2"})
+
+    def test_channel_version_is_sweepable(self):
+        plan = load_plan({
+            "name": "chan",
+            "base": {**TINY, "loss_rate": 0.1},
+            "sweep": {"channel_version": [1, 2]},
+        })
+        assert [s.channel_version for s in plan.specs] == [1, 2]
+        with pytest.raises(SpecError, match="channel_version"):
+            load_plan({
+                "name": "chan", "base": TINY, "sweep": {"channel_version": [1, 9]},
+            })
+
     def test_workers_incompatible_with_refresh(self):
         with pytest.raises(SpecError, match="workers > 1"):
             ScenarioSpec.from_dict({
@@ -168,6 +190,28 @@ class TestRunScenario:
         assert record["backend"] == "tables"
         assert record["workers"] == 1
         assert record["spec"]["backend"] == "tables"
+
+    def test_record_carries_channel_version_and_backend(self):
+        v1 = run_scenario(ScenarioSpec.from_dict({**TINY, "loss_rate": 0.1}))
+        assert v1["channel_version"] == 1
+        assert v1["channel_backend"] is None  # v1 never touches the seam
+        v2 = run_scenario(
+            ScenarioSpec.from_dict({**TINY, "loss_rate": 0.1, "channel_version": 2})
+        )
+        assert v2["channel_version"] == 2
+        assert v2["channel_backend"] in ("pure", "numpy")
+        # Same spec, different fate plane: both valid, not interchangeable.
+        assert v2["matches"] >= 0
+        assert v1["spec"]["channel_version"] == 1
+        assert v2["spec"]["channel_version"] == 2
+
+    def test_v2_scenario_is_deterministic(self):
+        spec = ScenarioSpec.from_dict(
+            {**TINY, "loss_rate": 0.15, "jitter_ms": 2, "channel_version": 2}
+        )
+        sim_keys = ("matches", "sim_duration_ms", "nodes_reached", "total_bytes")
+        a, b = run_scenario(spec), run_scenario(spec)
+        assert {k: a[k] for k in sim_keys} == {k: b[k] for k in sim_keys}
 
     def test_backends_and_sharding_agree_on_results(self):
         sim_keys = (

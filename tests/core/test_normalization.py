@@ -43,6 +43,17 @@ class TestNumberToWords:
         with pytest.raises(ValueError):
             number_to_words(10**12)
 
+    def test_normalization_spells_huge_runs_digit_wise(self):
+        # number_to_words stops at 10^12, but normalize_attribute must
+        # terminate on any digit run: beyond the scale table it spells
+        # digit by digit (hypothesis found the crash via test_idempotent).
+        from repro.core.normalization import normalize_attribute
+
+        once = normalize_attribute("1000000000000")
+        assert once == normalize_attribute(once)  # idempotent
+        assert not any(c.isdigit() for c in once)
+        assert once.startswith("onezero")
+
 
 class TestSingularize:
     @pytest.mark.parametrize(

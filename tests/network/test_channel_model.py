@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+import random
+import struct
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.exceptions import SerializationError
-from repro.core.wire import FT_SESSION, decode_frame, encode_frame
-from repro.network.channel_model import ChannelModel, PerfectChannel
+from repro.core.wire import FT_SESSION, decode_frame, encode_frame, flip_bit
+from repro.network.channel_backend import _keystream_words
+from repro.network.channel_model import (
+    ChannelModel,
+    PerfectChannel,
+    _flow32,
+    _node32,
+)
 
 FRAME = encode_frame(FT_SESSION, b"payload-bytes" * 3, ttl=4)
 
@@ -42,6 +55,15 @@ class TestValidation:
             ChannelModel(jitter_ms=-1)
         with pytest.raises(ValueError):
             ChannelModel(jitter_ms=1.5)
+
+    @pytest.mark.parametrize("version", [0, 3, "2"])
+    def test_unknown_channel_version_rejected(self, version):
+        with pytest.raises(ValueError, match="version"):
+            ChannelModel(drop_rate=0.1, version=version)
+
+    def test_known_versions_accepted(self):
+        assert ChannelModel(drop_rate=0.1, version=1).version == 1
+        assert ChannelModel(drop_rate=0.1, version=2).version == 2
 
 
 class TestDeterminism:
@@ -182,3 +204,273 @@ class TestTransmitMany:
         )
         assert base != other_flow
         assert base != other_src
+
+
+# -- version 2: the counter-mode fate plane ----------------------------------
+
+
+def _v1_rng(seed, flow, link, seq):
+    """White-box replica of ChannelModel._rng for draw-order assertions."""
+    digest = hashlib.sha256(
+        struct.pack(">qI", seed, seq & 0xFFFF_FFFF)
+        + flow
+        + b"\x00"
+        + link[0].encode("utf-8")
+        + b"\x00"
+        + link[1].encode("utf-8")
+    ).digest()
+    rng = random.Random()
+    rng.seed(int.from_bytes(digest[:8], "big"))
+    return rng
+
+
+def _v2_words(seed, flow, link, seq):
+    """White-box replica of the v2 keystream for draw-order assertions."""
+    prefix = (
+        struct.pack(">qI", seed, seq & 0xFFFF_FFFF) + _flow32(flow) + _node32(link[0])
+    )
+    return _keystream_words(prefix, _node32(link[1]))
+
+
+class TestV2Determinism:
+    """The v2 plane honours the same purity contract as v1."""
+
+    def test_same_key_same_fate(self):
+        a = ChannelModel(drop_rate=0.3, dup_rate=0.2, corrupt_rate=0.2,
+                         jitter_ms=5, seed=7, version=2)
+        b = ChannelModel(drop_rate=0.3, dup_rate=0.2, corrupt_rate=0.2,
+                         jitter_ms=5, seed=7, version=2)
+        for seq in range(50):
+            assert a.transmit(FRAME, flow=b"f1", link=("x", "y"), seq=seq, latency_ms=2) == (
+                b.transmit(FRAME, flow=b"f1", link=("x", "y"), seq=seq, latency_ms=2)
+            )
+
+    def test_fate_independent_of_call_order(self):
+        channel = ChannelModel(drop_rate=0.4, jitter_ms=3, seed=1, version=2)
+        keys = [(bytes([i]), ("a", f"n{j}"), k) for i in range(4) for j in range(4) for k in range(4)]
+        forward = [channel.transmit(FRAME, flow=f, link=link, seq=s, latency_ms=2)
+                   for f, link, s in keys]
+        backward = [channel.transmit(FRAME, flow=f, link=link, seq=s, latency_ms=2)
+                    for f, link, s in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_perturb_different_frames(self):
+        a = ChannelModel(drop_rate=0.5, seed=1, version=2)
+        b = ChannelModel(drop_rate=0.5, seed=2, version=2)
+        fates_a = [bool(a.transmit(FRAME, flow=bytes([i]), link=("x", "y"), seq=0, latency_ms=1))
+                   for i in range(64)]
+        fates_b = [bool(b.transmit(FRAME, flow=bytes([i]), link=("x", "y"), seq=0, latency_ms=1))
+                   for i in range(64)]
+        assert fates_a != fates_b
+
+    def test_planes_draw_different_fates_for_the_same_key(self):
+        # Same (seed, flow, link, seq), different version: the planes are
+        # both valid but deliberately incompatible -- recorded runs only
+        # reproduce under the version that produced them.
+        v1 = ChannelModel(drop_rate=0.5, seed=9, version=1)
+        v2 = ChannelModel(drop_rate=0.5, seed=9, version=2)
+        fates = lambda ch: [  # noqa: E731
+            bool(ch.transmit(FRAME, flow=bytes([i]), link=("x", "y"), seq=0, latency_ms=1))
+            for i in range(64)
+        ]
+        assert fates(v1) != fates(v2)
+
+    def test_v2_channel_pickles_with_fate_params(self):
+        # run_parallel ships the channel to workers via pickle; the derived
+        # draw parameters must survive the round trip.
+        channel = ChannelModel(drop_rate=0.3, dup_rate=0.2, corrupt_rate=0.2,
+                               jitter_ms=4, seed=11, version=2)
+        clone = pickle.loads(pickle.dumps(channel))
+        assert clone == channel
+        assert clone._fate_params == channel._fate_params
+        for seq in range(20):
+            assert clone.transmit(FRAME, flow=b"f", link=("a", "b"), seq=seq, latency_ms=2) == (
+                channel.transmit(FRAME, flow=b"f", link=("a", "b"), seq=seq, latency_ms=2)
+            )
+
+
+class TestTransmitManyV2:
+    """v2 batched broadcasts must reproduce per-link transmit() bit for bit."""
+
+    DSTS = [f"n{i}" for i in range(17)]
+
+    @pytest.mark.parametrize("channel", [
+        ChannelModel(drop_rate=0.3, seed=7, version=2),
+        ChannelModel(dup_rate=0.5, seed=7, version=2),
+        ChannelModel(jitter_ms=5, seed=1, version=2),
+        ChannelModel(jitter_ms=1, seed=1, version=2),
+        ChannelModel(reorder_rate=0.4, jitter_ms=3, seed=2, version=2),
+        ChannelModel(corrupt_rate=0.5, seed=3, version=2),
+        ChannelModel(drop_rate=0.2, dup_rate=0.3, reorder_rate=0.25,
+                     corrupt_rate=0.2, jitter_ms=4, seed=11, version=2),
+    ])
+    def test_matches_per_link_transmit(self, channel):
+        for seq in (0, 1, 77):
+            batched = channel.transmit_many(
+                FRAME, flow=b"flowQ", src="src-1", dsts=self.DSTS,
+                seq=seq, latency_ms=2,
+            )
+            single = [
+                channel.transmit(FRAME, flow=b"flowQ", link=("src-1", dst),
+                                 seq=seq, latency_ms=2)
+                for dst in self.DSTS
+            ]
+            assert batched == single
+
+    def test_empty_destination_list(self):
+        assert ChannelModel(drop_rate=0.5, version=2).transmit_many(
+            FRAME, flow=b"f", src="a", dsts=[], seq=0, latency_ms=1
+        ) == []
+
+    def test_corruption_flips_and_crc_catches_it(self):
+        channel = ChannelModel(corrupt_rate=1.0, seed=3, version=2)
+        for i in range(50):
+            (delivery,) = channel.transmit(
+                FRAME, flow=i.to_bytes(4, "big"), link=("a", "b"), seq=0, latency_ms=2
+            )
+            assert delivery.corrupted
+            assert delivery.data != FRAME
+            assert len(delivery.data) == len(FRAME)
+            with pytest.raises(SerializationError):
+                decode_frame(delivery.data)
+
+
+class TestJitterEdgeCases:
+    """Satellite: jitter_ms=0 draw accounting, rejection boundary, drop+dup.
+
+    Each case runs against both fate planes -- the v1 assertions are
+    regression pins (the plane is frozen), the v2 ones define the new
+    stream's draw discipline.
+    """
+
+    def test_v1_jitter_zero_consumes_no_draw(self):
+        # White-box: with jitter_ms=0 the corrupt decision must be the
+        # *third* MT draw (drop, dup, corrupt) -- nothing consumed between
+        # dup and corrupt.  A stray jitter draw would shift the bit index.
+        channel = ChannelModel(corrupt_rate=1.0, seed=5)
+        for i in range(20):
+            flow = i.to_bytes(2, "big")
+            rng = _v1_rng(5, flow, ("a", "b"), 0)
+            rng.random()  # drop
+            rng.random()  # dup
+            assert rng.random() < 1.0  # corrupt decision
+            bit = rng.randrange(len(FRAME) * 8)
+            (delivery,) = channel.transmit(
+                FRAME, flow=flow, link=("a", "b"), seq=0, latency_ms=3
+            )
+            assert delivery.delay_ms == 3  # no jitter added
+            assert delivery.data == flip_bit(FRAME, bit)
+
+    def test_v2_jitter_zero_consumes_no_word(self):
+        # White-box: with jitter_ms=0 the corrupt decision must be stream
+        # word 2 (after drop word 0 and dup word 1), and the bit draw
+        # starts at word 3.
+        channel = ChannelModel(corrupt_rate=1.0, seed=5, version=2)
+        frame_bits = len(FRAME) * 8
+        bit_mask = (1 << (frame_bits - 1).bit_length()) - 1
+        for i in range(20):
+            flow = i.to_bytes(2, "big")
+            take = _v2_words(5, flow, ("a", "b"), 0).__next__
+            take()  # drop word
+            take()  # dup word
+            assert take() < 1 << 32  # corrupt decision: threshold 2**32
+            bit = take() & bit_mask
+            while bit >= frame_bits:
+                bit = take() & bit_mask
+            (delivery,) = channel.transmit(
+                FRAME, flow=flow, link=("a", "b"), seq=0, latency_ms=3
+            )
+            assert delivery.delay_ms == 3
+            assert delivery.data == flip_bit(FRAME, bit)
+
+    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("jitter_ms", [1, 2, 5])
+    def test_max_jitter_rejection_boundary(self, version, jitter_ms):
+        # The draw is uniform on [0, jitter_ms] inclusive: every value in
+        # range must be reachable and jitter_ms+1 must never appear, even
+        # when the rejection mask admits it (jitter_ms=2 -> mask 3, so the
+        # raw draw *can* be 3 and the loop must redraw).
+        channel = ChannelModel(jitter_ms=jitter_ms, seed=3, version=version)
+        delays = {
+            channel.transmit(
+                FRAME, flow=i.to_bytes(4, "big"), link=("a", "b"), seq=0, latency_ms=10
+            )[0].delay_ms - 10
+            for i in range(400)
+        }
+        assert delays == set(range(jitter_ms + 1))
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_certain_drop_beats_certain_dup(self, version):
+        channel = ChannelModel(drop_rate=1.0, dup_rate=1.0, seed=1, version=version)
+        for i in range(30):
+            assert channel.transmit(
+                FRAME, flow=i.to_bytes(4, "big"), link=("a", "b"), seq=0, latency_ms=1
+            ) == []
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_certain_dup_without_drop_always_two_copies(self, version):
+        channel = ChannelModel(dup_rate=1.0, jitter_ms=5, seed=1, version=version)
+        saw_distinct_delays = False
+        for i in range(30):
+            deliveries = channel.transmit(
+                FRAME, flow=i.to_bytes(4, "big"), link=("a", "b"), seq=0, latency_ms=1
+            )
+            assert len(deliveries) == 2
+            if deliveries[0].delay_ms != deliveries[1].delay_ms:
+                saw_distinct_delays = True
+        # The two copies draw jitter independently from the same stream.
+        assert saw_distinct_delays
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_drop_dup_interaction_on_same_link_is_per_seq(self, version):
+        # drop and dup at 0.5 each on ONE link across seqs: all three
+        # outcomes (lost, single, duplicated) must occur, decided per
+        # transmission, not per link.
+        channel = ChannelModel(drop_rate=0.5, dup_rate=0.5, seed=2, version=version)
+        sizes = {
+            len(channel.transmit(FRAME, flow=b"f", link=("a", "b"), seq=seq, latency_ms=1))
+            for seq in range(200)
+        }
+        assert sizes == {0, 1, 2}
+
+
+class TestV2Statistics:
+    """Satellite: the keystream's decisions are unbiased within tolerance."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_rates_are_honoured_across_links_and_seqs(self, seed):
+        channel = ChannelModel(drop_rate=0.2, dup_rate=0.25, corrupt_rate=0.3,
+                               seed=seed, version=2)
+        n = 1500
+        deliveries = [
+            channel.transmit(
+                FRAME,
+                flow=(i % 50).to_bytes(4, "big"),
+                link=("a", f"n{i % 30}"),
+                seq=i // 30,
+                latency_ms=2,
+            )
+            for i in range(n)
+        ]
+        dropped = sum(1 for d in deliveries if not d) / n
+        survivors = [d for d in deliveries if d]
+        duplicated = sum(1 for d in survivors if len(d) == 2) / len(survivors)
+        corrupted = sum(1 for d in survivors if d[0].corrupted) / len(survivors)
+        # ~5.5 sigma bands for n=1500 binomials: loose enough to never
+        # flake, tight enough to catch a biased word or threshold.
+        assert 0.2 - 0.06 < dropped < 0.2 + 0.06
+        assert 0.25 - 0.065 < duplicated < 0.25 + 0.065
+        assert 0.3 - 0.07 < corrupted < 0.3 + 0.07
+
+    def test_jitter_values_roughly_uniform(self):
+        channel = ChannelModel(jitter_ms=3, seed=8, version=2)
+        counts = [0] * 4
+        n = 2000
+        for i in range(n):
+            delay = channel.transmit(
+                FRAME, flow=i.to_bytes(4, "big"), link=("a", "b"), seq=0, latency_ms=0
+            )[0].delay_ms
+            counts[delay] += 1
+        for count in counts:
+            assert 0.25 - 0.05 < count / n < 0.25 + 0.05

@@ -11,6 +11,8 @@ Usage::
     PYTHONPATH=src python tools/profile_engine.py                      # default spec
     PYTHONPATH=src python tools/profile_engine.py --spec examples/specs/lossy_city.json \\
         --loss 0.1 --top 25 --sort tottime
+    PYTHONPATH=src python tools/profile_engine.py --spec examples/specs/lossy_city.json \\
+        --loss 0.1 --channel-version 2   # the docs' channel-plane-v2 'after' profile
     PYTHONPATH=src python tools/profile_engine.py --nodes 2000 --episodes 4
 
 The same report is reachable from the CLI as
@@ -51,6 +53,7 @@ def profile_spec(spec, *, top: int, sort: str, out=sys.stdout) -> pstats.Stats:
         corrupt_rate=spec.corrupt_rate,
         jitter_ms=spec.jitter_ms,
         seed=spec.seed,
+        version=spec.channel_version,
     )
     network = AdHocNetwork(adjacency, participants, channel=channel)
     # Mirror run_scenario's engine construction exactly, including the
@@ -108,6 +111,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--nodes", type=int, default=None, help="override population")
     parser.add_argument("--episodes", type=int, default=None)
+    parser.add_argument(
+        "--channel-version", type=int, choices=(1, 2), default=None,
+        help="override the spec's channel fate plane (1 = scratch-MT, "
+             "2 = counter-mode); the docs' before/after profiles are "
+             "--loss 0.1 with each version in turn",
+    )
     parser.add_argument("--top", type=int, default=25, help="rows to print (default 25)")
     parser.add_argument(
         "--sort", choices=("tottime", "cumulative", "calls"), default="tottime"
@@ -133,6 +142,8 @@ def main(argv: list[str] | None = None) -> int:
             overrides["nodes"] = args.nodes
         if args.episodes is not None:
             overrides["episodes"] = args.episodes
+        if args.channel_version is not None:
+            overrides["channel_version"] = args.channel_version
         if overrides:
             spec = ScenarioSpec.from_dict({**spec.as_dict(), **overrides})
     except SpecError as exc:
