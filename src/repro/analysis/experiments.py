@@ -54,6 +54,7 @@ __all__ = [
     "run_scenario",
     "run_plan",
     "render_markdown_report",
+    "write_artifacts",
     "MOBILITY_MODELS",
     "ATTACKER_KINDS",
 ]
@@ -652,6 +653,29 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
     return "\n".join(lines) + "\n"
 
 
+def write_artifacts(
+    name: str,
+    payload: Mapping[str, Any],
+    markdown: str,
+    out_dir: str | Path,
+) -> tuple[Path, Path]:
+    """Write the standard JSON + markdown artifact pair for a named run.
+
+    Shared by the experiment sweep runner and the conformance harness so
+    every reporting surface lands artifacts under the same naming scheme
+    (``<name>.json`` + ``<name>.md``, slashes flattened).  Returns
+    ``(json_path, markdown_path)``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    safe_name = name.replace("/", "_")
+    json_path = out / f"{safe_name}.json"
+    md_path = out / f"{safe_name}.md"
+    json_path.write_text(json.dumps(payload, indent=2))
+    md_path.write_text(markdown)
+    return json_path, md_path
+
+
 def run_plan(
     source: str | Path | Mapping[str, Any],
     out_dir: str | Path,
@@ -664,8 +688,6 @@ def run_plan(
     receives one progress line per scenario.
     """
     plan = load_plan(source)
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
     records = []
     for spec in plan.specs:
         record = run_scenario(spec)
@@ -679,9 +701,10 @@ def run_plan(
             )
             for warning in record["warnings"]:
                 echo(f"    warning: {warning}")
-    safe_name = plan.name.replace("/", "_")
-    json_path = out / f"{safe_name}.json"
-    md_path = out / f"{safe_name}.md"
-    json_path.write_text(json.dumps({"plan": plan.name, "records": records}, indent=2))
-    md_path.write_text(render_markdown_report(plan.name, records))
+    json_path, md_path = write_artifacts(
+        plan.name,
+        {"plan": plan.name, "records": records},
+        render_markdown_report(plan.name, records),
+        out_dir,
+    )
     return json_path, md_path, records

@@ -8,6 +8,8 @@ Installed as ``sealed-bottle`` (see pyproject).  Subcommands:
 - ``tables``       regenerate the measured PPL tables (I and II).
 - ``experiments``  run a config-driven ScenarioSpec sweep
   (``experiments run spec.json``); see ``docs/experiments.md``.
+- ``conformance``  wire-format conformance suite against the independent
+  mini endpoint (``conformance run``); see ``docs/wire_format.md``.
 """
 
 from __future__ import annotations
@@ -125,6 +127,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", default="results",
         help="directory for the JSON artifact and markdown report (default: results/)",
     )
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="protocol conformance suite against the independent mini endpoint",
+    )
+    conf_sub = conformance.add_subparsers(dest="conformance_command", required=True)
+    conf_run = conf_sub.add_parser(
+        "run", help="run the checks; write schema-validated JSON verdicts + markdown report"
+    )
+    conf_run.add_argument(
+        "--suite", default=None,
+        help="restrict to one suite (frames, sessions, episodes; default: all)",
+    )
+    conf_run.add_argument(
+        "--smoke", action="store_true",
+        help="run only the fast smoke subset (the tier-1 slice)",
+    )
+    conf_run.add_argument(
+        "--out-dir", default="results",
+        help="directory for the JSON verdicts and markdown report (default: results/)",
+    )
+    conf_sub.add_parser("list", help="list registered checks with suite + trust context")
     return parser
 
 
@@ -141,6 +165,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tables()
     if args.command == "experiments":
         return _cmd_experiments(args)
+    if args.command == "conformance":
+        return _cmd_conformance(args)
     return 2  # pragma: no cover -- argparse enforces the choices
 
 
@@ -356,6 +382,43 @@ def _cmd_experiments(args) -> int:
     print(f"wrote {json_path}")
     print(f"wrote {md_path}")
     return 0
+
+
+def _cmd_conformance(args) -> int:
+    from repro.conformance.harness import available_checks, load_check, run_and_report
+
+    if args.conformance_command == "list":
+        rows = []
+        for name in available_checks():
+            entry = load_check(name)
+            rows.append([
+                entry.name, entry.suite, "+".join(entry.trust.names()),
+                "yes" if entry.smoke else "", entry.doc,
+            ])
+        print(render_table(
+            f"conformance checks ({len(rows)})",
+            ["check", "suite", "trust", "smoke", "what it pins"],
+            rows,
+        ))
+        return 0
+    try:
+        json_path, md_path, records = run_and_report(
+            args.suite, args.out_dir, smoke_only=args.smoke, echo=print
+        )
+    except ValueError as exc:  # unknown suite name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failed = [r for r in records if r["status"] == "fail"]
+    print()
+    print(render_table(
+        f"conformance ({len(records)} check(s), {len(failed)} failed)",
+        ["check", "suite", "trust", "status"],
+        [[r["check"], r["suite"], "+".join(r["trust"]), r["status"]] for r in records],
+    ))
+    print()
+    print(f"wrote {json_path}")
+    print(f"wrote {md_path}")
+    return 1 if failed else 0
 
 
 def _cmd_tables() -> int:

@@ -1,0 +1,67 @@
+"""Engine-facing adapter: run a mini participant inside the repro engine.
+
+:class:`~repro.network.engine.FriendingEngine` talks to participants
+through exactly two touch points — ``handle_request(package, now_ms=...)``
+returning a :class:`~repro.core.protocols.Reply` or None, and
+``last_outcome.candidate``.  The adapter crosses the stack boundary *on
+the wire*: every incoming :class:`~repro.core.request.RequestPackage` is
+re-encoded to bytes and decoded by the mini codec, so a whole engine run
+with adapted participants exercises the mini stack end to end under
+lossy channels, retransmission waves and TTL relaying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocols import Reply
+from repro.core.request import RequestPackage
+from repro.conformance.minipeer import MiniParticipant, MiniWire
+
+__all__ = ["MiniOutcomeView", "MiniParticipantAdapter"]
+
+
+@dataclass(frozen=True)
+class MiniOutcomeView:
+    """The one field the engine reads off a participant outcome."""
+
+    candidate: bool
+
+
+class MiniParticipantAdapter:
+    """Drop-in participant whose protocol brain is the mini endpoint."""
+
+    def __init__(
+        self,
+        attributes,
+        user_id: str,
+        *,
+        y_seed: bytes | None = None,
+        binding: bytes | None = None,
+        wire: MiniWire | None = None,
+    ):
+        self._wire = wire or MiniWire()
+        self._inner = MiniParticipant(attributes, user_id, y_seed=y_seed, binding=binding)
+        self.user_id = user_id
+        self.last_outcome: MiniOutcomeView | None = None
+
+    def handle_request(self, package: RequestPackage, now_ms: int = 0) -> Reply | None:
+        # Cross the boundary through the bytes, not the object model.
+        request = self._wire.decode_request(package.encode())
+        # Expired/duplicate requests return early *without* touching
+        # last_outcome, exactly like the repro participant's early returns.
+        if request.is_expired(now_ms) or self._inner.has_seen(request.request_id):
+            return None
+        reply = self._inner.handle_request(request, now_ms=now_ms)
+        self.last_outcome = MiniOutcomeView(candidate=bool(self._inner.last_candidate))
+        if reply is None:
+            return None
+        return Reply(
+            request_id=reply.request_id,
+            responder_id=reply.responder_id,
+            elements=reply.elements,
+            sent_at_ms=reply.sent_at_ms,
+        )
+
+    def channel_keys(self, request_id: bytes) -> list[bytes]:
+        return self._inner.channel_keys(request_id)

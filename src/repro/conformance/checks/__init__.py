@@ -1,0 +1,14 @@
+"""Conformance check modules.
+
+Each module registers checks with :func:`repro.conformance.harness.check`
+at import time; the harness imports them lazily on first registry access:
+
+- :mod:`~repro.conformance.checks.frames` — codec parity suite
+  (``frames``): round-trips, malformed-input rejection, boundary limits.
+- :mod:`~repro.conformance.checks.sessions` — session-table semantics
+  suite (``sessions``): expiry boundary, overflow policies.
+- :mod:`~repro.conformance.checks.episodes` — end-to-end friending suite
+  (``episodes``): both initiator/participant direction swaps across
+  Protocols 1–3, retransmission-wave idempotence, forged-reply rejection
+  and an engine run with the mini stack inside.
+"""

@@ -1,0 +1,340 @@
+"""End-to-end friending episode checks: the two stacks as peers.
+
+Every episode crosses the stack boundary on raw datagram bytes — a
+repro initiator flooding a mini node, a mini initiator answered by a
+repro participant, retransmission waves against a mini relay, forged
+acknowledge sets against both verifiers, and a whole
+:class:`~repro.network.engine.FriendingEngine` run with mini brains
+behind the engine's participant seam.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.conformance.adapter import MiniParticipantAdapter
+from repro.conformance.harness import ConformanceFailure, TrustContext, check
+from repro.core import wire as rwire
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant, Reply
+from repro.network.channel_model import ChannelModel
+from repro.core.request import RequestPackage
+from repro.network.engine import EpisodeSpec, FriendingEngine
+from repro.network.simulator import AdHocNetwork
+from repro.network.topology import line_topology
+
+_REQUEST = RequestProfile(
+    necessary=("hiking", "jazz"),
+    optional=("chess", "tennis", "poetry", "sailing"),
+    beta=2,
+)
+_MATCH_ATTRS = ("hiking", "jazz", "chess", "tennis", "cooking")
+_FUZZY_ATTRS = ("hiking", "jazz", "chess", "tennis")  # missing γ=2 optionals
+_MISS_ATTRS = ("jazz", "chess", "tennis", "poetry")  # lacks necessary "hiking"
+
+_E2E = TrustContext.CONFIDENTIALITY | TrustContext.AUTHENTICATED_ORIGIN
+
+
+def _mini_reply_to_repro(peer, mini_reply) -> Reply:
+    """Cross the boundary through frame bytes, never the object model."""
+    frame_bytes = peer.wire.encode_frame(2, peer.wire.encode_reply(mini_reply), ttl=1)
+    return rwire.decode_payload(rwire.decode_frame(frame_bytes))
+
+
+def _repro_reply_to_mini(peer, reply: Reply):
+    frame_bytes = rwire.encode_reply_frame(reply, ttl=1)
+    return peer.wire.decode_reply(peer.wire.decode_frame(frame_bytes).payload)
+
+
+@check("episode-repro-initiator", suite="episodes", trust=_E2E, smoke=True)
+def episode_repro_initiator(peer):
+    """A repro initiator friends a mini participant under Protocols 1–3."""
+    for protocol in (1, 2, 3):
+        initiator = Initiator(_REQUEST, protocol=protocol, p=31, rng=random.Random(40 + protocol))
+        package = initiator.create_request(now_ms=0)
+        data = rwire.encode_request_frame(package)
+
+        node = peer.node(f"mini-{protocol}", peer.participant(_MATCH_ATTRS, "mini-bob", y_seed=b"y" * 32))
+        delivery = node.handle_datagram(data, parent="origin", now_ms=10)
+        if delivery.status != "processed" or not delivery.candidate:
+            raise ConformanceFailure(f"P{protocol}: mini node did not process ({delivery.status})")
+        if delivery.reply_frame is None:
+            raise ConformanceFailure(f"P{protocol}: matching mini participant stayed silent")
+        reply = rwire.decode_payload(rwire.decode_frame(delivery.reply_frame))
+        record = initiator.handle_reply(reply, now_ms=20)
+        if record is None:
+            raise ConformanceFailure(f"P{protocol}: repro initiator rejected the mini reply")
+        if record.session_key not in node.participant.channel_keys(package.request_id):
+            raise ConformanceFailure(f"P{protocol}: pairwise session keys do not agree")
+
+        # A non-candidate (missing a necessary attribute) must stay silent,
+        # exactly like a repro participant with the same profile.
+        silent = peer.node("mini-miss", peer.participant(_MISS_ATTRS, "mini-eve", y_seed=b"e" * 32))
+        miss = silent.handle_datagram(data, parent="origin", now_ms=10)
+        repro_peer = Participant(Profile(_MISS_ATTRS, "repro-eve"), rng=random.Random(3))
+        repro_reply = repro_peer.handle_request(RequestPackage.decode(package.encode()), now_ms=10)
+        if miss.reply_frame is not None or repro_reply is not None:
+            raise ConformanceFailure(f"P{protocol}: a non-candidate replied")
+        if bool(miss.candidate) != bool(repro_peer.last_outcome.candidate):
+            raise ConformanceFailure(f"P{protocol}: candidate verdicts diverge for a miss")
+    return "Protocols 1-3 verified matches, key agreement and silence parity"
+
+
+@check("episode-mini-initiator", suite="episodes", trust=_E2E, smoke=True)
+def episode_mini_initiator(peer):
+    """A mini initiator friends a repro participant under Protocols 1–3."""
+    for protocol in (1, 2, 3):
+        seed = 60 + protocol
+        mini_init = peer.initiator(
+            _REQUEST.necessary, _REQUEST.optional, _REQUEST.beta,
+            protocol=protocol, p=31, rng=random.Random(seed),
+        )
+        request = mini_init.build_request(now_ms=0)
+        data = peer.wire.encode_frame(1, peer.wire.encode_request(request), ttl=request.ttl)
+
+        # Strongest encoder statement: independently built, byte-identical.
+        repro_package = Initiator(
+            _REQUEST, protocol=protocol, p=31, rng=random.Random(seed)
+        ).create_request(now_ms=0)
+        if rwire.encode_request_frame(repro_package) != data:
+            raise ConformanceFailure(f"P{protocol}: same-seed requests are not byte-identical")
+
+        participant = Participant(Profile(_MATCH_ATTRS, "repro-bob"), rng=random.Random(17))
+        frame = rwire.decode_frame(data)
+        package = rwire.decode_payload(frame)
+        reply = participant.handle_request(package, now_ms=5)
+        if reply is None:
+            raise ConformanceFailure(f"P{protocol}: repro participant stayed silent")
+        record = mini_init.handle_reply(_repro_reply_to_mini(peer, reply), now_ms=30)
+        if record is None:
+            raise ConformanceFailure(
+                f"P{protocol}: mini initiator rejected the repro reply ({mini_init.rejected})"
+            )
+        if record["session_key"] not in participant.channel_keys(request.request_id):
+            raise ConformanceFailure(f"P{protocol}: pairwise session keys do not agree")
+    return "Protocols 1-3 verified matches with byte-identical same-seed requests"
+
+
+@check("episode-reply-parity", suite="episodes", trust=_E2E)
+def episode_reply_parity(peer):
+    """Same request, same secrets: both participants emit the same element set."""
+    for protocol, attrs in ((1, _MATCH_ATTRS), (2, _MATCH_ATTRS), (3, _MATCH_ATTRS), (2, _FUZZY_ATTRS)):
+        initiator = Initiator(_REQUEST, protocol=protocol, p=31, rng=random.Random(70 + protocol))
+        package = initiator.create_request(now_ms=0)
+
+        repro_participant = Participant(Profile(attrs, "bob"), rng=random.Random(23))
+        mini_participant = peer.participant(attrs, "bob", y_seed=repro_participant._y_seed)
+
+        repro_reply = repro_participant.handle_request(RequestPackage.decode(package.encode()), now_ms=7)
+        mini_reply = mini_participant.handle_request(peer.wire.decode_request(package.encode()), now_ms=7)
+        if (repro_reply is None) != (mini_reply is None):
+            raise ConformanceFailure(f"P{protocol}/{attrs}: one stack replied, the other did not")
+        if repro_reply is None:
+            continue
+        if repro_reply.responder_id != mini_reply.responder_id:
+            raise ConformanceFailure("responder ids diverge")
+        if repro_reply.sent_at_ms != mini_reply.sent_at_ms:
+            raise ConformanceFailure("sent_at timestamps diverge")
+        if sorted(repro_reply.elements) != sorted(mini_reply.elements):
+            raise ConformanceFailure(
+                f"P{protocol}/{attrs}: acknowledge element sets diverge "
+                f"({len(repro_reply.elements)} vs {len(mini_reply.elements)} elements)"
+            )
+    return "element sets byte-identical under shared secrets (incl. hint recovery)"
+
+
+@check("episode-fuzzy-hint", suite="episodes", trust=_E2E)
+def episode_fuzzy_hint(peer):
+    """Hint recovery: a participant missing γ optionals still matches, both ways."""
+    initiator = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(81))
+    package = initiator.create_request(now_ms=0)
+    mini_participant = peer.participant(_FUZZY_ATTRS, "mini-fuzzy", y_seed=b"f" * 32)
+    mini_reply = mini_participant.handle_request(peer.wire.decode_request(package.encode()), now_ms=3)
+    if mini_reply is None:
+        raise ConformanceFailure("mini hint solver found no candidate")
+    if initiator.handle_reply(_mini_reply_to_repro(peer, mini_reply), now_ms=9) is None:
+        raise ConformanceFailure("repro initiator rejected the hint-recovered mini reply")
+
+    mini_init = peer.initiator(
+        _REQUEST.necessary, _REQUEST.optional, _REQUEST.beta, protocol=2, p=31, rng=random.Random(82)
+    )
+    request = mini_init.build_request(now_ms=0)
+    repro_participant = Participant(Profile(_FUZZY_ATTRS, "repro-fuzzy"), rng=random.Random(5))
+    reply = repro_participant.handle_request(
+        RequestPackage.decode(peer.wire.encode_request(request)), now_ms=3
+    )
+    if reply is None:
+        raise ConformanceFailure("repro hint solver found no candidate for a mini request")
+    if mini_init.handle_reply(_repro_reply_to_mini(peer, reply), now_ms=9) is None:
+        raise ConformanceFailure("mini initiator rejected the hint-recovered repro reply")
+    return "γ missing optionals recovered by both independent hint solvers"
+
+
+@check(
+    "wave-idempotence", suite="episodes",
+    trust=TrustContext.INTEGRITY | TrustContext.AUTHENTICATED_ORIGIN, smoke=True,
+)
+def wave_idempotence(peer):
+    """Retransmission waves: duplicates drop, fresh waves forward exactly once."""
+    initiator = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(90))
+    package = initiator.create_request(now_ms=0)
+    data = rwire.encode_request_frame(package, ttl=3)
+
+    node = peer.node("relay", peer.participant(_MATCH_ATTRS, "relay-bob", y_seed=b"r" * 32))
+    first = node.handle_datagram(data, parent="up", now_ms=1)
+    if first.status != "processed" or first.reply_frame is None:
+        raise ConformanceFailure(f"first copy not processed ({first.status})")
+    if first.forward_frame != rwire.reframe(data, ttl=2):
+        raise ConformanceFailure("first-copy forward differs from the repro relay bytes")
+
+    again = node.handle_datagram(data, parent="up", now_ms=2)
+    if again.status != "duplicate" or again.reply_frame or again.forward_frame:
+        raise ConformanceFailure(f"same-wave duplicate not dropped cleanly ({again.status})")
+
+    wave1 = rwire.reframe(data, seq=1)
+    fresh = node.handle_datagram(wave1, parent="up", now_ms=3)
+    if fresh.status != "wave-forwarded" or fresh.reply_frame is not None:
+        raise ConformanceFailure(f"fresh wave mishandled ({fresh.status}): waves must not re-process")
+    if fresh.forward_frame != rwire.reframe(wave1, ttl=2):
+        raise ConformanceFailure("wave forward differs from the repro relay bytes")
+
+    replay = node.handle_datagram(wave1, parent="up", now_ms=4)
+    if replay.status != "duplicate":
+        raise ConformanceFailure(f"replayed wave not dropped ({replay.status})")
+
+    stale = rwire.reframe(data, seq=0)
+    stale_again = node.handle_datagram(stale, parent="up", now_ms=5)
+    if stale_again.status != "duplicate":
+        raise ConformanceFailure("seq <= last_seq must drop, got " + stale_again.status)
+
+    # TTL 1 frames are consumed, never forwarded.
+    leaf = peer.node("leaf", peer.participant(_MATCH_ATTRS, "leaf-bob", y_seed=b"l" * 32))
+    edge = leaf.handle_datagram(rwire.reframe(data, ttl=1), parent="up", now_ms=1)
+    if edge.status != "processed" or edge.forward_frame is not None:
+        raise ConformanceFailure("a TTL-1 frame must be consumed without forwarding")
+
+    # Expired requests never open sessions or replies.
+    stale_pkg = Initiator(
+        _REQUEST, protocol=2, p=31, validity_ms=100, rng=random.Random(91)
+    ).create_request(now_ms=0)
+    expired = peer.node("exp", peer.participant(_MATCH_ATTRS, "exp-bob", y_seed=b"x" * 32))
+    late = expired.handle_datagram(rwire.encode_request_frame(stale_pkg), parent="up", now_ms=101)
+    if late.status != "expired" or late.reply_frame or late.forward_frame:
+        raise ConformanceFailure(f"expired request not dropped ({late.status})")
+    return "wave marks, TTL edges and expiry behave per spec on the mini relay"
+
+
+@check("reply-window-and-cardinality", suite="episodes", trust=TrustContext.AUTHENTICATED_ORIGIN)
+def reply_window_and_cardinality(peer):
+    """Both initiators enforce the reply window, cardinality cap and rid binding."""
+    repro_init = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(100))
+    package = repro_init.create_request(now_ms=0)
+    mini_init = peer.initiator(
+        _REQUEST.necessary, _REQUEST.optional, _REQUEST.beta, protocol=2, p=31, rng=random.Random(100)
+    )
+    mini_init.build_request(now_ms=0)
+
+    def both_reject(reply: Reply, now_ms: int, expected_reason: str) -> None:
+        if repro_init.handle_reply(reply, now_ms=now_ms) is not None:
+            raise ConformanceFailure(f"repro accepted a reply that should fail: {expected_reason}")
+        if mini_init.handle_reply(_repro_reply_to_mini(peer, reply), now_ms=now_ms) is not None:
+            raise ConformanceFailure(f"mini accepted a reply that should fail: {expected_reason}")
+        repro_reason = repro_init.rejected[-1].reason
+        mini_reason = mini_init.rejected[-1][1]
+        if repro_reason != expected_reason or mini_reason != expected_reason:
+            raise ConformanceFailure(
+                f"rejection reasons diverge: repro={repro_reason!r} mini={mini_reason!r} "
+                f"expected={expected_reason!r}"
+            )
+
+    element = b"\x2a" * 48
+    both_reject(
+        Reply(request_id=b"WRONG-ID", responder_id="eve", elements=(element,), sent_at_ms=1),
+        now_ms=10, expected_reason="unknown request id",
+    )
+    rid = package.request_id
+    both_reject(
+        Reply(request_id=rid, responder_id="slow", elements=(element,), sent_at_ms=1),
+        now_ms=5_001, expected_reason="outside time window",
+    )
+    both_reject(
+        Reply(request_id=rid, responder_id="chatty", elements=(element,) * 17, sent_at_ms=1),
+        now_ms=100, expected_reason="reply set too large",
+    )
+    # Exactly at the window and the cap: not rejected for window/size reasons.
+    both_reject(
+        Reply(request_id=rid, responder_id="edge", elements=(element,) * 16, sent_at_ms=1),
+        now_ms=5_000, expected_reason="no element verified",
+    )
+    return "window, cardinality and rid rejections agree reason-for-reason"
+
+
+@check("forged-reply-rejection", suite="episodes", trust=_E2E)
+def forged_reply_rejection(peer):
+    """Forged acknowledge elements verify under neither initiator."""
+    repro_init = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(110))
+    package = repro_init.create_request(now_ms=0)
+    mini_init = peer.initiator(
+        _REQUEST.necessary, _REQUEST.optional, _REQUEST.beta, protocol=2, p=31, rng=random.Random(110)
+    )
+    mini_init.build_request(now_ms=0)
+
+    # A cheater who never solved the request: random bytes, and an element
+    # sealed under the *wrong* pairwise secret.
+    from repro.conformance.minipeer import _ACK, _aes_encrypt  # check-side forgery tools
+
+    wrong_x = os.urandom(32)
+    forged = (
+        os.urandom(48),
+        _aes_encrypt(wrong_x, _ACK + b"\x01" + os.urandom(32)),
+    )
+    reply = Reply(request_id=package.request_id, responder_id="mallory", elements=forged, sent_at_ms=2)
+    if repro_init.handle_reply(reply, now_ms=10) is not None:
+        raise ConformanceFailure("repro initiator verified a forged element")
+    if repro_init.rejected[-1].reason != "no element verified":
+        raise ConformanceFailure("repro rejected the forgery for the wrong reason")
+    if mini_init.handle_reply(_repro_reply_to_mini(peer, reply), now_ms=10) is not None:
+        raise ConformanceFailure("mini initiator verified a forged element")
+    if mini_init.rejected[-1][1] != "no element verified":
+        raise ConformanceFailure("mini rejected the forgery for the wrong reason")
+    return "random and wrong-key forgeries rejected by both verifiers"
+
+
+@check("engine-mini-adapter", suite="episodes", trust=_E2E)
+def engine_mini_adapter(peer):
+    """A lossy engine run with mini-participant brains still verifies matches."""
+    adjacency, _ = line_topology(5)
+    nodes = list(adjacency)
+    participants = {
+        node_id: MiniParticipantAdapter(_MATCH_ATTRS, f"user-{node_id}", y_seed=bytes([i]) * 32)
+        for i, node_id in enumerate(nodes)
+    }
+    participants[nodes[0]] = None  # the origin only floods
+    network = AdHocNetwork(
+        adjacency,
+        participants,
+        channel=ChannelModel(drop_rate=0.15, dup_rate=0.1, seed=7),
+    )
+    initiator = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(120))
+    engine = FriendingEngine(network, retries=2)
+    result = engine.run([EpisodeSpec(nodes[0], initiator)])
+    episode = result.episodes[0]
+    if not initiator.matches:
+        raise ConformanceFailure("no verified match in the lossy engine run")
+    if episode.metrics.candidates < 1 or episode.metrics.replies < 1:
+        raise ConformanceFailure(
+            f"engine metrics implausible: candidates={episode.metrics.candidates} "
+            f"replies={episode.metrics.replies}"
+        )
+    for record in initiator.matches:
+        responder_node = record.responder_id.removeprefix("user-")
+        adapter = participants.get(responder_node)
+        if adapter is not None and record.session_key not in adapter.channel_keys(
+            initiator.secret.request_id
+        ):
+            raise ConformanceFailure("engine-run session keys do not agree")
+    return (
+        f"lossy engine run: {len(initiator.matches)} verified matches, "
+        f"{episode.metrics.replies} replies through the adapter seam"
+    )

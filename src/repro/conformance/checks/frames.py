@@ -1,0 +1,481 @@
+"""Codec parity checks: SBFM envelope + the three payload codecs.
+
+Every check drives the *repro* codec (``core/wire.py`` /
+``core/request.py``) and the *mini* codec
+(:class:`~repro.conformance.minipeer.MiniWire`) over the same bytes and
+requires identical accept/reject decisions with identical decoded
+fields.  Valid traffic comes from real :class:`Initiator` requests so
+the byte patterns are the ones the protocols actually emit.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.conformance.harness import ConformanceFailure, TrustContext, check
+from repro.conformance.minipeer import MiniRejection, MiniReply, MiniRequest
+from repro.core import wire as rwire
+from repro.core.attributes import RequestProfile
+from repro.core.exceptions import SerializationError
+from repro.core.protocols import Initiator, Reply
+from repro.core.request import RequestPackage
+
+_PROFILE = RequestProfile(
+    necessary=("hiking", "jazz"),
+    optional=("chess", "tennis", "poetry", "sailing"),
+    beta=2,
+)
+_PERFECT = RequestProfile.exact(("hiking", "jazz", "chess"))
+
+
+def _request_bytes(protocol: int = 2, seed: int = 42, profile=_PROFILE) -> bytes:
+    return Initiator(profile, protocol=protocol, p=31, rng=random.Random(seed)).create_request(
+        now_ms=1_000
+    ).encode()
+
+
+def _both_reject(peer, data: bytes, what: str) -> None:
+    try:
+        rwire.decode_frame(data)
+    except SerializationError:
+        pass
+    else:
+        raise ConformanceFailure(f"repro accepted {what}")
+    try:
+        peer.wire.decode_frame(data)
+    except MiniRejection:
+        pass
+    else:
+        raise ConformanceFailure(f"mini accepted {what}")
+
+
+def _frames_equal(peer, data: bytes, what: str) -> None:
+    rframe = rwire.decode_frame(data)
+    mframe = peer.wire.decode_frame(data)
+    fields = (
+        (rframe.ftype, rframe.ttl, rframe.seq, rframe.payload),
+        (mframe.ftype, mframe.ttl, mframe.seq, mframe.payload),
+    )
+    if fields[0] != fields[1]:
+        raise ConformanceFailure(f"decoded fields diverge for {what}: {fields}")
+
+
+def _patched(data: bytes, offset: int, value: int) -> bytes:
+    """One byte replaced and the frame CRC recomputed (a *valid* checksum)."""
+    out = bytearray(data)
+    out[offset] = value
+    crc = zlib.crc32(out[4:12])
+    crc = zlib.crc32(out[16:], crc) & 0xFFFF_FFFF
+    out[12:16] = crc.to_bytes(4, "big")
+    return bytes(out)
+
+
+@check("frame-roundtrip", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def frame_roundtrip(peer):
+    """Both codecs produce identical frame bytes and decode each other's."""
+    cases = [
+        (rwire.FT_REQUEST, _request_bytes(), 8, 0),
+        (rwire.FT_REPLY, b"reply-payload", 3, 2),
+        (rwire.FT_SESSION, b"C" * 8 + b"ciphertext", 0, 255),
+        (rwire.FT_REQUEST, b"", 255, 1),
+    ]
+    for ftype, payload, ttl, seq in cases:
+        repro = rwire.encode_frame(ftype, payload, ttl=ttl, seq=seq)
+        mini = peer.wire.encode_frame(ftype, payload, ttl=ttl, seq=seq)
+        if repro != mini:
+            raise ConformanceFailure(
+                f"encoders diverge for ftype={ftype}: {repro.hex()} != {mini.hex()}"
+            )
+        _frames_equal(peer, repro, f"ftype={ftype} frame")
+    return f"{len(cases)} frames byte-identical both ways"
+
+
+@check("frame-truncation", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def frame_truncation(peer):
+    """Every proper prefix of a valid frame is rejected by both codecs."""
+    data = rwire.encode_frame(rwire.FT_REQUEST, _request_bytes(), ttl=8)
+    for cut in range(len(data)):
+        _both_reject(peer, data[:cut], f"{cut}-byte truncation")
+    return f"all {len(data)} prefixes rejected by both"
+
+
+@check("frame-bit-flips", suite="frames", trust=TrustContext.INTEGRITY)
+def frame_bit_flips(peer):
+    """Any single flipped bit breaks the CRC for both codecs."""
+    data = rwire.encode_frame(rwire.FT_REPLY, b"acknowledge-set", ttl=4, seq=1)
+    for bit in range(len(data) * 8):
+        _both_reject(peer, rwire.flip_bit(data, bit), f"bit {bit} flip")
+    return f"all {len(data) * 8} single-bit corruptions rejected by both"
+
+
+@check("frame-bad-version-type", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def frame_bad_version_type(peer):
+    """Unknown version/type bytes are rejected even under a valid CRC."""
+    data = rwire.encode_frame(rwire.FT_REQUEST, b"payload", ttl=2)
+    for version in (0, 2, 7, 255):
+        _both_reject(peer, _patched(data, 4, version), f"version {version}")
+    for ftype in (0, 4, 9, 255):
+        _both_reject(peer, _patched(data, 5, ftype), f"frame type {ftype}")
+    for magic in (b"XBFM", b"SBFX", b"\x00\x00\x00\x00"):
+        _both_reject(peer, magic + data[4:], f"magic {magic!r}")
+    return "bad version/type/magic rejected under valid checksums"
+
+
+@check("frame-length-lies", suite="frames", trust=TrustContext.INTEGRITY)
+def frame_length_lies(peer):
+    """Length-field lies and trailing bytes are rejected by both codecs."""
+    data = rwire.encode_frame(rwire.FT_SESSION, b"C" * 8 + b"hello", ttl=0)
+    true_len = len(data) - 16
+    for lie in (true_len - 1, true_len + 1, 0, 0xFFFF_FFFF):
+        if lie == true_len or lie < 0:
+            continue
+        out = bytearray(data)
+        out[8:12] = lie.to_bytes(4, "big")
+        crc = zlib.crc32(out[4:12])
+        crc = zlib.crc32(out[16:], crc) & 0xFFFF_FFFF
+        out[12:16] = crc.to_bytes(4, "big")
+        _both_reject(peer, bytes(out), f"length lie {lie}")
+    _both_reject(peer, data + b"\x00", "trailing byte")
+    return "length lies and trailing bytes rejected by both"
+
+
+@check("relay-hop-parity", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def relay_hop_parity(peer):
+    """The zero-copy repro relay and the mini re-encode relay agree byte for byte."""
+    data = rwire.encode_frame(rwire.FT_REQUEST, _request_bytes(), ttl=8, seq=0)
+    for ttl, seq in ((7, 0), (1, 0), (8, 3), (0, 255), (255, 1)):
+        repro = rwire.reframe(data, ttl=ttl, seq=seq)
+        mini = peer.wire.hop(data, ttl=ttl, seq=seq)
+        if repro != mini:
+            raise ConformanceFailure(f"relay bytes diverge at ttl={ttl} seq={seq}")
+        _frames_equal(peer, mini, f"hopped frame ttl={ttl} seq={seq}")
+    return "patched-CRC relay matches a full re-encode"
+
+
+@check("request-codec", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def request_codec(peer):
+    """Request packages decode identically, and mini re-encodes byte-identically."""
+    blobs = [
+        _request_bytes(protocol=1, seed=5),
+        _request_bytes(protocol=2, seed=6),
+        _request_bytes(protocol=3, seed=7),
+        _request_bytes(protocol=2, seed=8, profile=_PERFECT),  # no hint
+    ]
+    # m_t = 0 is representable on the wire even though profiles can't make it.
+    blobs.append(
+        RequestPackage(
+            protocol=2,
+            p=11,
+            remainders=(),
+            necessary_mask=(),
+            beta=0,
+            hint=None,
+            ciphertext=b"\x00" * 16,
+            request_id=b"RID-zero",
+            ttl=4,
+            expiry_ms=9_000,
+        ).encode()
+    )
+    for data in blobs:
+        repro = RequestPackage.decode(data)
+        mini = peer.wire.decode_request(data)
+        repro_hint = (
+            None
+            if repro.hint is None
+            else (repro.hint.gamma, repro.hint.beta, repro.hint.r_block, repro.hint.b_vector)
+        )
+        mini_hint = (
+            None
+            if mini.hint is None
+            else (mini.hint.gamma, mini.hint.beta, mini.hint.r_block, mini.hint.b_vector)
+        )
+        fields = (
+            (repro.protocol, repro.p, repro.remainders, repro.necessary_mask, repro.beta,
+             repro_hint, repro.ciphertext, repro.request_id, repro.ttl, repro.expiry_ms),
+            (mini.protocol, mini.p, mini.remainders, mini.necessary_mask, mini.beta,
+             mini_hint, mini.ciphertext, mini.request_id, mini.ttl, mini.expiry_ms),
+        )
+        if fields[0] != fields[1]:
+            raise ConformanceFailure(f"request fields diverge: {fields}")
+        if peer.wire.encode_request(mini) != data:
+            raise ConformanceFailure("mini re-encode is not byte-identical")
+    return f"{len(blobs)} request packages agree field-for-field and byte-for-byte"
+
+
+@check("request-rejection-parity", suite="frames", trust=TrustContext.INTEGRITY)
+def request_rejection_parity(peer):
+    """Malformed request payloads are rejected identically by both codecs."""
+
+    def both_reject_payload(data: bytes, what: str) -> None:
+        try:
+            RequestPackage.decode(data)
+        except SerializationError:
+            pass
+        else:
+            raise ConformanceFailure(f"repro accepted {what}")
+        try:
+            peer.wire.decode_request(data)
+        except MiniRejection:
+            pass
+        else:
+            raise ConformanceFailure(f"mini accepted {what}")
+
+    data = _request_bytes(seed=12)
+    for cut in range(len(data)):
+        both_reject_payload(data[:cut], f"{cut}-byte request truncation")
+    both_reject_payload(data + b"\x00", "trailing request byte")
+    both_reject_payload(b"XBRQ" + data[4:], "bad request magic")
+    bad_version = bytearray(data)
+    bad_version[4] = 9
+    both_reject_payload(bytes(bad_version), "unknown request version")
+    bad_protocol = bytearray(data)
+    bad_protocol[5] = 4
+    both_reject_payload(bytes(bad_protocol), "protocol outside {1,2,3}")
+    # Ciphertext rules: empty and unaligned sealed messages can never unseal.
+    template = peer.wire.decode_request(data)
+    for bad_ct in (b"", b"\x00" * 15, b"\x00" * 17):
+        try:
+            broken = MiniRequest(
+                protocol=template.protocol, p=template.p,
+                remainders=template.remainders, necessary_mask=template.necessary_mask,
+                beta=template.beta, hint=template.hint, ciphertext=bad_ct,
+                request_id=template.request_id, ttl=template.ttl,
+                expiry_ms=template.expiry_ms,
+            )
+            peer.wire.encode_request(broken)
+        except MiniRejection:
+            pass
+        else:
+            raise ConformanceFailure(f"mini encoded a {len(bad_ct)}-byte sealed message")
+    # Remainder-reduction rule: a remainder >= p rejects at decode in both.
+    unreduced = bytearray(data)
+    p = int.from_bytes(data[7:9], "big")
+    unreduced[30 + (template.m_t + 7) // 8 : 30 + (template.m_t + 7) // 8 + 4] = p.to_bytes(4, "big")
+    both_reject_payload(bytes(unreduced), "remainder not reduced modulo p")
+    return "request truncations, trailing bytes and field-rule violations reject in parity"
+
+
+@check("request-mask-padding", suite="frames", trust=TrustContext.INTEGRITY)
+def request_mask_padding(peer):
+    """Spec leniency: set padding bits in the necessary mask are ignored by both."""
+    data = _request_bytes(seed=21)
+    reference = RequestPackage.decode(data)
+    m_t = reference.m_t
+    if m_t % 8 == 0:
+        raise ConformanceFailure("fixture must have mask padding bits")
+    padded = bytearray(data)
+    padded[30 + (m_t - 1) // 8] |= 0xFF << (m_t % 8) & 0xFF  # set every padding bit
+    padded = bytes(padded)
+    repro = RequestPackage.decode(padded)
+    mini = peer.wire.decode_request(padded)
+    if repro.necessary_mask != reference.necessary_mask:
+        raise ConformanceFailure("repro let mask padding leak into the decoded mask")
+    if mini.necessary_mask != reference.necessary_mask:
+        raise ConformanceFailure("mini let mask padding leak into the decoded mask")
+    return "mask padding bits ignored by both decoders"
+
+
+@check("request-hint-rhs-lenient", suite="frames", trust=TrustContext.INTEGRITY)
+def request_hint_rhs_lenient(peer):
+    """Spec leniency: zero-padded hint rhs entries decode to the same integers."""
+    data = _request_bytes(seed=33)
+    reference = peer.wire.decode_request(data)
+    hint = reference.hint
+    if hint is None:
+        raise ConformanceFailure("fixture request must carry a hint")
+    # Splice a zero-padded re-encode of the B entries into the raw bytes.
+    mask_len = (reference.m_t + 7) // 8
+    b_offset = 30 + mask_len + 4 * reference.m_t + 4 + 4 * hint.gamma * hint.beta
+    out = bytearray(data[:b_offset])
+    for b in hint.b_vector:
+        encoded = b"\x00\x00" + b.to_bytes((b.bit_length() + 7) // 8 or 1, "big")
+        out += len(encoded).to_bytes(2, "big") + encoded
+    tail = data[b_offset:]
+    for b in hint.b_vector:  # skip the original minimal entries
+        blen = int.from_bytes(tail[:2], "big")
+        tail = tail[2 + blen :]
+    out += tail
+    padded = bytes(out)
+    repro = RequestPackage.decode(padded)
+    mini = peer.wire.decode_request(padded)
+    if repro.hint.b_vector != hint.b_vector or mini.hint.b_vector != hint.b_vector:
+        raise ConformanceFailure("zero-padded hint rhs decoded to different integers")
+    return "non-minimal hint rhs encodings accepted identically"
+
+
+@check("reply-codec-boundaries", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def reply_codec_boundaries(peer):
+    """Reply payloads agree at every documented boundary limit."""
+    rid = b"REQUESTi"
+
+    def roundtrip(responder: str, n: int, sent: int, what: str) -> None:
+        repro_bytes = rwire.encode_reply_frame(
+            Reply(request_id=rid, responder_id=responder,
+                  elements=tuple(bytes([i % 256]) * 48 for i in range(n)),
+                  sent_at_ms=sent),
+            ttl=1,
+        )
+        payload = rwire.decode_frame(repro_bytes).payload
+        mini = peer.wire.decode_reply(payload)
+        if (mini.request_id, mini.responder_id, len(mini.elements), mini.sent_at_ms) != (
+            rid, responder, n, sent,
+        ):
+            raise ConformanceFailure(f"reply fields diverge for {what}")
+        if peer.wire.encode_reply(mini) != payload:
+            raise ConformanceFailure(f"mini reply re-encode differs for {what}")
+
+    roundtrip("bob", 3, 1234, "plain reply")
+    roundtrip("r" * 255, 1, 0, "255-byte responder")
+    roundtrip("ünïcode-responder", 2, 42, "multi-byte UTF-8 responder")
+    roundtrip("empty", 0, 0xFFFF_FFFF_FFFF_FFFF, "empty element set, max timestamp")
+
+    # Encode-side rule parity: both refuse out-of-range fields.
+    def both_refuse_encode(responder: str, elements: tuple, sent: int, what: str) -> None:
+        try:
+            rwire.encode_reply_frame(
+                Reply(request_id=rid, responder_id=responder, elements=elements, sent_at_ms=sent)
+            )
+        except SerializationError:
+            pass
+        else:
+            raise ConformanceFailure(f"repro encoded {what}")
+        try:
+            peer.wire.encode_reply(
+                MiniReply(request_id=rid, responder_id=responder, elements=elements, sent_at_ms=sent)
+            )
+        except MiniRejection:
+            pass
+        else:
+            raise ConformanceFailure(f"mini encoded {what}")
+
+    both_refuse_encode("r" * 256, (b"\x01" * 48,), 0, "256-byte responder")
+    both_refuse_encode("bob", (b"\x01" * 47,), 0, "47-byte element")
+    both_refuse_encode("bob", (b"\x01" * 49,), 0, "49-byte element")
+    both_refuse_encode("bob", (b"\x01" * 48,), 1 << 64, "timestamp overflow")
+
+    # Decode-side rule parity on malformed payloads.
+    good = rwire.decode_frame(
+        rwire.encode_reply_frame(
+            Reply(request_id=rid, responder_id="bob", elements=(b"\x07" * 48,) * 2, sent_at_ms=9)
+        )
+    ).payload
+
+    def both_reject_payload(data: bytes, what: str) -> None:
+        try:
+            rwire.decode_reply(data)
+        except SerializationError:
+            pass
+        else:
+            raise ConformanceFailure(f"repro accepted {what}")
+        try:
+            peer.wire.decode_reply(data)
+        except MiniRejection:
+            pass
+        else:
+            raise ConformanceFailure(f"mini accepted {what}")
+
+    for cut in range(len(good)):
+        both_reject_payload(good[:cut], f"{cut}-byte reply truncation")
+    both_reject_payload(good + b"\x00", "trailing reply byte")
+    both_reject_payload(b"XBRP" + good[4:], "bad reply magic")
+    lied = bytearray(good)
+    lied[20:22] = (3).to_bytes(2, "big")  # claim 3 elements, carry 2
+    both_reject_payload(bytes(lied), "element-count lie")
+    bad_utf8 = bytearray(good)
+    bad_utf8[23] = 0xFF  # responder id begins with an invalid UTF-8 byte
+    both_reject_payload(bytes(bad_utf8), "invalid UTF-8 responder")
+    return "boundary limits, truncations and field lies agree in both codecs"
+
+
+@check("reply-cardinality-wire-limit", suite="frames", trust=TrustContext.INTEGRITY)
+def reply_cardinality_wire_limit(peer):
+    """The 65535-element wire ceiling holds in both codecs (and 65536 does not)."""
+    rid = b"REQUESTi"
+    elements = tuple(b"\x05" * 48 for _ in range(0xFFFF))
+    repro_payload = rwire.decode_frame(
+        rwire.encode_reply_frame(
+            Reply(request_id=rid, responder_id="max", elements=elements, sent_at_ms=1)
+        )
+    ).payload
+    mini = peer.wire.decode_reply(repro_payload)
+    if len(mini.elements) != 0xFFFF:
+        raise ConformanceFailure("mini lost elements at the wire ceiling")
+    if peer.wire.encode_reply(mini) != repro_payload:
+        raise ConformanceFailure("mini re-encode differs at the wire ceiling")
+    over = elements + (b"\x05" * 48,)
+    try:
+        rwire.encode_reply_frame(
+            Reply(request_id=rid, responder_id="max", elements=over, sent_at_ms=1)
+        )
+    except SerializationError:
+        pass
+    else:
+        raise ConformanceFailure("repro encoded 65536 elements")
+    try:
+        peer.wire.encode_reply(
+            MiniReply(request_id=rid, responder_id="max", elements=over, sent_at_ms=1)
+        )
+    except MiniRejection:
+        pass
+    else:
+        raise ConformanceFailure("mini encoded 65536 elements")
+    return "65535 elements round-trip; 65536 refused by both"
+
+
+@check("session-frame-codec", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def session_frame_codec(peer):
+    """Session frames agree: 8-byte channel id prefix, 65535-byte ceiling."""
+    channel_id = b"CHANNEL1"
+    for ciphertext in (b"", b"m" * 1, b"m" * 0xFFFF):
+        repro_bytes = rwire.encode_session_frame(channel_id, ciphertext, ttl=3)
+        mini_bytes = peer.wire.encode_session_frame(channel_id, ciphertext, ttl=3)
+        if repro_bytes != mini_bytes:
+            raise ConformanceFailure(f"session encoders diverge at {len(ciphertext)} bytes")
+        frame = rwire.decode_frame(repro_bytes)
+        decoded = rwire.decode_payload(frame)
+        mini_decoded = peer.wire.decode_session_payload(
+            peer.wire.decode_frame(mini_bytes).payload
+        )
+        if decoded != mini_decoded or decoded != (channel_id, ciphertext):
+            raise ConformanceFailure("session payload fields diverge")
+    for bad_id in (b"", b"short", b"C" * 9):
+        try:
+            rwire.encode_session_frame(bad_id, b"x")
+        except SerializationError:
+            pass
+        else:
+            raise ConformanceFailure(f"repro accepted channel id {bad_id!r}")
+        try:
+            peer.wire.encode_session_frame(bad_id, b"x")
+        except MiniRejection:
+            pass
+        else:
+            raise ConformanceFailure(f"mini accepted channel id {bad_id!r}")
+    try:
+        rwire.encode_session_frame(channel_id, b"m" * 0x10000)
+    except SerializationError:
+        pass
+    else:
+        raise ConformanceFailure("repro accepted an oversized session message")
+    try:
+        peer.wire.encode_session_frame(channel_id, b"m" * 0x10000)
+    except MiniRejection:
+        pass
+    else:
+        raise ConformanceFailure("mini accepted an oversized session message")
+    # A session payload shorter than its channel id rejects in both.
+    short = rwire.encode_frame(rwire.FT_SESSION, b"C" * 7)
+    try:
+        rwire.decode_payload(rwire.decode_frame(short))
+    except SerializationError:
+        pass
+    else:
+        raise ConformanceFailure("repro accepted a 7-byte session payload")
+    try:
+        peer.wire.decode_session_payload(peer.wire.decode_frame(short).payload)
+    except MiniRejection:
+        pass
+    else:
+        raise ConformanceFailure("mini accepted a 7-byte session payload")
+    return "session frames agree at limits and reject short channel ids"

@@ -1,0 +1,113 @@
+"""Session-table semantics checks: the spec's bounded-state contract.
+
+The repro :class:`~repro.network.sessions.SessionTable` (heap-assisted)
+and the mini :class:`~repro.conformance.minipeer.MiniSessionTable`
+(min-scan) share no code; these checks script identical admission
+sequences into both and require identical surviving sessions and
+counters — the observable surface a relay's peers depend on.
+"""
+
+from __future__ import annotations
+
+from repro.conformance.harness import ConformanceFailure, TrustContext, check
+from repro.network.sessions import SessionTable
+
+
+def _ids(table) -> set[bytes]:
+    if hasattr(table, "request_ids"):
+        return table.request_ids()
+    return set(table._sessions)  # repro table: dict keyed by request id
+
+
+def _counters(table) -> tuple[int, int, int]:
+    return (table.evicted_expired, table.evicted_overflow, table.rejected_overflow)
+
+
+def _compare(repro, mini, what: str) -> None:
+    if _ids(repro) != _ids(mini):
+        raise ConformanceFailure(
+            f"{what}: surviving sessions diverge ({sorted(_ids(repro))} vs {sorted(_ids(mini))})"
+        )
+    if _counters(repro) != _counters(mini):
+        raise ConformanceFailure(
+            f"{what}: counters diverge ({_counters(repro)} vs {_counters(mini)})"
+        )
+
+
+@check("session-expiry-boundary", suite="sessions", trust=TrustContext.INTEGRITY, smoke=True)
+def session_expiry_boundary(peer):
+    """A session expiring AT now stays live; one millisecond later it is gone."""
+    repro = SessionTable(max_sessions=8)
+    mini = peer.session_table(max_sessions=8)
+    for table in (repro, mini):
+        table.open(b"RID-0001", parent=None, hops=1, expires_ms=1_000, now_ms=0)
+    for table in (repro, mini):
+        table.evict_expired(1_000)  # boundary: strictly-less-than, still live
+    _compare(repro, mini, "at the expiry instant")
+    if repro.get(b"RID-0001") is None or mini.get(b"RID-0001") is None:
+        raise ConformanceFailure("a session expiring at now_ms was evicted early")
+    for table in (repro, mini):
+        table.evict_expired(1_001)
+    _compare(repro, mini, "one ms past expiry")
+    if repro.get(b"RID-0001") is not None or mini.get(b"RID-0001") is not None:
+        raise ConformanceFailure("an expired session survived eviction")
+    return "expiry is strictly expires_ms < now_ms in both tables"
+
+
+@check("session-overflow-evict-oldest", suite="sessions", trust=TrustContext.INTEGRITY)
+def session_overflow_evict_oldest(peer):
+    """evict_oldest sacrifices the earliest-expiry session, rid bytes break ties."""
+    repro = SessionTable(max_sessions=3, overflow="evict_oldest")
+    mini = peer.session_table(max_sessions=3, overflow="evict_oldest")
+    admissions = [
+        (b"RID-bbbb", 5_000),
+        (b"RID-aaaa", 3_000),  # earliest expiry: first victim
+        (b"RID-cccc", 7_000),
+    ]
+    for table in (repro, mini):
+        for rid, expires in admissions:
+            table.open(rid, parent="n1", hops=2, expires_ms=expires, now_ms=0)
+        table.open(b"RID-dddd", parent="n1", hops=2, expires_ms=9_000, now_ms=0)
+    _compare(repro, mini, "after first overflow")
+    for table in (repro, mini):
+        if b"RID-aaaa" in _ids(table):
+            raise ConformanceFailure("earliest-expiry session was not the victim")
+    # Tie on expiry: the lexicographically smallest request id goes first.
+    repro_tie = SessionTable(max_sessions=3, overflow="evict_oldest")
+    mini_tie = peer.session_table(max_sessions=3, overflow="evict_oldest")
+    for table in (repro_tie, mini_tie):
+        table.open(b"RID-zzzz", parent=None, hops=1, expires_ms=5_000, now_ms=0)
+        table.open(b"RID-aaaa", parent=None, hops=1, expires_ms=5_000, now_ms=0)
+        table.open(b"RID-mmmm", parent=None, hops=1, expires_ms=9_000, now_ms=0)
+        table.open(b"RID-new1", parent=None, hops=1, expires_ms=6_000, now_ms=0)
+    _compare(repro_tie, mini_tie, "after tie-break overflow")
+    for table in (repro_tie, mini_tie):
+        if b"RID-aaaa" in _ids(table) or b"RID-zzzz" not in _ids(table):
+            raise ConformanceFailure("expiry tie not broken by ascending request-id bytes")
+    return "victim choice and tie-break agree across both tables"
+
+
+@check("session-overflow-drop-new", suite="sessions", trust=TrustContext.INTEGRITY)
+def session_overflow_drop_new(peer):
+    """drop_new refuses the newcomer and leaves the table untouched."""
+    repro = SessionTable(max_sessions=2, overflow="drop_new")
+    mini = peer.session_table(max_sessions=2, overflow="drop_new")
+    for table in (repro, mini):
+        table.open(b"RID-0001", parent=None, hops=1, expires_ms=4_000, now_ms=0)
+        table.open(b"RID-0002", parent=None, hops=1, expires_ms=5_000, now_ms=0)
+    results = [
+        table.open(b"RID-0003", parent=None, hops=1, expires_ms=6_000, now_ms=0)
+        for table in (repro, mini)
+    ]
+    if results != [None, None]:
+        raise ConformanceFailure(f"drop_new admitted the newcomer: {results}")
+    _compare(repro, mini, "after drop_new rejection")
+    # Expiry frees capacity for the same rid afterwards, in both.
+    results = [
+        table.open(b"RID-0003", parent=None, hops=1, expires_ms=6_000, now_ms=4_500)
+        for table in (repro, mini)
+    ]
+    if any(r is None for r in results):
+        raise ConformanceFailure("expired capacity was not reclaimed before drop_new")
+    _compare(repro, mini, "after expiry reclaim")
+    return "drop_new rejection and expiry reclaim agree across both tables"

@@ -1,0 +1,303 @@
+"""Trust-context conformance harness over the SBFM wire format.
+
+A registry of named checks (Snippet-1-style ``available_*``/``load_*``
+loader idiom), each tagged with the trust context it defends
+(:class:`TrustContext`, in the style of the aries protocol-test-suite),
+run against a :class:`~repro.conformance.minipeer.MiniPeer` and emitting
+schema-validated JSON verdicts plus a markdown report through the
+``analysis/experiments.py`` artifact pipeline.
+
+A check is a callable ``check_fn(peer) -> str | None`` registered with
+the :func:`check` decorator; it raises :class:`ConformanceFailure` (or
+any exception) to fail, and may return a short human detail string on
+success.  Running the registry against a *mutant* peer (see
+:mod:`repro.conformance.mutants`) must make at least one check fail —
+that is how the suite proves it has teeth.
+"""
+
+from __future__ import annotations
+
+import enum
+import importlib
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.experiments import write_artifacts
+from repro.conformance.minipeer import MiniPeer
+
+__all__ = [
+    "TrustContext",
+    "ConformanceCheck",
+    "ConformanceFailure",
+    "VERDICT_SCHEMA",
+    "check",
+    "available_checks",
+    "available_suites",
+    "load_check",
+    "validate_verdict",
+    "run_suite",
+    "render_markdown",
+    "run_and_report",
+]
+
+
+class TrustContext(enum.Flag):
+    """What a conformance check defends, in protocol-trust terms.
+
+    - ``CONFIDENTIALITY`` — profile/secret material stays sealed; only a
+      genuine match learns anything.
+    - ``INTEGRITY`` — frames and payloads survive the wire exactly or are
+      rejected; malformed input cannot smuggle state.
+    - ``AUTHENTICATED_ORIGIN`` — replies verify against the initiator's
+      sealed secret; forged or replayed traffic is discarded.
+    """
+
+    CONFIDENTIALITY = enum.auto()
+    INTEGRITY = enum.auto()
+    AUTHENTICATED_ORIGIN = enum.auto()
+
+    def names(self) -> list[str]:
+        return [flag.name for flag in TrustContext if flag & self]
+
+
+class ConformanceFailure(AssertionError):
+    """A check observed a divergence between the two stacks."""
+
+
+@dataclass(frozen=True)
+class ConformanceCheck:
+    name: str
+    suite: str
+    trust: TrustContext
+    smoke: bool
+    func: Callable[[MiniPeer], str | None]
+    doc: str
+
+
+_REGISTRY: dict[str, ConformanceCheck] = {}
+_CHECK_MODULES = (
+    "repro.conformance.checks.frames",
+    "repro.conformance.checks.sessions",
+    "repro.conformance.checks.episodes",
+)
+_loaded = False
+
+
+def check(name: str, *, suite: str, trust: TrustContext, smoke: bool = False):
+    """Register a conformance check under *name* in *suite*.
+
+    ``smoke=True`` marks the check as part of the fast tier-1 subset.
+    """
+
+    def decorate(func: Callable[[MiniPeer], str | None]):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate conformance check {name!r}")
+        doc = (func.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = ConformanceCheck(
+            name=name,
+            suite=suite,
+            trust=trust,
+            smoke=smoke,
+            func=func,
+            doc=doc[0] if doc else "",
+        )
+        return func
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if not _loaded:
+        for module in _CHECK_MODULES:
+            importlib.import_module(module)
+        _loaded = True
+
+
+def available_suites() -> tuple[str, ...]:
+    """All suite names, sorted."""
+    _ensure_loaded()
+    return tuple(sorted({c.suite for c in _REGISTRY.values()}))
+
+
+def available_checks(suite: str | None = None, *, smoke_only: bool = False) -> tuple[str, ...]:
+    """Registered check names (optionally one suite / the smoke subset), sorted."""
+    _ensure_loaded()
+    if suite is not None and suite not in available_suites():
+        raise ValueError(
+            f"unknown conformance suite {suite!r}; available: {', '.join(available_suites())}"
+        )
+    return tuple(
+        sorted(
+            c.name
+            for c in _REGISTRY.values()
+            if (suite is None or c.suite == suite) and (not smoke_only or c.smoke)
+        )
+    )
+
+
+def load_check(name: str) -> ConformanceCheck:
+    """Look up one check by name; unknown names list what exists."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown conformance check {name!r}; available: {known}") from None
+
+
+# -- verdict records ------------------------------------------------------
+
+#: JSON schema (draft-07 shape) for one verdict record.  Validation is
+#: hand-rolled below so the suite adds no dependency; the schema document
+#: itself is part of the artifact so external tooling can re-validate.
+VERDICT_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "sealed-bottle conformance verdict",
+    "type": "object",
+    "required": ["check", "suite", "trust", "smoke", "status", "detail"],
+    "additionalProperties": False,
+    "properties": {
+        "check": {"type": "string", "minLength": 1},
+        "suite": {"type": "string", "minLength": 1},
+        "trust": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "string",
+                "enum": ["CONFIDENTIALITY", "INTEGRITY", "AUTHENTICATED_ORIGIN"],
+            },
+        },
+        "smoke": {"type": "boolean"},
+        "status": {"type": "string", "enum": ["pass", "fail"]},
+        "detail": {"type": "string"},
+    },
+}
+
+_TRUST_NAMES = frozenset(flag.name for flag in TrustContext)
+
+
+def validate_verdict(record: Mapping[str, Any]) -> None:
+    """Assert *record* conforms to :data:`VERDICT_SCHEMA` (ValueError if not)."""
+    required = VERDICT_SCHEMA["required"]
+    missing = [key for key in required if key not in record]
+    if missing:
+        raise ValueError(f"verdict missing fields: {missing}")
+    extra = [key for key in record if key not in VERDICT_SCHEMA["properties"]]
+    if extra:
+        raise ValueError(f"verdict has unknown fields: {extra}")
+    for key in ("check", "suite", "detail"):
+        if not isinstance(record[key], str):
+            raise ValueError(f"verdict field {key!r} must be a string")
+    if not record["check"] or not record["suite"]:
+        raise ValueError("verdict check/suite must be non-empty")
+    if not isinstance(record["smoke"], bool):
+        raise ValueError("verdict field 'smoke' must be a boolean")
+    if record["status"] not in ("pass", "fail"):
+        raise ValueError(f"verdict status must be pass|fail, got {record['status']!r}")
+    trust = record["trust"]
+    if (
+        not isinstance(trust, list)
+        or not trust
+        or not all(isinstance(t, str) and t in _TRUST_NAMES for t in trust)
+    ):
+        raise ValueError(f"verdict trust must be a non-empty list drawn from {sorted(_TRUST_NAMES)}")
+
+
+# -- running --------------------------------------------------------------
+
+
+def run_suite(
+    suite: str | None = None,
+    *,
+    peer: MiniPeer | None = None,
+    smoke_only: bool = False,
+    echo=None,
+) -> list[dict[str, Any]]:
+    """Run the registered checks and return schema-valid verdict records.
+
+    ``peer=None`` gives every check a fresh honest :class:`MiniPeer`;
+    passing a peer (e.g. a mutant) shares it across all checks.  Any
+    exception inside a check — divergence assertion or crash — becomes a
+    ``fail`` verdict rather than aborting the run.
+    """
+    records: list[dict[str, Any]] = []
+    for name in available_checks(suite, smoke_only=smoke_only):
+        entry = load_check(name)
+        target = peer if peer is not None else MiniPeer()
+        try:
+            detail = entry.func(target)
+            status = "pass"
+            detail = detail if isinstance(detail, str) else entry.doc
+        except ConformanceFailure as exc:
+            status, detail = "fail", str(exc)
+        except Exception as exc:  # a crash is a conformance failure too
+            status, detail = "fail", f"{type(exc).__name__}: {exc}"
+        record = {
+            "check": entry.name,
+            "suite": entry.suite,
+            "trust": entry.trust.names(),
+            "smoke": entry.smoke,
+            "status": status,
+            "detail": detail,
+        }
+        validate_verdict(record)
+        records.append(record)
+        if echo is not None:
+            echo(f"[{status:>4}] {entry.suite}/{entry.name}" + (f" — {detail}" if status == "fail" else ""))
+    return records
+
+
+def render_markdown(records: list[dict[str, Any]], *, title: str = "conformance") -> str:
+    """Render verdicts as a self-contained markdown report."""
+    failed = [r for r in records if r["status"] == "fail"]
+    lines = [
+        f"# Conformance report: {title}",
+        "",
+        f"{len(records)} check(s), {len(records) - len(failed)} passed, "
+        f"{len(failed)} failed.  Each check is tagged with the trust "
+        "context it defends (see docs/wire_format.md, Conformance).",
+        "",
+        "| check | suite | trust | smoke | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for r in records:
+        mark = "✅" if r["status"] == "pass" else "❌"
+        lines.append(
+            f"| {r['check']} | {r['suite']} | {'+'.join(r['trust'])} "
+            f"| {'yes' if r['smoke'] else ''} | {mark} {r['status']} |"
+        )
+    if failed:
+        lines.append("")
+        lines.append("## Failures")
+        lines.append("")
+        for r in failed:
+            lines.append(f"- **{r['check']}** ({r['suite']}): {r['detail']}")
+    lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def run_and_report(
+    suite: str | None = None,
+    out_dir: str | Path = "results",
+    *,
+    peer: MiniPeer | None = None,
+    smoke_only: bool = False,
+    echo=None,
+) -> tuple[Path, Path, list[dict[str, Any]]]:
+    """Run checks and land JSON + markdown artifacts next to experiment runs.
+
+    Returns ``(json_path, markdown_path, records)``; the JSON payload
+    embeds :data:`VERDICT_SCHEMA` so artifacts are self-describing.
+    """
+    records = run_suite(suite, peer=peer, smoke_only=smoke_only, echo=echo)
+    name = "conformance" if suite is None else f"conformance_{suite}"
+    payload = {
+        "plan": name,
+        "schema": VERDICT_SCHEMA,
+        "records": records,
+    }
+    json_path, md_path = write_artifacts(name, payload, render_markdown(records, title=name), out_dir)
+    return json_path, md_path, records

@@ -1,0 +1,150 @@
+"""Deliberately-broken mini peers: proof the conformance suite has teeth.
+
+Each mutant violates exactly one spec clause; running the check registry
+against it MUST produce at least one ``fail`` verdict (pinned by
+``tests/conformance/test_harness.py``).  The honest implementation lives
+in :mod:`repro.conformance.minipeer`; mutants swap one component through
+the :class:`~repro.conformance.minipeer.MiniPeer` seams.
+
+Registry idiom: ``available_mutants()`` / ``mutant_peer(name)`` with an
+unknown-name :class:`ValueError` listing what exists.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.conformance.minipeer import (
+    MiniDelivery,
+    MiniNode,
+    MiniPeer,
+    MiniReply,
+    MiniSessionTable,
+    MiniWire,
+)
+
+__all__ = ["MUTANTS", "available_mutants", "mutant_peer", "describe_mutant"]
+
+
+class _CrcCoversMagicWire(MiniWire):
+    """Violation: frame CRC computed over bytes 0..12 instead of 4..12."""
+
+    def _frame_checksum(self, head: bytes, payload: bytes) -> int:
+        crc = zlib.crc32(head[:12])
+        return zlib.crc32(payload, crc) & 0xFFFF_FFFF
+
+
+class _LittleEndianLengthWire(MiniWire):
+    """Violation: the length field is serialized little-endian."""
+
+    def _pack_length(self, length: int) -> bytes:
+        return length.to_bytes(4, "little")
+
+    def _read_length(self, data: bytes) -> int:
+        return int.from_bytes(data[8:12], "little")
+
+
+class _StaleCrcHopWire(MiniWire):
+    """Violation: the relay patches TTL/seq without refreshing the CRC."""
+
+    def hop(self, data: bytes, *, ttl: int | None = None, seq: int | None = None) -> bytes:
+        self.decode_frame(data)  # still validates the incoming copy
+        out = bytearray(data)
+        if ttl is not None:
+            out[6] = ttl
+        if seq is not None:
+            out[7] = seq
+        return bytes(out)
+
+
+class _OversizedResponderWire(MiniWire):
+    """Violation: responder ids longer than 255 bytes are silently truncated."""
+
+    def encode_reply(self, reply: MiniReply) -> bytes:
+        responder = reply.responder_id.encode("utf-8")
+        if len(responder) <= 255:
+            return super().encode_reply(reply)
+        out = bytearray()
+        out += b"SBRP"
+        out += reply.request_id
+        out += reply.sent_at_ms.to_bytes(8, "big")
+        out += len(reply.elements).to_bytes(2, "big")
+        out += bytes([len(responder) & 0xFF])  # the silent truncation
+        out += responder
+        for element in reply.elements:
+            out += element
+        return bytes(out)
+
+
+class _SloppyExpiryTable(MiniSessionTable):
+    """Violation: sessions expiring AT now_ms are evicted (<= instead of <)."""
+
+    def evict_expired(self, now_ms: int) -> int:
+        dead = [rid for rid, s in self._sessions.items() if s.expires_ms <= now_ms]
+        for rid in dead:
+            del self._sessions[rid]
+        self.evicted_expired += len(dead)
+        return len(dead)
+
+
+class _ReplyOnWaveNode(MiniNode):
+    """Violation: retransmission waves are re-processed instead of forward-only."""
+
+    def handle_datagram(self, data: bytes, *, parent=None, now_ms: int = 0) -> MiniDelivery:
+        delivery = super().handle_datagram(data, parent=parent, now_ms=now_ms)
+        if delivery.status == "wave-forwarded":
+            return MiniDelivery(
+                status="processed",
+                reply_frame=None,
+                forward_frame=delivery.forward_frame,
+                candidate=None,
+            )
+        return delivery
+
+
+#: name -> (one-line description of the violated spec clause, peer factory)
+MUTANTS: dict[str, tuple[str, object]] = {
+    "crc-covers-magic": (
+        "frame CRC covers the magic bytes (spec: CRC over bytes 4..12 + payload)",
+        lambda: MiniPeer(wire=_CrcCoversMagicWire()),
+    ),
+    "little-endian-length": (
+        "frame length field little-endian (spec: all integers big-endian)",
+        lambda: MiniPeer(wire=_LittleEndianLengthWire()),
+    ),
+    "stale-crc-hop": (
+        "relay patches TTL/seq without refreshing the CRC",
+        lambda: MiniPeer(wire=_StaleCrcHopWire()),
+    ),
+    "oversized-responder": (
+        "responder ids > 255 bytes truncated instead of rejected",
+        lambda: MiniPeer(wire=_OversizedResponderWire()),
+    ),
+    "sloppy-session-expiry": (
+        "session expiry boundary <= instead of strict < (evicts live sessions)",
+        lambda: MiniPeer(table_factory=_SloppyExpiryTable),
+    ),
+    "reply-on-wave": (
+        "retransmission waves re-processed instead of forwarded exactly once",
+        lambda: MiniPeer(node_factory=_ReplyOnWaveNode),
+    ),
+}
+
+
+def available_mutants() -> tuple[str, ...]:
+    """All mutant names, sorted."""
+    return tuple(sorted(MUTANTS))
+
+
+def describe_mutant(name: str) -> str:
+    """The one-line spec clause this mutant violates."""
+    if name not in MUTANTS:
+        raise ValueError(f"unknown mutant {name!r}; available: {', '.join(available_mutants())}")
+    return MUTANTS[name][0]
+
+
+def mutant_peer(name: str) -> MiniPeer:
+    """Build the broken peer registered under *name*."""
+    if name not in MUTANTS:
+        raise ValueError(f"unknown mutant {name!r}; available: {', '.join(available_mutants())}")
+    return MUTANTS[name][1]()

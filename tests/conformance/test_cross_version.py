@@ -1,0 +1,169 @@
+"""Cross-version conformance: the channel plane version is not a wire fact.
+
+``ChannelModel(version=1)`` (scratch-MT fates) and ``version=2``
+(counter-mode fates) may perturb *different* transmissions, but the
+bytes the endpoints put on the wire are version-free: the same seeded
+initiator emits byte-identical request frames under both planes, every
+tapped datagram parses identically under the repro codec and the
+independent mini codec (or is rejected by both), and the protocol
+outcome — who friends whom, with which pairwise session key — is the
+same in both worlds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conformance.adapter import MiniParticipantAdapter
+from repro.conformance.minipeer import MiniRejection, MiniWire
+from repro.core import wire as rwire
+from repro.core.attributes import RequestProfile
+from repro.core.exceptions import SerializationError
+from repro.core.protocols import Initiator
+from repro.network.channel_model import ChannelModel
+from repro.network.engine import EpisodeSpec, FriendingEngine
+from repro.network.simulator import AdHocNetwork
+from repro.network.topology import line_topology
+
+pytestmark = pytest.mark.conformance
+
+_REQUEST = RequestProfile(
+    necessary=("hiking", "jazz"),
+    optional=("chess", "tennis", "poetry", "sailing"),
+    beta=2,
+)
+_MATCH_ATTRS = ("hiking", "jazz", "chess", "tennis", "cooking")
+_WIRE = MiniWire()
+
+
+def _run_episode(version: int, *, corrupt_rate: float = 0.0, drop_rate: float = 0.0):
+    """One engine run over a 4-node line with mini brains and a frame tap."""
+    adjacency, _ = line_topology(4)
+    nodes = list(adjacency)
+    participants = {
+        node_id: MiniParticipantAdapter(
+            _MATCH_ATTRS, f"user-{node_id}", y_seed=bytes([i + 1]) * 32
+        )
+        for i, node_id in enumerate(nodes)
+    }
+    participants[nodes[0]] = None
+    channel = ChannelModel(
+        drop_rate=drop_rate,
+        dup_rate=0.1,
+        corrupt_rate=corrupt_rate,
+        jitter_ms=2,
+        seed=99,
+        version=version,
+    )
+    network = AdHocNetwork(adjacency, participants, channel=channel)
+    initiator = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(7))
+    taps: list[tuple[str, str, bytes]] = []
+    engine = FriendingEngine(
+        network,
+        retries=1,
+        frame_tap=lambda src, dst, data: taps.append((src, dst, bytes(data))),
+    )
+    engine.run([EpisodeSpec(nodes[0], initiator)])
+    return taps, initiator, participants
+
+
+def _codec_parity(data: bytes):
+    """Decode under both stacks; assert synchronized accept/reject."""
+    try:
+        repro_frame = rwire.decode_frame(data)
+        repro_ok = True
+    except SerializationError:
+        repro_ok = False
+    try:
+        mini_frame = _WIRE.decode_frame(data)
+        mini_ok = True
+    except MiniRejection:
+        mini_ok = False
+    assert repro_ok == mini_ok, (
+        f"codecs disagree on a tapped frame: repro={repro_ok} mini={mini_ok}"
+    )
+    if not repro_ok:
+        return None
+    assert (repro_frame.ftype, repro_frame.payload, repro_frame.ttl, repro_frame.seq) == (
+        mini_frame.ftype,
+        mini_frame.payload,
+        mini_frame.ttl,
+        mini_frame.seq,
+    )
+    return repro_frame
+
+
+def _timeless(ftype: int, payload: bytes) -> bytes:
+    """Zero the reply ``sent_at_ms`` field: a timestamp is a time fact, and
+    the two planes jitter deliveries differently on purpose.  Everything
+    else in the payload must be byte-identical across versions."""
+    if ftype == rwire.FT_REPLY:
+        return payload[:12] + b"\x00" * 8 + payload[20:]
+    return payload
+
+
+def test_version_never_leaks_into_wire_bytes():
+    """v1 and v2 runs exchange exactly the same payload bytes.
+
+    With no drops or corruption the two planes may dup/jitter different
+    copies, but the *set* of payloads per frame type must be identical
+    (modulo the reply timestamp): the channel version is simulation
+    policy, not a serialized field.
+    """
+    payloads: dict[int, dict[int, set[bytes]]] = {}
+    request_frames: dict[int, bytes] = {}
+    for version in (1, 2):
+        taps, initiator, _ = _run_episode(version)
+        assert taps, f"v{version}: the tap saw no frames"
+        by_type: dict[int, set[bytes]] = {}
+        for _, _, data in taps:
+            frame = _codec_parity(data)
+            assert frame is not None, f"v{version}: lossless run delivered a bad frame"
+            by_type.setdefault(frame.ftype, set()).add(_timeless(frame.ftype, frame.payload))
+        payloads[version] = by_type
+        assert initiator.matches, f"v{version}: no verified match"
+        # The first flood copy leaving the origin carries the request.
+        request_frames[version] = next(
+            data for _, _, data in taps
+            if rwire.decode_frame(data).ftype == rwire.FT_REQUEST
+        )
+    assert payloads[1] == payloads[2], "channel version changed the payload bytes"
+    assert request_frames[1] == request_frames[2], (
+        "same-seed request frames differ across channel versions"
+    )
+
+
+def test_protocol_outcome_invariant_across_versions():
+    """Matches and pairwise session keys agree between the two planes."""
+    outcomes = {}
+    for version in (1, 2):
+        _, initiator, participants = _run_episode(version)
+        records = {
+            record.responder_id: record.session_key for record in initiator.matches
+        }
+        assert records, f"v{version}: no verified matches"
+        for responder_id, session_key in records.items():
+            adapter = participants[responder_id.removeprefix("user-")]
+            assert session_key in adapter.channel_keys(initiator.secret.request_id), (
+                f"v{version}: engine-run session key not mirrored at {responder_id}"
+            )
+        outcomes[version] = records
+    assert outcomes[1] == outcomes[2], (
+        "the set of (responder, session key) outcomes depends on channel version"
+    )
+
+
+@pytest.mark.parametrize("version", [1, 2])
+def test_corrupted_frames_rejected_by_both_codecs(version):
+    """Under corruption both stacks drop exactly the same tapped frames."""
+    taps, initiator, _ = _run_episode(version, corrupt_rate=0.2)
+    assert taps
+    rejected = 0
+    for _, _, data in taps:
+        if _codec_parity(data) is None:
+            rejected += 1
+    assert rejected > 0, "corrupt_rate=0.2 never produced a mangled frame"
+    # The flood still friends someone: corruption is loss, not protocol failure.
+    assert initiator.matches, f"v{version}: corruption starved every reply"

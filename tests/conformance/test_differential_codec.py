@@ -1,0 +1,354 @@
+"""Property-based differential fuzzing: repro codec vs the mini endpoint.
+
+Two independently written codecs (``repro.core.wire`` /
+``repro.core.request`` vs ``repro.conformance.minipeer.MiniWire``) are
+driven with generated inputs and must agree **bit for bit**:
+
+* encoders produce identical bytes for identical logical messages,
+* decoders accept exactly the same byte strings, recovering identical
+  fields, and reject exactly the same byte strings,
+* under mutation (truncation, bit flips, appended garbage) acceptance
+  stays synchronized — a frame one stack drops must not be parsed by
+  the other, because that asymmetry is where protocol confusion attacks
+  live.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import wire as rwire
+from repro.core.exceptions import SerializationError
+from repro.core.hint import HintMatrix
+from repro.core.protocols import Reply
+from repro.core.request import RequestPackage
+from repro.conformance.minipeer import (
+    MiniHint,
+    MiniRejection,
+    MiniReply,
+    MiniRequest,
+    MiniWire,
+)
+
+pytestmark = pytest.mark.conformance
+
+_WIRE = MiniWire()
+
+
+def _repro_frame(data: bytes):
+    """(ok, fields) for the repro frame decoder."""
+    try:
+        frame = rwire.decode_frame(data)
+    except SerializationError:
+        return False, None
+    return True, (frame.ftype, frame.payload, frame.ttl, frame.seq)
+
+
+def _mini_frame(data: bytes):
+    try:
+        frame = _WIRE.decode_frame(data)
+    except MiniRejection:
+        return False, None
+    return True, (frame.ftype, frame.payload, frame.ttl, frame.seq)
+
+
+def _assert_frame_parity(data: bytes) -> None:
+    repro_ok, repro_fields = _repro_frame(data)
+    mini_ok, mini_fields = _mini_frame(data)
+    assert repro_ok == mini_ok, (
+        f"decoders disagree on acceptance (repro={repro_ok}, mini={mini_ok}) "
+        f"for {data[:32].hex()}..."
+    )
+    if repro_ok:
+        assert repro_fields == mini_fields
+
+
+# -- strategies -----------------------------------------------------------
+
+frame_parts = st.tuples(
+    st.sampled_from([rwire.FT_REQUEST, rwire.FT_REPLY, rwire.FT_SESSION]),
+    st.binary(min_size=0, max_size=96),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+
+
+@st.composite
+def valid_frames(draw) -> bytes:
+    ftype, payload, ttl, seq = draw(frame_parts)
+    return rwire.encode_frame(ftype, payload, ttl=ttl, seq=seq)
+
+
+@st.composite
+def mutated_frames(draw) -> bytes:
+    data = draw(valid_frames())
+    mutation = draw(st.sampled_from(["truncate", "flip", "append", "stomp"]))
+    if mutation == "truncate":
+        cut = draw(st.integers(min_value=0, max_value=len(data) - 1))
+        return data[:cut]
+    if mutation == "flip":
+        bit = draw(st.integers(min_value=0, max_value=8 * len(data) - 1))
+        return rwire.flip_bit(data, bit)
+    if mutation == "append":
+        tail = draw(st.binary(min_size=1, max_size=8))
+        return data + tail
+    index = draw(st.integers(min_value=0, max_value=len(data) - 1))
+    value = draw(st.integers(min_value=0, max_value=255))
+    return data[:index] + bytes([value]) + data[index + 1 :]
+
+
+@st.composite
+def reply_parts(draw):
+    rid = draw(st.binary(min_size=8, max_size=8))
+    responder = draw(st.text(max_size=24))
+    # the id length field is one byte of UTF-8, not characters
+    while len(responder.encode("utf-8")) > 255:
+        responder = responder[:-1]
+    elements = draw(st.lists(st.binary(min_size=48, max_size=48), max_size=5))
+    sent_at = draw(st.integers(min_value=0, max_value=2**64 - 1))
+    return rid, responder, tuple(elements), sent_at
+
+
+@st.composite
+def request_parts(draw):
+    protocol = draw(st.integers(min_value=1, max_value=3))
+    p = draw(st.sampled_from([11, 31, 97, 251]))
+    m_t = draw(st.integers(min_value=0, max_value=9))
+    remainders = tuple(
+        draw(st.integers(min_value=0, max_value=p - 1)) for _ in range(m_t)
+    )
+    mask = tuple(draw(st.booleans()) for _ in range(m_t))
+    beta = draw(st.integers(min_value=0, max_value=max(0, m_t - sum(mask))))
+    hint = None
+    if draw(st.booleans()) and protocol != 1:
+        gamma = draw(st.integers(min_value=1, max_value=3))
+        h_beta = draw(st.integers(min_value=1, max_value=3))
+        r_block = tuple(
+            tuple(
+                draw(st.integers(min_value=1, max_value=2**32 - 1))
+                for _ in range(h_beta)
+            )
+            for _ in range(gamma)
+        )
+        b_vector = tuple(
+            draw(st.integers(min_value=0, max_value=2**80)) for _ in range(gamma)
+        )
+        hint = (gamma, h_beta, r_block, b_vector)
+    blocks = draw(st.integers(min_value=1, max_value=4))
+    ciphertext = draw(st.binary(min_size=16 * blocks, max_size=16 * blocks))
+    rid = draw(st.binary(min_size=8, max_size=8))
+    ttl = draw(st.integers(min_value=0, max_value=255))
+    expiry = draw(st.integers(min_value=0, max_value=2**64 - 1))
+    return protocol, p, remainders, mask, beta, hint, ciphertext, rid, ttl, expiry
+
+
+# -- frame envelope -------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.binary(max_size=64))
+def test_frame_decode_parity_on_arbitrary_bytes(data):
+    _assert_frame_parity(data)
+
+
+@settings(max_examples=100, deadline=None)
+@given(parts=frame_parts)
+def test_frame_encode_byte_identity(parts):
+    ftype, payload, ttl, seq = parts
+    repro_bytes = rwire.encode_frame(ftype, payload, ttl=ttl, seq=seq)
+    mini_bytes = _WIRE.encode_frame(ftype, payload, ttl=ttl, seq=seq)
+    assert repro_bytes == mini_bytes
+    _assert_frame_parity(repro_bytes)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=mutated_frames())
+def test_frame_decode_parity_under_mutation(data):
+    _assert_frame_parity(data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    frame=valid_frames(),
+    ttl=st.integers(min_value=0, max_value=255),
+    seq=st.integers(min_value=0, max_value=255),
+)
+def test_relay_hop_byte_identity(frame, ttl, seq):
+    """The zero-copy repro reframe and the decode/re-encode mini hop agree."""
+    assert rwire.reframe(frame, ttl=ttl, seq=seq) == _WIRE.hop(frame, ttl=ttl, seq=seq)
+
+
+# -- reply payload --------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(parts=reply_parts())
+def test_reply_encode_byte_identity_and_decode_parity(parts):
+    rid, responder, elements, sent_at = parts
+    reply = Reply(
+        request_id=rid, responder_id=responder, elements=elements, sent_at_ms=sent_at
+    )
+    mini = MiniReply(
+        request_id=rid, responder_id=responder, elements=elements, sent_at_ms=sent_at
+    )
+    repro_bytes = rwire.encode_reply(reply)
+    mini_bytes = _WIRE.encode_reply(mini)
+    assert repro_bytes == mini_bytes
+
+    decoded_r = rwire.decode_reply(repro_bytes)
+    decoded_m = _WIRE.decode_reply(repro_bytes)
+    assert (
+        decoded_r.request_id,
+        decoded_r.responder_id,
+        tuple(decoded_r.elements),
+        decoded_r.sent_at_ms,
+    ) == (
+        decoded_m.request_id,
+        decoded_m.responder_id,
+        tuple(decoded_m.elements),
+        decoded_m.sent_at_ms,
+    ) == (rid, responder, elements, sent_at)
+
+
+@settings(max_examples=150, deadline=None)
+@given(parts=reply_parts(), data=st.data())
+def test_reply_decode_parity_under_mutation(parts, data):
+    rid, responder, elements, sent_at = parts
+    payload = rwire.encode_reply(
+        Reply(request_id=rid, responder_id=responder, elements=elements, sent_at_ms=sent_at)
+    )
+    mutation = data.draw(st.sampled_from(["truncate", "stomp", "append"]))
+    if mutation == "truncate":
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        mutated = payload[:cut]
+    elif mutation == "append":
+        mutated = payload + data.draw(st.binary(min_size=1, max_size=8))
+    else:
+        index = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        value = data.draw(st.integers(min_value=0, max_value=255))
+        mutated = payload[:index] + bytes([value]) + payload[index + 1 :]
+
+    try:
+        decoded_r = rwire.decode_reply(mutated)
+        repro_ok = True
+    except SerializationError:
+        repro_ok = False
+    try:
+        decoded_m = _WIRE.decode_reply(mutated)
+        mini_ok = True
+    except MiniRejection:
+        mini_ok = False
+    assert repro_ok == mini_ok, f"reply decoders disagree after {mutation}"
+    if repro_ok:
+        assert (
+            decoded_r.request_id,
+            decoded_r.responder_id,
+            tuple(decoded_r.elements),
+            decoded_r.sent_at_ms,
+        ) == (
+            decoded_m.request_id,
+            decoded_m.responder_id,
+            tuple(decoded_m.elements),
+            decoded_m.sent_at_ms,
+        )
+
+
+# -- request payload ------------------------------------------------------
+
+
+def _request_fields(pkg) -> tuple:
+    hint = pkg.hint
+    hint_fields = None
+    if hint is not None:
+        hint_fields = (hint.gamma, hint.beta, tuple(hint.r_block), tuple(hint.b_vector))
+    return (
+        pkg.protocol,
+        pkg.p,
+        tuple(pkg.remainders),
+        tuple(pkg.necessary_mask),
+        pkg.beta,
+        hint_fields,
+        pkg.ciphertext,
+        pkg.request_id,
+        pkg.ttl,
+        pkg.expiry_ms,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(parts=request_parts())
+def test_request_encode_byte_identity_and_decode_parity(parts):
+    protocol, p, remainders, mask, beta, hint, ciphertext, rid, ttl, expiry = parts
+    repro_pkg = RequestPackage(
+        protocol=protocol,
+        p=p,
+        remainders=remainders,
+        necessary_mask=mask,
+        beta=beta,
+        hint=HintMatrix(*hint) if hint else None,
+        ciphertext=ciphertext,
+        request_id=rid,
+        ttl=ttl,
+        expiry_ms=expiry,
+    )
+    mini_req = MiniRequest(
+        protocol=protocol,
+        p=p,
+        remainders=remainders,
+        necessary_mask=mask,
+        beta=beta,
+        hint=MiniHint(*hint) if hint else None,
+        ciphertext=ciphertext,
+        request_id=rid,
+        ttl=ttl,
+        expiry_ms=expiry,
+    )
+    repro_bytes = repro_pkg.encode()
+    mini_bytes = _WIRE.encode_request(mini_req)
+    assert repro_bytes == mini_bytes
+
+    assert _request_fields(RequestPackage.decode(repro_bytes)) == _request_fields(
+        _WIRE.decode_request(repro_bytes)
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(parts=request_parts(), data=st.data())
+def test_request_decode_parity_under_mutation(parts, data):
+    protocol, p, remainders, mask, beta, hint, ciphertext, rid, ttl, expiry = parts
+    payload = RequestPackage(
+        protocol=protocol,
+        p=p,
+        remainders=remainders,
+        necessary_mask=mask,
+        beta=beta,
+        hint=HintMatrix(*hint) if hint else None,
+        ciphertext=ciphertext,
+        request_id=rid,
+        ttl=ttl,
+        expiry_ms=expiry,
+    ).encode()
+    mutation = data.draw(st.sampled_from(["truncate", "stomp"]))
+    if mutation == "truncate":
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        mutated = payload[:cut]
+    else:
+        index = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        value = data.draw(st.integers(min_value=0, max_value=255))
+        mutated = payload[:index] + bytes([value]) + payload[index + 1 :]
+
+    try:
+        decoded_r = RequestPackage.decode(mutated)
+        repro_ok = True
+    except SerializationError:
+        repro_ok = False
+    try:
+        decoded_m = _WIRE.decode_request(mutated)
+        mini_ok = True
+    except MiniRejection:
+        mini_ok = False
+    assert repro_ok == mini_ok, f"request decoders disagree after {mutation}"
+    if repro_ok:
+        assert _request_fields(decoded_r) == _request_fields(decoded_m)

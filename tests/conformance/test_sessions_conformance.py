@@ -1,0 +1,154 @@
+"""Session semantics on the wire: policy and expiry as observable facts.
+
+The table-level parity lives in the ``sessions`` conformance suite; these
+tests pin the *behavioral* consequences inside full engine runs with the
+independent mini endpoint behind the participant seam:
+
+* ``drop_new`` vs ``evict_oldest`` produce different friendships under
+  session pressure, not just different counters,
+* request expiry is strictly ``now > expiry_ms`` — a request arriving at
+  the exact expiry instant is still answered, one millisecond later it
+  is dropped — and the standalone mini node mirrors the same boundary.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conformance.adapter import MiniParticipantAdapter
+from repro.conformance.minipeer import MiniPeer
+from repro.core import wire as rwire
+from repro.core.attributes import RequestProfile
+from repro.core.protocols import Initiator
+from repro.network.engine import EpisodeSpec, FriendingEngine
+from repro.network.simulator import AdHocNetwork
+from repro.network.topology import line_topology
+
+pytestmark = pytest.mark.conformance
+
+_REQUEST = RequestProfile(
+    necessary=("hiking", "jazz"),
+    optional=("chess", "tennis", "poetry", "sailing"),
+    beta=2,
+)
+_MATCH_ATTRS = ("hiking", "jazz", "chess", "tennis", "cooking")
+
+
+def _crossing_floods(overflow: str):
+    """Two episodes from opposite ends of a 4-node line, session_limit=1.
+
+    The middle nodes (the only participants) see both floods and can hold
+    exactly one session, so the overflow policy decides who friends whom.
+    """
+    adjacency, _ = line_topology(4)
+    nodes = list(adjacency)
+    participants = {
+        node_id: MiniParticipantAdapter(
+            _MATCH_ATTRS, f"user-{node_id}", y_seed=bytes([i + 1]) * 32
+        )
+        for i, node_id in enumerate(nodes)
+    }
+    participants[nodes[0]] = None
+    participants[nodes[3]] = None
+    network = AdHocNetwork(
+        adjacency, participants, session_limit=1, session_overflow=overflow
+    )
+    left = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(1))
+    right = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(2))
+    result = FriendingEngine(network).run(
+        [EpisodeSpec(nodes[0], left), EpisodeSpec(nodes[3], right)]
+    )
+    return left, right, result
+
+
+def test_drop_new_starves_the_far_participant():
+    """drop_new: each flood only friends its near neighbour; the far
+    relay's table is already pinned by the crossing episode."""
+    left, right, result = _crossing_floods("drop_new")
+    assert sorted(r.responder_id for r in left.matches) == ["user-n1"]
+    assert sorted(r.responder_id for r in right.matches) == ["user-n2"]
+    for episode in result.episodes:
+        assert episode.metrics.sessions_overflow == 1
+
+
+def test_evict_oldest_reaches_both_participants():
+    """evict_oldest: the newcomer displaces the crossing episode's session
+    and both floods traverse the whole line."""
+    left, right, result = _crossing_floods("evict_oldest")
+    assert sorted(r.responder_id for r in left.matches) == ["user-n1", "user-n2"]
+    assert sorted(r.responder_id for r in right.matches) == ["user-n1", "user-n2"]
+    for episode in result.episodes:
+        assert episode.metrics.sessions_overflow == 0
+    # Same request streams, opposite outcome: the policy is wire-observable.
+    drop_left, _, _ = _crossing_floods("drop_new")
+    assert len(left.matches) > len(drop_left.matches)
+
+
+class _RecordingAdapter(MiniParticipantAdapter):
+    """Captures the engine-time each request copy is delivered at."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.delivery_times: list[int] = []
+
+    def handle_request(self, package, now_ms: int = 0):
+        self.delivery_times.append(now_ms)
+        return super().handle_request(package, now_ms=now_ms)
+
+
+def _expiry_run(validity_ms: int):
+    """One flood down a 4-node line; only the far node participates."""
+    adjacency, _ = line_topology(4)
+    nodes = list(adjacency)
+    far = _RecordingAdapter(_MATCH_ATTRS, "user-far", y_seed=b"f" * 32)
+    participants = {node_id: None for node_id in nodes}
+    participants[nodes[3]] = far
+    network = AdHocNetwork(adjacency, participants)
+    initiator = Initiator(
+        _REQUEST, protocol=2, p=31, rng=random.Random(5), validity_ms=validity_ms
+    )
+    result = FriendingEngine(network).run([EpisodeSpec(nodes[0], initiator)])
+    return initiator, far, result.episodes[0]
+
+
+def test_request_expiry_boundary_is_strict_on_the_wire():
+    """Expiry == arrival instant still friends; arrival-1 drops the request."""
+    # Probe: learn the deterministic delivery time at the far node.
+    probe_initiator, probe_far, _ = _expiry_run(60_000)
+    assert probe_initiator.matches and probe_far.delivery_times
+    arrival_ms = probe_far.delivery_times[0]
+    assert arrival_ms > 0
+
+    # The episode starts at t=0, so expiry_ms == validity_ms exactly.
+    at_boundary, far_at, episode_at = _expiry_run(arrival_ms)
+    assert [r.responder_id for r in at_boundary.matches] == ["user-far"], (
+        "a request expiring at the delivery instant must still be answered"
+    )
+    assert episode_at.metrics.dropped_expired == 0
+
+    past_boundary, far_past, episode_past = _expiry_run(arrival_ms - 1)
+    assert not past_boundary.matches, "an expired request was answered"
+    assert episode_past.metrics.dropped_expired >= 1
+    assert not far_past.delivery_times, (
+        "the engine delivered an expired request to the participant"
+    )
+
+
+def test_mini_node_mirrors_the_expiry_boundary():
+    """The standalone mini node pins the same strict boundary on raw bytes."""
+    peer = MiniPeer()
+    initiator = Initiator(_REQUEST, protocol=2, p=31, rng=random.Random(9), validity_ms=1_000)
+    package = initiator.create_request(now_ms=0)
+    data = rwire.encode_request_frame(package)
+
+    live = peer.node("at-expiry", peer.participant(_MATCH_ATTRS, "mini-bob", y_seed=b"y" * 32))
+    delivery = live.handle_datagram(data, parent="origin", now_ms=package.expiry_ms)
+    assert delivery.status == "processed"
+    assert delivery.reply_frame is not None
+
+    late = peer.node("past-expiry", peer.participant(_MATCH_ATTRS, "mini-bob", y_seed=b"y" * 32))
+    delivery = late.handle_datagram(data, parent="origin", now_ms=package.expiry_ms + 1)
+    assert delivery.status == "expired"
+    assert delivery.reply_frame is None and delivery.forward_frame is None
