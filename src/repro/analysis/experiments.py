@@ -42,8 +42,10 @@ from repro.core.protocols import Initiator, Participant, Reply
 from repro.crypto.backend import available_backends, use_backend
 from repro.network.channel_backend import current_channel_backend
 from repro.network.channel_model import CHANNEL_VERSIONS, ChannelModel
-from repro.network.engine import FriendingEngine
+from repro.network.engine import DEFAULT_RETRANSMIT_TIMEOUT_MS, FriendingEngine
 from repro.network.mobility import RandomWaypoint, StaticPlacement
+from repro.network.profiles import load_profile
+from repro.network.reliability import load_reliability_mode
 from repro.network.simulator import AdHocNetwork
 
 __all__ = [
@@ -67,7 +69,8 @@ _SWEEPABLE = (
     "radio_radius", "refresh_interval_ms", "communities",
     "tags_per_community", "seed", "until_ms", "backend", "workers",
     "loss_rate", "dup_rate", "reorder_rate", "corrupt_rate", "jitter_ms",
-    "retries", "channel_version",
+    "retries", "channel_version", "reliability", "retransmit_timeout_ms",
+    "profile",
 )
 
 
@@ -147,6 +150,22 @@ class ScenarioSpec:
         Initiator-side retransmission budget: how many fresh flood waves
         the origin may launch for a request still unanswered after the
         engine's retransmission timeout.  ``0`` (default) is single-shot.
+    retransmit_timeout_ms:
+        Base retransmission timeout in simulated ms (how long the origin
+        waits before spending one unit of the ``retries`` budget); the
+        reliability mode's backoff scales it per wave.
+    reliability:
+        Named reliability mode deciding how the retry budget is spent:
+        ``"simple"`` (blind re-floods, the byte-frozen default),
+        ``"stage"`` (escalating backoff), ``"window"`` (segmented replies
+        with selective segment retransmission) or ``"window_fec"``
+        (segmented replies with XOR parity recovery, no waves).  See
+        ``docs/reliability.md``.
+    profile:
+        Optional name of a built-in scenario profile
+        (:mod:`repro.network.profiles`).  The profile's settings become
+        the spec's defaults; any field given explicitly wins.  Recorded
+        for provenance.
     """
 
     name: str = "scenario"
@@ -171,6 +190,9 @@ class ScenarioSpec:
     jitter_ms: int = 0
     retries: int = 0
     channel_version: int = 1
+    retransmit_timeout_ms: int = DEFAULT_RETRANSMIT_TIMEOUT_MS
+    reliability: str = "simple"
+    profile: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -264,6 +286,27 @@ class ScenarioSpec:
                 f"channel_version must be one of {CHANNEL_VERSIONS} "
                 f"(1 = scratch-MT, 2 = counter-mode), got {self.channel_version!r}"
             )
+        if (
+            not isinstance(self.retransmit_timeout_ms, int)
+            or self.retransmit_timeout_ms <= 0
+        ):
+            raise SpecError(
+                f"retransmit_timeout_ms must be a positive integer (simulated ms), "
+                f"got {self.retransmit_timeout_ms!r}"
+            )
+        if not isinstance(self.reliability, str):
+            raise SpecError(
+                f"reliability must be a mode name string, got {self.reliability!r}"
+            )
+        try:
+            load_reliability_mode(self.reliability)
+        except ValueError as exc:
+            raise SpecError(str(exc)) from None
+        if self.profile is not None:
+            try:
+                load_profile(self.profile)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
         if self.workers > 1 and self.refresh_interval_ms is not None:
             raise SpecError(
                 "workers > 1 shards episodes across processes and cannot apply "
@@ -277,7 +320,12 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, raw: Mapping[str, Any]) -> "ScenarioSpec":
-        """Build and validate a spec from parsed JSON; unknown keys fail."""
+        """Build and validate a spec from parsed JSON; unknown keys fail.
+
+        A ``profile`` key pulls in that built-in profile's settings as
+        defaults -- every key given explicitly in *raw* overrides the
+        profile's value.
+        """
         if not isinstance(raw, Mapping):
             raise SpecError(f"a scenario spec must be a JSON object, got {type(raw).__name__}")
         known = {f.name for f in fields(cls)}
@@ -286,7 +334,20 @@ class ScenarioSpec:
             raise SpecError(
                 f"unknown spec field(s) {sorted(unknown)}; known fields: {sorted(known)}"
             )
-        return cls(**dict(raw))
+        merged = dict(raw)
+        profile_name = merged.get("profile")
+        if profile_name is not None:
+            try:
+                profile = load_profile(profile_name)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+            merged = {**profile.settings, **merged}
+        return cls(**merged)
+
+    @classmethod
+    def from_profile(cls, profile_name: str, **overrides: Any) -> "ScenarioSpec":
+        """Build a spec from a named built-in profile plus explicit overrides."""
+        return cls.from_dict({"profile": profile_name, **overrides})
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-serialisable view of the spec (for provenance in artifacts)."""
@@ -511,9 +572,16 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
             radio_radius=spec.radio_radius,
             refresh_interval_ms=spec.refresh_interval_ms,
             retries=spec.retries,
+            retransmit_timeout_ms=spec.retransmit_timeout_ms,
+            reliability=spec.reliability,
         )
     else:
-        engine = FriendingEngine(network, retries=spec.retries)
+        engine = FriendingEngine(
+            network,
+            retries=spec.retries,
+            retransmit_timeout_ms=spec.retransmit_timeout_ms,
+            reliability=spec.reliability,
+        )
 
     with use_backend(spec.backend):
         start = time.perf_counter()
@@ -544,6 +612,9 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "corrupt_rate": spec.corrupt_rate,
         "jitter_ms": spec.jitter_ms,
         "retries": spec.retries,
+        "retransmit_timeout_ms": spec.retransmit_timeout_ms,
+        "reliability": spec.reliability,
+        "profile": spec.profile,
         "channel_version": spec.channel_version,
         # Backend choice is bit-transparent (pure == numpy, pinned by the
         # equivalence tests), so this is provenance for perf comparisons,
@@ -577,6 +648,8 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "frame_bytes": agg.total.frame_bytes,
         "duplicate_replies": agg.total.duplicate_replies,
         "retransmissions": agg.total.retransmissions,
+        "selective_retx": agg.total.selective_retx,
+        "fec_recovered": agg.total.fec_recovered,
         "sessions_overflow": agg.total.sessions_overflow,
         "topology_refreshes": result.topology_refreshes,
     }
@@ -592,6 +665,7 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         ("backend", "backend"),
         ("loss_rate", "loss"),
         ("channel_version", "chan-v"),
+        ("reliability", "mode"),
         ("retries", "retries"),
         ("episodes", "episodes"),
         ("matches", "matches"),
@@ -599,6 +673,8 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         ("frames_sent", "frames"),
         ("frames_dropped", "dropped"),
         ("retransmissions", "retx"),
+        ("selective_retx", "sel-retx"),
+        ("fec_recovered", "fec-rec"),
         ("episodes_per_sim_sec", "ep/sim-s"),
         ("latency_p50_ms", "p50 ms"),
         ("latency_p95_ms", "p95 ms"),
@@ -614,7 +690,10 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         "wall-clock build and run times.  `match-rate` is the fraction of "
         "episodes that verified at least one match; `frames`/`dropped`/`retx` "
         "count datagram-layer transmissions, channel losses and "
-        "retransmission waves (see docs/wire_format.md).",
+        "retransmission waves; `mode`/`sel-retx`/`fec-rec` name the "
+        "reliability mode, selectively re-sent reply segments and "
+        "parity-reconstructed elements (see docs/wire_format.md and "
+        "docs/reliability.md).",
         "",
         "| " + " | ".join(label for _, label in columns) + " |",
         "| " + " | ".join("---" for _ in columns) + " |",

@@ -8,6 +8,8 @@ Installed as ``sealed-bottle`` (see pyproject).  Subcommands:
 - ``tables``       regenerate the measured PPL tables (I and II).
 - ``experiments``  run a config-driven ScenarioSpec sweep
   (``experiments run spec.json``); see ``docs/experiments.md``.
+- ``profiles``     list the named built-in scenario profiles
+  (``simulate --profile NAME`` runs one); see ``docs/reliability.md``.
 - ``conformance``  wire-format conformance suite against the independent
   mini endpoint (``conformance run``); see ``docs/wire_format.md``.
 """
@@ -18,7 +20,7 @@ import argparse
 import random
 import sys
 
-from repro.analysis.experiments import SpecError, run_plan
+from repro.analysis.experiments import ScenarioSpec, SpecError, run_plan, run_scenario
 from repro.analysis.ppl import evaluate_hbc_table, evaluate_malicious_table
 from repro.analysis.reporting import render_series, render_table
 from repro.core.attributes import Profile, RequestProfile
@@ -31,7 +33,9 @@ from repro.dataset.stats import (
 from repro.crypto.backend import available_backends, use_backend
 from repro.dataset.weibo import WeiboGenerator
 from repro.network.channel_model import ChannelModel
-from repro.network.engine import FriendingEngine
+from repro.network.engine import DEFAULT_RETRANSMIT_TIMEOUT_MS, FriendingEngine
+from repro.network.profiles import BUILTIN_PROFILES, available_profiles
+from repro.network.reliability import available_reliability_modes
 from repro.network.simulator import AdHocNetwork
 from repro.network.topology import random_geometric_topology
 
@@ -101,6 +105,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="retransmission waves for unanswered requests (default: 0)",
     )
     simulate.add_argument(
+        "--retransmit-timeout-ms", type=int, default=DEFAULT_RETRANSMIT_TIMEOUT_MS,
+        help="base retransmission timeout in simulated ms; the reliability "
+             f"mode's backoff scales it per wave (default: "
+             f"{DEFAULT_RETRANSMIT_TIMEOUT_MS})",
+    )
+    simulate.add_argument(
+        "--reliability", choices=available_reliability_modes(), default="simple",
+        help="reliability mode: simple = blind re-floods, stage = escalating "
+             "backoff, window = selective segment retransmission, window_fec "
+             "= XOR parity recovery with no waves (default: simple; "
+             "docs/reliability.md)",
+    )
+    simulate.add_argument(
+        "--profile", choices=available_profiles(), default=None,
+        help="run a named built-in scenario profile through the experiment "
+             "runner instead of the ad-hoc simulate topology; simulate flags "
+             "set to non-default values override the profile's settings "
+             "(see `profiles list`)",
+    )
+    simulate.add_argument(
         "--channel-version", type=int, choices=(1, 2), default=1,
         help="channel fate-derivation plane: 1 = scratch-MT reference "
              "(default), 2 = counter-mode keystream (same rates, different "
@@ -149,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the JSON verdicts and markdown report (default: results/)",
     )
     conf_sub.add_parser("list", help="list registered checks with suite + trust context")
+
+    profiles = sub.add_parser(
+        "profiles", help="named built-in scenario profiles (docs/reliability.md)"
+    )
+    prof_sub = profiles.add_subparsers(dest="profiles_command", required=True)
+    prof_sub.add_parser("list", help="list built-in profiles and their settings")
     return parser
 
 
@@ -167,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiments(args)
     if args.command == "conformance":
         return _cmd_conformance(args)
+    if args.command == "profiles":
+        return _cmd_profiles(args)
     return 2  # pragma: no cover -- argparse enforces the choices
 
 
@@ -232,10 +264,73 @@ def _prime_exceeding(n: int) -> int:
     return candidate
 
 
+# simulate flags that map onto ScenarioSpec fields, with the argparse
+# defaults they carry (kept in sync with build_parser): in --profile mode
+# a flag overrides the profile's setting only when it differs from its
+# default, i.e. when the user actually asked for it.
+_SIMULATE_SPEC_FLAGS = {
+    "nodes": ("nodes", 50),
+    "radius": ("radio_radius", 0.25),
+    "protocol": ("protocol", 2),
+    "seed": ("seed", 1),
+    "episodes": ("episodes", 1),
+    "backend": ("backend", "tables"),
+    "workers": ("workers", 1),
+    "loss": ("loss_rate", 0.0),
+    "dup": ("dup_rate", 0.0),
+    "reorder": ("reorder_rate", 0.0),
+    "corrupt": ("corrupt_rate", 0.0),
+    "jitter_ms": ("jitter_ms", 0),
+    "retries": ("retries", 0),
+    "retransmit_timeout_ms": ("retransmit_timeout_ms", DEFAULT_RETRANSMIT_TIMEOUT_MS),
+    "reliability": ("reliability", "simple"),
+    "channel_version": ("channel_version", 1),
+}
+
+
+def _run_simulate_profile(args) -> int:
+    """``simulate --profile NAME``: one profile run via the experiment runner."""
+    overrides = {
+        spec_field: getattr(args, attr)
+        for attr, (spec_field, default) in _SIMULATE_SPEC_FLAGS.items()
+        if getattr(args, attr) != default
+    }
+    try:
+        spec = ScenarioSpec.from_profile(args.profile, name=args.profile, **overrides)
+        record = run_scenario(spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_table(
+        f"profile run: {args.profile}",
+        ["metric", "value"],
+        [
+            [key, record[key]]
+            for key in (
+                "nodes", "episodes", "protocol", "mobility", "reliability",
+                "retries", "retransmit_timeout_ms", "loss_rate",
+                "channel_version", "matches", "match_rate", "frames_sent",
+                "frames_dropped", "retransmissions", "selective_retx",
+                "fec_recovered", "frame_bytes", "latency_p50_ms",
+                "latency_p95_ms", "wall_seconds",
+            )
+        ],
+    ))
+    for warning in record["warnings"]:
+        print(f"warning: {warning}")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.profile is not None:
+        if args.profile_top:
+            print("error: --profile-top is not supported with --profile "
+                  "(use tools/profile_engine.py)", file=sys.stderr)
+            return 2
+        return _run_simulate_profile(args)
     try:
         channel = ChannelModel(
             drop_rate=args.loss, dup_rate=args.dup, reorder_rate=args.reorder,
@@ -312,7 +407,11 @@ def _run_simulate(args, channel: ChannelModel) -> int:
         target = users[min(len(users) - 1, args.nodes // 2)]
         initiator = initiator_for(target)
         network = AdHocNetwork(adjacency, participants, rng=rng, channel=channel)
-        result = network.run_friending(nodes[0], initiator, retries=args.retries)
+        result = network.run_friending(
+            nodes[0], initiator, retries=args.retries,
+            retransmit_timeout_ms=args.retransmit_timeout_ms,
+            reliability=args.reliability,
+        )
         metrics = result.metrics.as_dict()
         print(render_table(
             f"friending episode (n={args.nodes}, theta={args.theta}, protocol {args.protocol})",
@@ -337,9 +436,11 @@ def _run_simulate(args, channel: ChannelModel) -> int:
         initiator_node = nodes[(i * stride) % len(nodes)]
         target = users[(i * stride + len(users) // 2) % len(users)]
         launches.append((initiator_node, initiator_for(target, episode=i)))
-    result = FriendingEngine(network, retries=args.retries).run_staggered(
-        launches, arrival_ms=args.arrival_ms, workers=args.workers
-    )
+    result = FriendingEngine(
+        network, retries=args.retries,
+        retransmit_timeout_ms=args.retransmit_timeout_ms,
+        reliability=args.reliability,
+    ).run_staggered(launches, arrival_ms=args.arrival_ms, workers=args.workers)
 
     print(render_table(
         f"concurrent friending (n={args.nodes}, episodes={episodes}, "
@@ -419,6 +520,33 @@ def _cmd_conformance(args) -> int:
     print(f"wrote {json_path}")
     print(f"wrote {md_path}")
     return 1 if failed else 0
+
+
+def _cmd_profiles(args) -> int:
+    if args.profiles_command != "list":  # pragma: no cover -- argparse enforces
+        return 2
+    rows = []
+    for name in available_profiles():
+        profile = BUILTIN_PROFILES[name]
+        settings = profile.settings
+        rows.append([
+            profile.name,
+            settings["nodes"],
+            settings["episodes"],
+            settings["reliability"],
+            settings.get("retries", 0),
+            f"{settings.get('loss_rate', 0.0):g}",
+            profile.description,
+        ])
+    print(render_table(
+        f"built-in scenario profiles ({len(rows)})",
+        ["profile", "nodes", "episodes", "reliability", "retries", "loss", "scenario"],
+        rows,
+    ))
+    print()
+    print("run one with: sealed-bottle simulate --profile NAME "
+          "(explicit simulate flags override profile settings)")
+    return 0
 
 
 def _cmd_tables() -> int:

@@ -122,6 +122,52 @@ def frame_bad_version_type(peer):
     return "bad version/type/magic rejected under valid checksums"
 
 
+@check("segment-frame-version-gate", suite="frames", trust=TrustContext.INTEGRITY, smoke=True)
+def segment_frame_version_gate(peer):
+    """Version-2 segment frames decode in repro and reject cleanly in mini.
+
+    The version policy (docs/wire_format.md) says an endpoint that does
+    not implement a frame version rejects its frames at the envelope,
+    before looking at the type or payload.  The mini endpoint speaks
+    version 1 only, so a parity-tagged reply segment -- the newest
+    version-2 traffic -- must bounce off it with a version complaint,
+    never a crash or a silent accept.
+    """
+    segment = rwire.ReplySegment(
+        request_id=b"REQUESTi", responder_id="bob", sent_at_ms=77,
+        seg_index=0, n_data=4, window=4, is_parity=True, element=b"\x07" * 48,
+    )
+    data = rwire.encode_segment_frame(segment, ttl=3, seq=1)
+    frame = rwire.decode_frame(data)
+    if (frame.version, frame.ftype) != (rwire.FRAME_VERSION_SEGMENTS, rwire.FT_REPLY_SEG):
+        raise ConformanceFailure("repro mis-decoded its own segment frame envelope")
+    if rwire.decode_reply_segment(frame.payload) != segment:
+        raise ConformanceFailure("segment payload did not round-trip through the envelope")
+    try:
+        peer.wire.decode_frame(data)
+    except MiniRejection as exc:
+        if "version" not in str(exc):
+            raise ConformanceFailure(
+                f"mini rejected the segment frame for the wrong reason: {exc}"
+            )
+    else:
+        raise ConformanceFailure("mini accepted a frame-version-2 segment frame")
+    delivery = peer.node("gate").handle_datagram(data, now_ms=0)
+    if delivery.status != "rejected":
+        raise ConformanceFailure(
+            f"mini node did not cleanly reject the segment frame: {delivery.status}"
+        )
+    # The grammar gate cuts both ways: legacy types are not valid under
+    # version 2, and the segment type is not valid under version 1.
+    for ftype in (rwire.FT_REQUEST, rwire.FT_REPLY, rwire.FT_SESSION):
+        _both_reject(peer, _patched(data, 5, ftype), f"version-2 frame of type {ftype}")
+    _both_reject(
+        peer, _patched(data, 4, rwire.FRAME_VERSION),
+        "version-1 frame of the segment type",
+    )
+    return "segment frames decode in repro and version-reject in mini, both grammars gated"
+
+
 @check("frame-length-lies", suite="frames", trust=TrustContext.INTEGRITY)
 def frame_length_lies(peer):
     """Length-field lies and trailing bytes are rejected by both codecs."""

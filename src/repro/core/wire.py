@@ -28,6 +28,16 @@ other two message classes -- the acknowledge reply (request id + element
 set) and the session message (channel id + AEAD ciphertext).  Session
 messages ride the same envelope as everything else (``FT_SESSION``) rather
 than a parallel framing path.
+
+Version policy: the type grammar is **per version**.  Frame version 1
+carries exactly the three original message classes; frame version 2 adds
+the reply **segment** (``FT_REPLY_SEG``) -- one 48-byte reply element per
+frame, with a parity tag for the ``window_fec`` reliability mode -- and
+carries *only* that type.  A version-1 endpoint therefore rejects every
+version-2 frame outright ("unsupported frame version 2") instead of
+half-parsing an unknown type, and a version-2 type under a version-1
+envelope is equally dead on arrival.  ``docs/wire_format.md`` and the
+conformance suite pin both directions.
 """
 
 from __future__ import annotations
@@ -46,11 +56,14 @@ __all__ = [
     "Frame",
     "FRAME_MAGIC",
     "FRAME_VERSION",
+    "FRAME_VERSION_SEGMENTS",
     "FRAME_HEADER_LEN",
     "FT_REQUEST",
     "FT_REPLY",
     "FT_SESSION",
+    "FT_REPLY_SEG",
     "FRAME_TYPES",
+    "VERSION_FRAME_TYPES",
     "encode_frame",
     "decode_frame",
     "reframe",
@@ -65,19 +78,36 @@ __all__ = [
     "reply_wire_size",
     "encode_session_message",
     "decode_session_message",
+    "ReplySegment",
+    "encode_reply_segment",
+    "decode_reply_segment",
+    "encode_segment_frame",
+    "segment_wire_size",
     "REPLY_MAGIC",
     "REPLY_ELEMENT_LEN",
+    "SEGMENT_MAGIC",
     "MAX_REPLY_ELEMENTS_WIRE",
     "MAX_RESPONDER_ID_LEN",
 ]
 
 FRAME_MAGIC = b"SBFM"
 FRAME_VERSION = 1
+FRAME_VERSION_SEGMENTS = 2
 FRAME_HEADER_LEN = 16
 FT_REQUEST = 1
 FT_REPLY = 2
 FT_SESSION = 3
+FT_REPLY_SEG = 4
 FRAME_TYPES = (FT_REQUEST, FT_REPLY, FT_SESSION)
+
+# Per-version type grammars (the version policy): version 1 is the original
+# three message classes, frozen; version 2 carries only reply segments.  A
+# type under the wrong version is rejected as a *version* problem -- the
+# receiving stack never dispatches on a type its version does not define.
+VERSION_FRAME_TYPES: dict[int, tuple[int, ...]] = {
+    FRAME_VERSION: FRAME_TYPES,
+    FRAME_VERSION_SEGMENTS: (FT_REPLY_SEG,),
+}
 
 _MAX_PAYLOAD = 0xFFFF_FFFF
 _HEADER = ">BBBBI"  # version, type, ttl, seq, payload length (crc packed after)
@@ -102,6 +132,7 @@ class Frame:
     payload: bytes
     ttl: int = 0
     seq: int = 0
+    version: int = FRAME_VERSION
 
 
 # One scratch buffer serves every encode: small-frame encodes used to pay
@@ -111,10 +142,29 @@ class Frame:
 _ENCODE_SCRATCH = bytearray(4096)
 
 
-def encode_frame(ftype: int, payload: bytes, *, ttl: int = 0, seq: int = 0) -> bytes:
-    """Wrap *payload* in the versioned frame envelope."""
+def encode_frame(
+    ftype: int,
+    payload: bytes,
+    *,
+    ttl: int = 0,
+    seq: int = 0,
+    version: int = FRAME_VERSION,
+) -> bytes:
+    """Wrap *payload* in the versioned frame envelope.
+
+    The type must belong to *version*'s grammar
+    (:data:`VERSION_FRAME_TYPES`); an endpoint can no more encode a
+    version-1 segment frame than decode one.
+    """
     global _ENCODE_SCRATCH
-    if ftype not in FRAME_TYPES:
+    allowed = VERSION_FRAME_TYPES.get(version)
+    if allowed is None:
+        raise SerializationError(f"unsupported frame version {version!r}")
+    if ftype not in allowed:
+        if ftype in FRAME_TYPES or ftype == FT_REPLY_SEG:
+            raise SerializationError(
+                f"frame type {ftype!r} is not valid under frame version {version}"
+            )
         raise SerializationError(f"unknown frame type {ftype!r}")
     if not 0 <= ttl <= 255:
         raise SerializationError(f"frame ttl must fit one byte, got {ttl!r}")
@@ -127,7 +177,7 @@ def encode_frame(ftype: int, payload: bytes, *, ttl: int = 0, seq: int = 0) -> b
         _ENCODE_SCRATCH = bytearray(total)
     buf = _ENCODE_SCRATCH
     buf[0:4] = FRAME_MAGIC
-    _HEADER_STRUCT.pack_into(buf, 4, FRAME_VERSION, ftype, ttl, seq, len(payload))
+    _HEADER_STRUCT.pack_into(buf, 4, version, ftype, ttl, seq, len(payload))
     buf[FRAME_HEADER_LEN:total] = payload
     crc = zlib.crc32(memoryview(buf)[4:12]) & 0xFFFF_FFFF
     crc = zlib.crc32(payload, crc) & 0xFFFF_FFFF
@@ -149,9 +199,14 @@ def decode_frame(data: bytes) -> Frame:
         raise SerializationError("bad frame magic")
     version, ftype, ttl, seq, length = _HEADER_STRUCT.unpack_from(data, 4)
     (crc,) = _CRC_STRUCT.unpack_from(data, 12)
-    if version != FRAME_VERSION:
+    allowed = VERSION_FRAME_TYPES.get(version)
+    if allowed is None:
         raise SerializationError(f"unsupported frame version {version}")
-    if ftype not in FRAME_TYPES:
+    if ftype not in allowed:
+        if version != FRAME_VERSION:
+            raise SerializationError(
+                f"frame type {ftype} is not valid under frame version {version}"
+            )
         raise SerializationError(f"unknown frame type {ftype}")
     if len(data) != FRAME_HEADER_LEN + length:
         raise SerializationError("frame length field does not match the datagram")
@@ -160,7 +215,7 @@ def decode_frame(data: bytes) -> Frame:
     expected = zlib.crc32(payload, expected) & 0xFFFF_FFFF
     if crc != expected:
         raise SerializationError("frame checksum mismatch")
-    return Frame(ftype=ftype, payload=payload, ttl=ttl, seq=seq)
+    return Frame(ftype=ftype, payload=payload, ttl=ttl, seq=seq, version=version)
 
 
 # CRC-32 is linear over GF(2): flipping one byte of the message XORs the
@@ -295,16 +350,21 @@ def encode_session_frame(channel_id: bytes, ciphertext: bytes, *, ttl: int = 0) 
     return encode_frame(FT_SESSION, channel_id + ciphertext, ttl=ttl)
 
 
-def decode_payload(frame: Frame) -> Union[RequestPackage, Reply, tuple[bytes, bytes]]:
+def decode_payload(
+    frame: Frame,
+) -> Union[RequestPackage, Reply, "ReplySegment", tuple[bytes, bytes]]:
     """Decode a frame's payload according to its type tag.
 
-    Returns a :class:`RequestPackage`, a :class:`Reply`, or a
+    Returns a :class:`RequestPackage`, a :class:`Reply`, a
+    :class:`ReplySegment` (version-2 frames), or a
     ``(channel_id, ciphertext)`` pair for session frames.
     """
     if frame.ftype == FT_REQUEST:
         return RequestPackage.decode(frame.payload)
     if frame.ftype == FT_REPLY:
         return decode_reply(frame.payload)
+    if frame.ftype == FT_REPLY_SEG:
+        return decode_reply_segment(frame.payload)
     if frame.ftype == FT_SESSION:
         if len(frame.payload) < SESSION_CHANNEL_ID_LEN:
             raise SerializationError("session payload shorter than its channel id")
@@ -398,6 +458,141 @@ def reply_wire_size(n_elements: int, responder_id: str = "") -> int:
     """Size in bytes of an encoded reply payload with *n_elements* elements."""
     return 4 + _REPLY_HEADER_STRUCT.size + len(responder_id.encode("utf-8")) + (
         n_elements * REPLY_ELEMENT_LEN
+    )
+
+
+# -- reply segment codec (frame version 2) ----------------------------------
+
+SEGMENT_MAGIC = b"SBRS"
+_SEGMENT_PARITY_FLAG = 0x01
+# rid(8) + sent_at_ms(8) + seg_index(2) + n_data(2) + window(1) + flags(1)
+# + responder id length(1); one 48-byte element follows the responder id.
+_SEGMENT_HEADER_STRUCT = struct.Struct(">8sQHHBBB")
+
+
+@dataclass(frozen=True)
+class ReplySegment:
+    """One reply element travelling alone (the segmented reliability modes).
+
+    A responder's acknowledge reply of *n_data* elements is shipped as
+    ``n_data`` data segments (``seg_index`` = element position,
+    ``is_parity`` False) plus -- under ``window_fec`` -- one parity
+    segment per *window* of elements (``seg_index`` = window position,
+    ``element`` = XOR of that window's data elements; the final window
+    may cover fewer than *window* elements).  Every segment repeats the
+    reply header fields so the initiator can reassemble from any subset.
+    """
+
+    request_id: bytes
+    responder_id: str
+    sent_at_ms: int
+    seg_index: int
+    n_data: int
+    window: int
+    is_parity: bool
+    element: bytes
+
+
+def encode_reply_segment(segment: ReplySegment) -> bytes:
+    """Serialize one :class:`ReplySegment` payload (``SBRS`` codec)."""
+    responder = segment.responder_id.encode("utf-8")
+    if len(responder) > MAX_RESPONDER_ID_LEN:
+        raise SerializationError(
+            f"responder id too long: {len(responder)} bytes > {MAX_RESPONDER_ID_LEN}"
+        )
+    if len(segment.request_id) != 8:
+        raise SerializationError("segment request id must be 8 bytes")
+    if not 0 <= segment.sent_at_ms <= 0xFFFF_FFFF_FFFF_FFFF:
+        raise SerializationError(f"sent_at_ms out of range: {segment.sent_at_ms!r}")
+    if not 0 <= segment.seg_index <= 0xFFFF:
+        raise SerializationError(f"segment index out of range: {segment.seg_index!r}")
+    if not 1 <= segment.n_data <= MAX_REPLY_ELEMENTS_WIRE:
+        raise SerializationError(f"segment n_data out of range: {segment.n_data!r}")
+    if not 0 <= segment.window <= 255:
+        raise SerializationError(f"segment window out of range: {segment.window!r}")
+    if len(segment.element) != REPLY_ELEMENT_LEN:
+        raise SerializationError(
+            f"segment element must be {REPLY_ELEMENT_LEN} bytes, got {len(segment.element)}"
+        )
+    flags = _SEGMENT_PARITY_FLAG if segment.is_parity else 0
+    return (
+        SEGMENT_MAGIC
+        + _SEGMENT_HEADER_STRUCT.pack(
+            segment.request_id,
+            segment.sent_at_ms,
+            segment.seg_index,
+            segment.n_data,
+            segment.window,
+            flags,
+            len(responder),
+        )
+        + responder
+        + segment.element
+    )
+
+
+def decode_reply_segment(data: bytes) -> ReplySegment:
+    """Parse bytes back into a :class:`ReplySegment` (strict, total)."""
+    try:
+        if data[:4] != SEGMENT_MAGIC:
+            raise SerializationError("bad reply segment magic")
+        offset = 4
+        (
+            request_id,
+            sent_at_ms,
+            seg_index,
+            n_data,
+            window,
+            flags,
+            id_len,
+        ) = _SEGMENT_HEADER_STRUCT.unpack_from(data, offset)
+        offset += _SEGMENT_HEADER_STRUCT.size
+        responder = sys.intern(data[offset : offset + id_len].decode("utf-8"))
+        if len(responder.encode("utf-8")) != id_len:
+            raise SerializationError("truncated responder id")
+        offset += id_len
+        element = data[offset : offset + REPLY_ELEMENT_LEN]
+        if len(element) != REPLY_ELEMENT_LEN:
+            raise SerializationError("truncated segment element")
+        offset += REPLY_ELEMENT_LEN
+        if offset != len(data):
+            raise SerializationError("trailing bytes after reply segment")
+        if flags & ~_SEGMENT_PARITY_FLAG:
+            raise SerializationError(f"unknown segment flags 0x{flags:02x}")
+        if n_data < 1:
+            raise SerializationError("segment n_data must be >= 1")
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise SerializationError(f"malformed reply segment: {exc}") from exc
+    return ReplySegment(
+        request_id=request_id,
+        responder_id=responder,
+        sent_at_ms=sent_at_ms,
+        seg_index=seg_index,
+        n_data=n_data,
+        window=window,
+        is_parity=bool(flags & _SEGMENT_PARITY_FLAG),
+        element=element,
+    )
+
+
+def encode_segment_frame(segment: ReplySegment, *, ttl: int = 0, seq: int = 0) -> bytes:
+    """Encode one reply segment as a version-2 ``FT_REPLY_SEG`` frame."""
+    return encode_frame(
+        FT_REPLY_SEG,
+        encode_reply_segment(segment),
+        ttl=ttl,
+        seq=seq,
+        version=FRAME_VERSION_SEGMENTS,
+    )
+
+
+def segment_wire_size(responder_id: str = "") -> int:
+    """Size in bytes of one encoded segment payload for *responder_id*."""
+    return (
+        4
+        + _SEGMENT_HEADER_STRUCT.size
+        + len(responder_id.encode("utf-8"))
+        + REPLY_ELEMENT_LEN
     )
 
 

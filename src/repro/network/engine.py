@@ -24,6 +24,17 @@ node learns what it knows by decoding those bytes.  Concretely:
   once without re-processing, so a wave heals loss holes at flood cost
   but never double-replies.
 
+How an episode spends that reliability budget is a pluggable, named
+strategy (:mod:`repro.network.reliability`): ``simple`` is the blind
+re-flood above, byte-frozen; ``stage`` re-floods on an escalating
+timetable; ``window`` ships replies as per-element segment frames and
+re-sends only the segments the initiator is still missing; and
+``window_fec`` adds XOR parity segments so lost elements are
+reconstructed with no retransmission at all.  Under the segmented modes
+each episode additionally fires one :class:`SegmentFlushEvent` when the
+initiator's reply window closes, delivering partial element sets for
+responders whose replies never completed.
+
 Per-episode results carry the usual :class:`NetworkMetrics` (the paper's
 payload accounting plus the new frame-layer counters); the engine
 additionally reports aggregate throughput and reply-latency percentiles.
@@ -51,12 +62,16 @@ from repro.core.request import RequestPackage
 from repro.core.wire import (
     FRAME_HEADER_LEN,
     FT_REPLY,
+    FT_REPLY_SEG,
     FT_REQUEST,
     Frame,
+    ReplySegment,
     decode_frame,
     decode_reply,
+    decode_reply_segment,
     encode_reply_frame,
     encode_request_frame,
+    encode_segment_frame,
     reframe,
     reply_wire_size,
 )
@@ -68,9 +83,16 @@ from repro.network.events import (
     FrameEvent,
     ReplyHopEvent,
     RetransmitEvent,
+    SegmentFlushEvent,
     TopologyRefreshEvent,
 )
 from repro.network.metrics import AggregateMetrics, NetworkMetrics, percentile
+from repro.network.reliability import (
+    ReliabilityMode,
+    fec_parity_elements,
+    fec_reconstruct,
+    load_reliability_mode,
+)
 from repro.network.simulator import (
     REPLY_ELEMENT_BYTES,
     REPLY_OVERHEAD_BYTES,
@@ -128,12 +150,25 @@ class EngineResult:
     topology_refreshes: int = 0
 
 
+class _SegmentState:
+    """Reassembly state for one responder's segmented reply (initiator side)."""
+
+    __slots__ = ("n_data", "window", "sent_at_ms", "data", "parity")
+
+    def __init__(self, n_data: int, window: int, sent_at_ms: int):
+        self.n_data = n_data
+        self.window = window
+        self.sent_at_ms = sent_at_ms
+        self.data: dict[int, bytes] = {}
+        self.parity: dict[int, bytes] = {}
+
+
 class _Episode:
     """Mutable in-flight state of one episode (the initiator endpoint)."""
 
     __slots__ = ("spec", "index", "package", "package_bytes", "rid", "flow",
                  "frame", "metrics", "replies", "last_event_ms",
-                 "seen_responders")
+                 "seen_responders", "seg_rx", "seg_sent")
 
     def __init__(self, spec: EpisodeSpec, index: int, wire: bool):
         self.spec = spec
@@ -157,6 +192,11 @@ class _Episode:
         self.replies: list[Reply] = []
         self.last_event_ms = spec.start_ms
         self.seen_responders: set[str] = set()
+        # Segmented reliability modes only: per-responder reassembly state
+        # at the initiator endpoint, and the sender-side record of encoded
+        # data-segment frames (what a selective wave re-sends).
+        self.seg_rx: dict[str, _SegmentState] = {}
+        self.seg_sent: dict[str, tuple[str, int, dict[int, bytes]]] = {}
 
 
 def _run_episode_shard(
@@ -167,18 +207,20 @@ def _run_episode_shard(
     retries: int,
     retransmit_timeout_ms: int,
     wire: bool,
+    reliability: "str | ReliabilityMode" = "simple",
 ) -> tuple[list[EpisodeResult], int]:
     """Worker-process entry point: run one shard of episodes sequentially.
 
     *network* arrives as this process's private pickled copy (channel model
     included), so shards never share mutable state.  Episode indices are
     restored to their position in the caller's spec list before results
-    travel back.
+    travel back.  The reliability mode pickles as plain field data (or a
+    registry name) and is resolved worker-side.
     """
     set_backend(backend_name)
     engine = FriendingEngine(
         network, retries=retries, retransmit_timeout_ms=retransmit_timeout_ms,
-        wire=wire,
+        wire=wire, reliability=reliability,
     )
     result = engine.run([spec for _, spec in indexed_specs], until_ms=until_ms)
     for (original_index, _), episode in zip(indexed_specs, result.episodes):
@@ -211,10 +253,21 @@ class FriendingEngine:
         :mod:`repro.network.mobility`) are refreshed incrementally: only
         the adjacency rows disturbed by motion are rewired.
     retries / retransmit_timeout_ms:
-        Initiator-side reliability: when an episode has received no reply
-        *retransmit_timeout_ms* after a (re)broadcast, the origin floods a
-        fresh retransmission wave, up to *retries* times.  ``retries=0``
-        (the default) is exactly the old single-shot behaviour.
+        Initiator-side reliability budget: when an episode has received no
+        reply *retransmit_timeout_ms* after a (re)broadcast, the origin
+        floods a fresh retransmission wave, up to *retries* times.
+        ``retries=0`` (the default) is exactly the old single-shot
+        behaviour.
+    reliability:
+        Named strategy deciding how that budget is spent -- ``"simple"``
+        (default; blind re-floods at a constant timeout, byte-identical
+        to the pre-strategy engine), ``"stage"`` (re-floods with the
+        timeout doubling per wave), ``"window"`` (segmented replies,
+        waves re-send only missing segments) or ``"window_fec"``
+        (segmented replies with XOR parity, no waves).  A
+        :class:`~repro.network.reliability.ReliabilityMode` instance is
+        accepted too; unknown names raise ``ValueError``.  The segmented
+        modes require the wire runtime.
     frame_tap:
         Optional callable ``(src, dst, data: bytes)`` invoked for every
         datagram copy the channel delivers -- the global-eavesdropper hook
@@ -237,6 +290,7 @@ class FriendingEngine:
         refresh_interval_ms: int | None = None,
         retries: int = 0,
         retransmit_timeout_ms: int = DEFAULT_RETRANSMIT_TIMEOUT_MS,
+        reliability: str | ReliabilityMode = "simple",
         frame_tap=None,
         wire: bool = True,
     ):
@@ -252,6 +306,7 @@ class FriendingEngine:
             )
         if retransmit_timeout_ms <= 0:
             raise ValueError("retransmit_timeout_ms must be positive")
+        self.reliability = load_reliability_mode(reliability)
         if not wire:
             if not network.channel.is_perfect:
                 raise ValueError(
@@ -260,6 +315,11 @@ class FriendingEngine:
                 )
             if frame_tap is not None:
                 raise ValueError("frame_tap requires the wire runtime (wire=True)")
+            if self.reliability.segmented:
+                raise ValueError(
+                    f"reliability mode {self.reliability.name!r} ships replies as "
+                    "segment frames and requires the wire runtime (wire=True)"
+                )
         self.network = network
         self.mobility = mobility
         self.radio_radius = radio_radius
@@ -284,6 +344,7 @@ class FriendingEngine:
             ReplyHopEvent: self._on_reply_hop,
             FrameEvent: self._on_frame,
             RetransmitEvent: self._on_retransmit,
+            SegmentFlushEvent: self._on_segment_flush,
             TopologyRefreshEvent: self._on_topology_refresh,
         }
 
@@ -342,10 +403,24 @@ class FriendingEngine:
                 BroadcastEvent(episode.index, episode.spec.initiator_node,
                                episode.frame),
             )
-            if self.retries > 0:
+            if self.retries > 0 and self.reliability.waves:
+                # Wave 1 fires one base timeout after the initial broadcast
+                # in every mode (backoff**0 == 1), so ``simple`` schedules
+                # the exact pre-strategy value.
                 self._schedule(
-                    episode.spec.start_ms - first_start + self.retransmit_timeout_ms,
+                    episode.spec.start_ms - first_start
+                    + self.reliability.wave_delay_ms(1, self.retransmit_timeout_ms),
                     RetransmitEvent(episode.index, attempt=1),
+                )
+            if self.reliability.segmented:
+                # Reply-window close: deliver partial segment sets for
+                # responders whose replies never completed.  The window
+                # check in ``handle_reply`` is strict (>), so a flush at
+                # exactly the boundary is still accepted.
+                self._schedule(
+                    episode.spec.start_ms - first_start
+                    + episode.spec.initiator.reply_window_ms,
+                    SegmentFlushEvent(episode.index),
                 )
 
         if self.mobility is not None:
@@ -440,6 +515,7 @@ class FriendingEngine:
                 pool.submit(
                     _run_episode_shard, self.network, shard, until_ms, backend_name,
                     self.retries, self.retransmit_timeout_ms, self.wire,
+                    self.reliability,
                 )
                 for shard in shards
             ]
@@ -787,6 +863,12 @@ class FriendingEngine:
     def _send_reply(self, episode: _Episode, reply: Reply, via: str, hops: int) -> None:
         """Encode a participant's reply and start it hopping home."""
         n_elements = len(reply.elements)
+        if self.reliability.segmented and n_elements:
+            # Element-less replies (nothing to protect) keep the classic
+            # single-frame path; the segment codec carries exactly one
+            # element per frame.
+            self._send_reply_segments(episode, reply, via, hops)
+            return
         if self.wire:
             frame = encode_reply_frame(reply, ttl=min(hops, 255))
             frame_len = len(frame)
@@ -800,6 +882,79 @@ class FriendingEngine:
                 flow=episode.rid + b"R" + reply.responder_id.encode("utf-8"),
             ),
         )
+
+    @staticmethod
+    def _segment_flow(
+        rid: bytes, responder: bytes, is_parity: bool, index: int, attempt: int
+    ) -> bytes:
+        """Channel-model flow id for one segment transmission.
+
+        Every (segment, retransmission attempt) pair gets its own flow, so
+        each draws independent deterministic fates -- a re-sent segment is
+        a fresh chance on the channel, not a replay of the original draw.
+        """
+        return (
+            rid
+            + b"S"
+            + (b"\x01" if is_parity else b"\x00")
+            + index.to_bytes(2, "big")
+            + bytes((attempt,))
+            + responder
+        )
+
+    def _send_reply_segments(
+        self, episode: _Episode, reply: Reply, via: str, hops: int
+    ) -> None:
+        """Ship one reply as per-element segment frames (plus parity in FEC mode).
+
+        Data segments go out in element order, then parity segments in
+        window order, all at the same processing latency -- a fixed,
+        deterministic schedule.  Under ``window`` mode the encoded data
+        frames are recorded so a later selective wave can re-send exactly
+        the ones the initiator reports missing.
+        """
+        mode = self.reliability
+        elements = reply.elements
+        n = len(elements)
+        responder = reply.responder_id
+        responder_bytes = responder.encode("utf-8")
+        ttl = min(hops, 255)
+        window = mode.fec_window
+        segments = [
+            ReplySegment(
+                request_id=episode.rid, responder_id=responder,
+                sent_at_ms=reply.sent_at_ms, seg_index=i, n_data=n,
+                window=window, is_parity=False, element=element,
+            )
+            for i, element in enumerate(elements)
+        ]
+        if window:
+            segments.extend(
+                ReplySegment(
+                    request_id=episode.rid, responder_id=responder,
+                    sent_at_ms=reply.sent_at_ms, seg_index=w, n_data=n,
+                    window=window, is_parity=True, element=parity,
+                )
+                for w, parity in enumerate(fec_parity_elements(elements, window))
+            )
+        record: dict[int, bytes] | None = {} if mode.selective_retx else None
+        delay = self.network.processing_latency_ms
+        for segment in segments:
+            frame = encode_segment_frame(segment, ttl=ttl)
+            if record is not None and not segment.is_parity:
+                record[segment.seg_index] = frame
+            self._schedule(
+                delay,
+                ReplyHopEvent(
+                    episode.index, frame, via, hops, 1, len(frame),
+                    flow=self._segment_flow(
+                        episode.rid, responder_bytes,
+                        segment.is_parity, segment.seg_index, 0,
+                    ),
+                ),
+            )
+        if record is not None:
+            episode.seg_sent[responder] = (via, hops, record)
 
     def _on_reply_hop(self, event: ReplyHopEvent) -> None:
         episode = self._episodes[event.episode]
@@ -834,11 +989,22 @@ class FriendingEngine:
         """Initiator endpoint: validate, dedupe, and hand up one reply frame."""
         try:
             frame = self._decode(event.frame)
-            if frame.ftype != FT_REPLY:
+            if frame.ftype == FT_REPLY_SEG:
+                segment = (
+                    frame.payload
+                    if isinstance(frame.payload, ReplySegment)
+                    else decode_reply_segment(frame.payload)
+                )
+            elif frame.ftype == FT_REPLY:
+                segment = None
+                reply = frame.payload if isinstance(frame.payload, Reply) else decode_reply(frame.payload)
+            else:
                 raise SerializationError(f"unexpected frame type {frame.ftype} for a reply")
-            reply = frame.payload if isinstance(frame.payload, Reply) else decode_reply(frame.payload)
         except SerializationError:
             episode.metrics.frames_rejected += 1
+            return
+        if segment is not None:
+            self._deliver_segment(episode, segment)
             return
         if reply.responder_id in episode.seen_responders:
             # Duplicate-frame idempotence: link-layer copies of a reply
@@ -852,8 +1018,117 @@ class FriendingEngine:
         )
         episode.replies.append(reply)
 
+    def _deliver_segment(self, episode: _Episode, segment: ReplySegment) -> None:
+        """Initiator endpoint for one reply segment: store, reconstruct, deliver.
+
+        Segments accumulate per responder; the reply is handed up the
+        moment every data element is present -- received or reconstructed
+        from XOR parity (counted as ``fec_recovered``).  Anything still
+        incomplete when the reply window closes is delivered partially by
+        :meth:`_on_segment_flush`.
+        """
+        metrics = episode.metrics
+        if segment.request_id != episode.rid:
+            metrics.frames_rejected += 1
+            return
+        responder = segment.responder_id
+        if responder in episode.seen_responders:
+            # The responder's reply is already delivered; late or duplicate
+            # segment copies are endpoint-idempotent like duplicate replies.
+            metrics.duplicate_replies += 1
+            return
+        state = episode.seg_rx.get(responder)
+        if state is None:
+            state = episode.seg_rx[responder] = _SegmentState(
+                segment.n_data, segment.window, segment.sent_at_ms
+            )
+        if segment.n_data != state.n_data or segment.window != state.window:
+            # Inconsistent geometry across one responder's segments: not a
+            # well-formed reply stream.
+            metrics.frames_rejected += 1
+            return
+        if segment.is_parity:
+            if state.window == 0 or segment.seg_index * state.window >= state.n_data:
+                metrics.frames_rejected += 1
+                return
+            store = state.parity
+        else:
+            if segment.seg_index >= state.n_data:
+                metrics.frames_rejected += 1
+                return
+            store = state.data
+        if segment.seg_index in store:
+            metrics.duplicate_replies += 1
+            return
+        store[segment.seg_index] = segment.element
+        completed, recovered = self._reassemble(state)
+        if len(completed) == state.n_data:
+            self._finish_segment_reply(episode, responder, state, completed, recovered)
+
+    @staticmethod
+    def _reassemble(state: _SegmentState) -> tuple[dict[int, bytes], list[int]]:
+        """Received data plus whatever parity can reconstruct right now.
+
+        Recovery is recomputed from the raw received sets on every attempt
+        (nothing reconstructed is persisted), so ``fec_recovered`` counts
+        each recovered element exactly once -- at delivery.
+        """
+        if state.window and state.parity:
+            return fec_reconstruct(state.n_data, state.window, state.data, state.parity)
+        return dict(state.data), []
+
+    def _finish_segment_reply(
+        self,
+        episode: _Episode,
+        responder: str,
+        state: _SegmentState,
+        completed: dict[int, bytes],
+        recovered: list[int],
+    ) -> None:
+        """Hand one reassembled (possibly partial) reply up to the initiator."""
+        reply = Reply(
+            request_id=episode.rid,
+            responder_id=responder,
+            elements=tuple(completed[i] for i in sorted(completed)),
+            sent_at_ms=state.sent_at_ms,
+        )
+        episode.seen_responders.add(responder)
+        del episode.seg_rx[responder]
+        episode.seg_sent.pop(responder, None)
+        if recovered:
+            episode.metrics.fec_recovered += len(recovered)
+        episode.spec.initiator.handle_reply(reply, self._queue.now_ms)
+        episode.metrics.reply_latency_ms.append(
+            self._queue.now_ms - episode.spec.start_ms
+        )
+        episode.replies.append(reply)
+
+    def _on_segment_flush(self, event: SegmentFlushEvent) -> None:
+        """Reply-window close: deliver what arrived for unfinished responders.
+
+        A partial element set now beats a complete set never -- the true
+        acknowledging element may well be among the survivors, and the
+        initiator's window check would refuse anything later anyway.
+        """
+        episode = self._episodes[event.episode]
+        delivered = False
+        for responder in sorted(episode.seg_rx):
+            state = episode.seg_rx[responder]
+            completed, recovered = self._reassemble(state)
+            if not completed:
+                del episode.seg_rx[responder]
+                continue
+            self._finish_segment_reply(episode, responder, state, completed, recovered)
+            delivered = True
+        if delivered:
+            episode.last_event_ms = self._queue.now_ms
+
     def _on_retransmit(self, event: RetransmitEvent) -> None:
         episode = self._episodes[event.episode]
+        mode = self.reliability
+        if mode.selective_retx:
+            self._on_selective_wave(episode, event)
+            return
         if episode.replies:
             return  # answered: the timer dies quietly
         if episode.package.is_expired(self._queue.now_ms):
@@ -873,8 +1148,80 @@ class FriendingEngine:
             ),
         )
         if event.attempt < self.retries:
+            # ``simple`` (backoff 1.0) chains at exactly the base timeout,
+            # preserving the pre-strategy schedule byte for byte.
             self._schedule(
-                self.retransmit_timeout_ms,
+                mode.wave_delay_ms(event.attempt + 1, self.retransmit_timeout_ms),
+                RetransmitEvent(event.episode, attempt=event.attempt + 1),
+            )
+
+    def _on_selective_wave(self, episode: _Episode, event: RetransmitEvent) -> None:
+        """``window``-mode wave: re-send only what the initiator is missing.
+
+        The initiator knows exactly which data segments each partially
+        heard responder still owes (its ``seg_rx`` holes); the wave
+        re-sends those frames from the sender-side record along the
+        recorded reply path, each with a fresh per-attempt flow (the
+        simulation's stand-in for a NACK travelling upstream -- the
+        engine is both endpoints, so the request round trip is elided).
+        While *nothing* has been heard from anyone, the wave falls back
+        to a full re-flood: there are no known holes to aim at yet.
+        """
+        now_ms = self._queue.now_ms
+        if episode.package.is_expired(now_ms):
+            return
+        resent = 0
+        for responder in sorted(episode.seg_rx):
+            state = episode.seg_rx[responder]
+            record = episode.seg_sent.get(responder)
+            if record is None:  # pragma: no cover -- this engine sent them
+                continue
+            via, hops, frames = record
+            responder_bytes = responder.encode("utf-8")
+            for index in range(state.n_data):
+                if index in state.data:
+                    continue
+                frame = frames[index]
+                self._schedule(
+                    0,
+                    ReplyHopEvent(
+                        episode.index, frame, via, hops, 1, len(frame),
+                        flow=self._segment_flow(
+                            episode.rid, responder_bytes, False, index,
+                            event.attempt,
+                        ),
+                    ),
+                )
+                resent += 1
+        if resent:
+            episode.metrics.selective_retx += resent
+            episode.last_event_ms = now_ms
+        elif not episode.replies and not episode.seg_rx:
+            # Total silence: no segment ever arrived, so there is nothing
+            # to aim a selective wave at -- re-flood the request instead.
+            episode.metrics.retransmissions += 1
+            episode.last_event_ms = now_ms
+            origin = self.network.nodes[episode.spec.initiator_node]
+            session = origin.sessions.get(episode.rid)
+            if session is not None:
+                session.last_seq = event.attempt
+            self._schedule(
+                0,
+                BroadcastEvent(
+                    event.episode, episode.spec.initiator_node,
+                    self._reframe(episode.frame, ttl=episode.package.ttl,
+                                  seq=event.attempt),
+                ),
+            )
+        else:
+            # Every heard reply is complete and no re-flood is warranted:
+            # the budget rests.
+            return
+        if event.attempt < self.retries:
+            self._schedule(
+                self.reliability.wave_delay_ms(
+                    event.attempt + 1, self.retransmit_timeout_ms
+                ),
                 RetransmitEvent(event.episode, attempt=event.attempt + 1),
             )
 

@@ -34,6 +34,7 @@ __all__ = [
     "DeliveryEvent",
     "ReplyHopEvent",
     "RetransmitEvent",
+    "SegmentFlushEvent",
     "TopologyRefreshEvent",
 ]
 
@@ -119,6 +120,20 @@ class RetransmitEvent:
 
     episode: int
     attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentFlushEvent:
+    """Reply-window close for one episode under a segmented reliability mode.
+
+    Fires once per episode at ``start_ms + reply_window_ms``: responders
+    whose segmented replies are still incomplete have whatever elements
+    did arrive (plus anything parity can reconstruct) delivered as a
+    partial reply -- the initiator's acceptance window is closing, so a
+    partial set now beats a complete set never.
+    """
+
+    episode: int
 
 
 @dataclass(frozen=True, slots=True)

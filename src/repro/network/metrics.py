@@ -40,6 +40,13 @@ class NetworkMetrics:
     counts origin re-broadcast waves for unanswered requests; and
     ``sessions_overflow`` counts requests refused because a node's bounded
     session table was full.
+
+    The segmented reliability modes add two recovery counters:
+    ``selective_retx`` counts individual reply segments re-sent by a
+    ``window``-mode wave (full re-flood waves still count under
+    ``retransmissions``), and ``fec_recovered`` counts 48-byte reply
+    elements the initiator reconstructed from XOR parity in
+    ``window_fec`` mode instead of ever receiving.
     """
 
     broadcasts: int = 0
@@ -61,6 +68,8 @@ class NetworkMetrics:
     frame_bytes: int = 0
     duplicate_replies: int = 0
     retransmissions: int = 0
+    selective_retx: int = 0
+    fec_recovered: int = 0
     sessions_overflow: int = 0
     reply_latency_ms: list[int] = field(default_factory=list)
 
@@ -90,6 +99,8 @@ class NetworkMetrics:
         self.frame_bytes += other.frame_bytes
         self.duplicate_replies += other.duplicate_replies
         self.retransmissions += other.retransmissions
+        self.selective_retx += other.selective_retx
+        self.fec_recovered += other.fec_recovered
         self.sessions_overflow += other.sessions_overflow
         self.reply_latency_ms.extend(other.reply_latency_ms)
 
@@ -116,6 +127,8 @@ class NetworkMetrics:
             "frame_bytes": self.frame_bytes,
             "duplicate_replies": self.duplicate_replies,
             "retransmissions": self.retransmissions,
+            "selective_retx": self.selective_retx,
+            "fec_recovered": self.fec_recovered,
             "sessions_overflow": self.sessions_overflow,
             "mean_reply_latency_ms": (
                 sum(self.reply_latency_ms) / len(self.reply_latency_ms)

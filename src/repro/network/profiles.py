@@ -1,0 +1,143 @@
+"""Named built-in scenario profiles: topology + mobility + channel + reliability.
+
+A profile is a curated bundle of :class:`~repro.analysis.experiments.ScenarioSpec`
+settings with a name -- the ``BUILTIN_SCHEMAS`` / ``load_profile`` registry
+idiom -- so a realistic scenario is one flag away instead of nine:
+
+    repro simulate --profile vehicular
+    repro profiles list
+
+Profiles hold *defaults*, not mandates: any spec field given explicitly
+(CLI flag, JSON spec key, sweep assignment) overrides the profile's value.
+Unknown profile names raise a :class:`ValueError` that lists what exists.
+
+The bundles themselves are opinionated sketches of the paper's deployment
+settings: ``city`` (dense urban pedestrians on a lossy channel, parity
+recovery), ``campus`` (small static quad, near-clean channel, single-shot),
+``vehicular`` (fast-churn topology, heavy loss and jitter, patient
+escalating re-floods) and ``stadium-burst`` (a packed static crowd where
+duplication and reordering, not range, are the enemy; selective segment
+retransmission).  Every bundle must construct a valid ``ScenarioSpec``
+on its own -- a test pins that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Any, Mapping
+
+__all__ = [
+    "ScenarioProfile",
+    "BUILTIN_PROFILES",
+    "available_profiles",
+    "load_profile",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """One named settings bundle (fields are ``ScenarioSpec`` keys)."""
+
+    name: str
+    description: str
+    settings: Mapping[str, Any]
+
+
+def _profile(name: str, description: str, **settings: Any) -> ScenarioProfile:
+    return ScenarioProfile(
+        name=name, description=description, settings=MappingProxyType(settings)
+    )
+
+
+BUILTIN_PROFILES: dict[str, ScenarioProfile] = {
+    p.name: p
+    for p in (
+        _profile(
+            "city",
+            "dense urban pedestrians, lossy channel, parity-recovered replies",
+            nodes=2000,
+            episodes=8,
+            protocol=2,
+            mobility="random_waypoint",
+            radio_radius=0.03,
+            arrival_rate_per_s=20.0,
+            loss_rate=0.1,
+            dup_rate=0.05,
+            reorder_rate=0.1,
+            corrupt_rate=0.05,
+            jitter_ms=3,
+            channel_version=2,
+            reliability="window_fec",
+            retries=0,
+        ),
+        _profile(
+            "campus",
+            "small static quad, near-clean channel, single-shot floods",
+            nodes=300,
+            episodes=4,
+            protocol=2,
+            mobility="static",
+            radio_radius=0.1,
+            arrival_rate_per_s=10.0,
+            loss_rate=0.02,
+            jitter_ms=1,
+            channel_version=2,
+            reliability="simple",
+            retries=0,
+        ),
+        _profile(
+            "vehicular",
+            "fast-churn topology, heavy loss and jitter, escalating re-floods",
+            nodes=1200,
+            episodes=6,
+            protocol=2,
+            mobility="random_waypoint",
+            radio_radius=0.05,
+            refresh_interval_ms=200,
+            arrival_rate_per_s=30.0,
+            loss_rate=0.2,
+            dup_rate=0.02,
+            reorder_rate=0.15,
+            corrupt_rate=0.05,
+            jitter_ms=8,
+            channel_version=2,
+            reliability="stage",
+            retries=3,
+            retransmit_timeout_ms=400,
+        ),
+        _profile(
+            "stadium-burst",
+            "packed static crowd; duplication and reordering dominate, "
+            "selective segment retransmission",
+            nodes=800,
+            episodes=16,
+            protocol=3,
+            mobility="static",
+            radio_radius=0.08,
+            arrival_rate_per_s=80.0,
+            loss_rate=0.05,
+            dup_rate=0.25,
+            reorder_rate=0.3,
+            jitter_ms=5,
+            channel_version=2,
+            reliability="window",
+            retries=2,
+            retransmit_timeout_ms=600,
+        ),
+    )
+}
+
+
+def available_profiles() -> tuple[str, ...]:
+    """All built-in profile names."""
+    return tuple(BUILTIN_PROFILES)
+
+
+def load_profile(name: str) -> ScenarioProfile:
+    """Look up one built-in profile by name; unknown names list what exists."""
+    try:
+        return BUILTIN_PROFILES[name]
+    except KeyError:
+        known = ", ".join(BUILTIN_PROFILES)
+        raise ValueError(f"unknown scenario profile {name!r}; available: {known}") from None

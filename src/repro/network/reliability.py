@@ -1,0 +1,224 @@
+"""Named reliability modes: how an episode survives a lossy channel.
+
+The engine's original answer to loss was one blunt knob -- ``retries=N``
+blind re-floods of the whole request after a hard-coded timeout.  This
+module makes reply/request reliability a first-class, named **mode
+profile** (the ``reliability_method ∈ {simple, stage, window,
+window_fec}`` idiom), selected by name on
+:class:`~repro.network.engine.FriendingEngine`,
+:class:`~repro.analysis.experiments.ScenarioSpec` and the CLI:
+
+``simple``
+    Today's blind re-flood, byte-frozen: every wave re-broadcasts the
+    whole request at a constant timeout.  With the same ``retries`` /
+    ``retransmit_timeout_ms`` the engine takes exactly the pre-mode code
+    path -- same channel draws, same event order, same goldens.
+``stage``
+    The same full re-flood waves on an escalating timetable: the gap
+    before wave *k* is ``timeout * 2**(k-1)``, so early waves are cheap
+    and later waves patient.  Same frames as ``simple``, different
+    timings.
+``window``
+    Replies travel as per-element **segment frames**
+    (``docs/wire_format.md``, frame version 2); the initiator tracks
+    which segments of each responder's reply arrived and a wave
+    re-sends only the missing segments back along the recorded reply
+    path (counted as ``selective_retx``), falling back to a full
+    re-flood only while nothing at all has been heard.
+``window_fec``
+    Segmented replies plus forward error correction: the responder
+    appends one XOR **parity element** per window of
+    :data:`DEFAULT_FEC_WINDOW` data elements, so the initiator
+    reconstructs any single lost element per window (counted as
+    ``fec_recovered``) with **zero** extra round trips -- graceful
+    degradation instead of retransmission (no waves are scheduled).
+
+Determinism: a mode only decides *what* is (re)sent and *when*; every
+frame still draws its fate from ``(channel seed, flow, link, seq)``,
+so all four modes keep the house contract -- ``run_parallel`` shards
+stay byte-identical to sequential runs.
+
+The XOR parity algebra lives here as pure functions
+(:func:`fec_parity_elements` / :func:`fec_reconstruct`) so the
+recovery property can be pinned independently of the engine
+(``tests/network/test_reliability.py`` holds the Hypothesis property
+that reconstruction returns exactly the original element set under any
+loss pattern within the parity budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "DEFAULT_FEC_WINDOW",
+    "DEFAULT_RELIABILITY",
+    "RELIABILITY_MODES",
+    "ReliabilityMode",
+    "available_reliability_modes",
+    "load_reliability_mode",
+    "fec_parity_elements",
+    "fec_reconstruct",
+    "xor_bytes",
+]
+
+#: Data elements covered by one XOR parity element in ``window_fec``.
+DEFAULT_FEC_WINDOW = 4
+
+DEFAULT_RELIABILITY = "simple"
+
+
+@dataclass(frozen=True)
+class ReliabilityMode:
+    """One named reliability strategy (picklable: plain field data only).
+
+    ``wave_backoff`` is the per-wave timeout multiplier: the gap before
+    wave *k* is ``timeout * wave_backoff**(k-1)``.  ``segmented`` selects
+    the per-element reply segment transport (frame version 2);
+    ``fec_window`` > 0 appends one XOR parity element per window of that
+    many data elements; ``selective_retx`` makes waves re-send only the
+    reply segments the initiator is still missing; ``waves`` gates
+    retransmission scheduling entirely (``window_fec`` recovers without
+    round trips, so it never re-floods regardless of ``retries``).
+    """
+
+    name: str
+    description: str
+    waves: bool = True
+    wave_backoff: float = 1.0
+    segmented: bool = False
+    fec_window: int = 0
+    selective_retx: bool = False
+
+    def wave_delay_ms(self, attempt: int, base_timeout_ms: int) -> int:
+        """Gap (ms) between wave ``attempt - 1`` and wave ``attempt``.
+
+        Wave 1 always fires exactly one base timeout after the initial
+        broadcast; ``simple`` (backoff 1.0) keeps every later gap at the
+        base timeout, which is byte-for-byte the pre-mode schedule.
+        """
+        if attempt < 1:
+            raise ValueError(f"wave attempt must be >= 1, got {attempt!r}")
+        return max(1, round(base_timeout_ms * self.wave_backoff ** (attempt - 1)))
+
+
+RELIABILITY_MODES: dict[str, ReliabilityMode] = {
+    "simple": ReliabilityMode(
+        name="simple",
+        description="blind full re-flood at a constant timeout (the byte-frozen baseline)",
+    ),
+    "stage": ReliabilityMode(
+        name="stage",
+        description="full re-flood on an escalating timetable (timeout doubles per wave)",
+        wave_backoff=2.0,
+    ),
+    "window": ReliabilityMode(
+        name="window",
+        description="segmented replies; waves re-send only the missing reply segments",
+        segmented=True,
+        selective_retx=True,
+    ),
+    "window_fec": ReliabilityMode(
+        name="window_fec",
+        description=(
+            "segmented replies with one XOR parity element per "
+            f"{DEFAULT_FEC_WINDOW}-element window; no retransmission waves"
+        ),
+        waves=False,
+        segmented=True,
+        fec_window=DEFAULT_FEC_WINDOW,
+    ),
+}
+
+
+def available_reliability_modes() -> tuple[str, ...]:
+    """All built-in mode names, in escalation order."""
+    return tuple(RELIABILITY_MODES)
+
+
+def load_reliability_mode(name: str | ReliabilityMode) -> ReliabilityMode:
+    """Look up one mode by name; unknown names list what exists.
+
+    A :class:`ReliabilityMode` instance passes through unchanged so the
+    engine can accept either spelling.
+    """
+    if isinstance(name, ReliabilityMode):
+        return name
+    try:
+        return RELIABILITY_MODES[name]
+    except KeyError:
+        known = ", ".join(RELIABILITY_MODES)
+        raise ValueError(
+            f"unknown reliability mode {name!r}; available: {known}"
+        ) from None
+
+
+# -- XOR parity algebra ------------------------------------------------------
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Bytewise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"cannot XOR {len(a)} bytes with {len(b)} bytes")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def fec_parity_elements(elements: Sequence[bytes], window: int) -> list[bytes]:
+    """One XOR parity element per *window* of data elements.
+
+    Parity *w* covers data elements ``[w*window, min((w+1)*window, n))``;
+    the final window may be short and its parity covers only what exists.
+    All elements must share one length (48 bytes on the wire).
+    """
+    if window < 1:
+        raise ValueError(f"fec window must be >= 1, got {window!r}")
+    parities: list[bytes] = []
+    for start in range(0, len(elements), window):
+        chunk = elements[start : start + window]
+        parity = chunk[0]
+        for element in chunk[1:]:
+            parity = xor_bytes(parity, element)
+        parities.append(parity)
+    return parities
+
+
+def fec_reconstruct(
+    n_data: int,
+    window: int,
+    data: dict[int, bytes],
+    parity: dict[int, bytes],
+) -> tuple[dict[int, bytes], list[int]]:
+    """Fill single-loss holes from XOR parity; pure, no wire knowledge.
+
+    *data* maps received data-element indices (``0 <= i < n_data``) to
+    their 48-byte elements; *parity* maps window indices to received
+    parity elements.  A window missing exactly one data element whose
+    parity arrived is solved by XOR-ing the parity with the window's
+    survivors; windows missing more than one element (or their parity)
+    are left as they are -- that is the parity budget.
+
+    Returns ``(completed, recovered)``: a new index→element map holding
+    everything received plus everything reconstructed, and the sorted
+    list of indices that were recovered rather than received.
+    """
+    if window < 1:
+        raise ValueError(f"fec window must be >= 1, got {window!r}")
+    completed = dict(data)
+    recovered: list[int] = []
+    for w, p in parity.items():
+        start = w * window
+        stop = min(start + window, n_data)
+        if not start < stop:
+            continue  # parity for a window past the data: ignore
+        missing = [i for i in range(start, stop) if i not in completed]
+        if len(missing) != 1:
+            continue
+        value = p
+        for i in range(start, stop):
+            if i != missing[0]:
+                value = xor_bytes(value, completed[i])
+        completed[missing[0]] = value
+        recovered.append(missing[0])
+    recovered.sort()
+    return completed, recovered

@@ -197,15 +197,33 @@ class AdHocNetwork:
         start_ms: int = 0,
         deadline_ms: int | None = None,
         retries: int = 0,
+        retransmit_timeout_ms: int | None = None,
+        reliability: str = "simple",
     ) -> FriendingResult:
         """Run one full episode and return matches plus metrics.
 
         *retries* is the initiator's retransmission budget for an
-        unanswered request (meaningful over a lossy ``channel``).
+        unanswered request (meaningful over a lossy ``channel``);
+        *retransmit_timeout_ms* and *reliability* select the base wave
+        timeout and the named reliability mode spending that budget
+        (:mod:`repro.network.reliability`).
         """
-        from repro.network.engine import EpisodeSpec, FriendingEngine
+        from repro.network.engine import (
+            DEFAULT_RETRANSMIT_TIMEOUT_MS,
+            EpisodeSpec,
+            FriendingEngine,
+        )
 
-        engine = FriendingEngine(self, retries=retries)
+        engine = FriendingEngine(
+            self,
+            retries=retries,
+            retransmit_timeout_ms=(
+                DEFAULT_RETRANSMIT_TIMEOUT_MS
+                if retransmit_timeout_ms is None
+                else retransmit_timeout_ms
+            ),
+            reliability=reliability,
+        )
         result = engine.run(
             [EpisodeSpec(initiator_node=initiator_node, initiator=initiator, start_ms=start_ms)],
             until_ms=deadline_ms,

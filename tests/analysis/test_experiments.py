@@ -205,6 +205,34 @@ class TestRunScenario:
         assert v1["spec"]["channel_version"] == 1
         assert v2["spec"]["channel_version"] == 2
 
+    def test_record_carries_reliability_fields(self):
+        record = run_scenario(ScenarioSpec.from_dict(
+            {**TINY, "loss_rate": 0.15, "channel_version": 2,
+             "reliability": "window_fec"}
+        ))
+        assert record["reliability"] == "window_fec"
+        assert record["retransmit_timeout_ms"] == 1000
+        assert record["profile"] is None
+        assert record["fec_recovered"] >= 0
+        assert record["selective_retx"] == 0
+        assert record["spec"]["reliability"] == "window_fec"
+
+    def test_reliability_is_sweepable(self):
+        plan = load_plan({
+            "name": "rel",
+            "base": {**TINY, "loss_rate": 0.1, "retries": 2},
+            "sweep": {"reliability": ["simple", "stage", "window", "window_fec"],
+                      "retransmit_timeout_ms": [500]},
+        })
+        assert [s.reliability for s in plan.specs] == [
+            "simple", "stage", "window", "window_fec"
+        ]
+        assert all(s.retransmit_timeout_ms == 500 for s in plan.specs)
+        with pytest.raises(SpecError, match="reliability"):
+            load_plan({
+                "name": "rel", "base": TINY, "sweep": {"reliability": ["simple", "nope"]},
+            })
+
     def test_v2_scenario_is_deterministic(self):
         spec = ScenarioSpec.from_dict(
             {**TINY, "loss_rate": 0.15, "jitter_ms": 2, "channel_version": 2}

@@ -1,0 +1,156 @@
+"""Reply segment codec (frame version 2) and the per-version type grammar."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import SerializationError
+from repro.core.wire import (
+    FRAME_TYPES,
+    FRAME_VERSION,
+    FRAME_VERSION_SEGMENTS,
+    FT_REPLY_SEG,
+    FT_REQUEST,
+    ReplySegment,
+    VERSION_FRAME_TYPES,
+    decode_frame,
+    decode_payload,
+    decode_reply_segment,
+    encode_frame,
+    encode_reply_segment,
+    encode_segment_frame,
+    segment_wire_size,
+)
+
+RID = b"REQUESTi"
+
+
+def _segment(**overrides) -> ReplySegment:
+    fields = dict(
+        request_id=RID, responder_id="bob", sent_at_ms=1234,
+        seg_index=2, n_data=5, window=4, is_parity=False, element=b"\x07" * 48,
+    )
+    fields.update(overrides)
+    return ReplySegment(**fields)
+
+
+class TestVersionGrammar:
+    def test_grammar_is_disjoint_and_complete(self):
+        assert VERSION_FRAME_TYPES[FRAME_VERSION] == FRAME_TYPES
+        assert VERSION_FRAME_TYPES[FRAME_VERSION_SEGMENTS] == (FT_REPLY_SEG,)
+        assert FT_REPLY_SEG not in FRAME_TYPES
+
+    def test_segment_type_invalid_under_version_one(self):
+        with pytest.raises(SerializationError, match="not valid under frame version 1"):
+            encode_frame(FT_REPLY_SEG, b"x")
+
+    def test_legacy_types_invalid_under_version_two(self):
+        for ftype in FRAME_TYPES:
+            with pytest.raises(SerializationError, match="version"):
+                encode_frame(ftype, b"x", version=FRAME_VERSION_SEGMENTS)
+
+    def test_unknown_version_rejected_at_encode(self):
+        with pytest.raises(SerializationError, match="version"):
+            encode_frame(FT_REQUEST, b"x", version=3)
+
+    def test_decode_gates_type_by_version(self):
+        """The same type byte flips accept/reject with the version byte."""
+        good = encode_frame(FT_REPLY_SEG, b"p", version=FRAME_VERSION_SEGMENTS)
+        frame = decode_frame(good)
+        assert (frame.version, frame.ftype) == (FRAME_VERSION_SEGMENTS, FT_REPLY_SEG)
+        import zlib
+
+        crossed = bytearray(good)
+        crossed[4] = FRAME_VERSION  # same type byte, legacy version
+        crc = zlib.crc32(bytes(crossed[4:12]))
+        crc = zlib.crc32(bytes(crossed[16:]), crc) & 0xFFFF_FFFF
+        crossed[12:16] = crc.to_bytes(4, "big")
+        with pytest.raises(SerializationError, match="unknown frame type"):
+            decode_frame(bytes(crossed))
+
+
+class TestSegmentRoundTrip:
+    def test_roundtrip(self):
+        segment = _segment()
+        frame = decode_frame(encode_segment_frame(segment, ttl=3, seq=1))
+        assert frame.version == FRAME_VERSION_SEGMENTS
+        assert frame.ftype == FT_REPLY_SEG
+        assert (frame.ttl, frame.seq) == (3, 1)
+        assert decode_reply_segment(frame.payload) == segment
+
+    def test_decode_payload_dispatches_segments(self):
+        frame = decode_frame(encode_segment_frame(_segment(is_parity=True)))
+        assert decode_payload(frame) == _segment(is_parity=True)
+
+    def test_wire_size_accounts_the_payload(self):
+        segment = _segment(responder_id="resp-x")
+        assert segment_wire_size("resp-x") == len(encode_reply_segment(segment))
+        # The full datagram adds exactly the 16-byte frame envelope.
+        assert len(encode_segment_frame(segment)) == segment_wire_size("resp-x") + 16
+
+    def test_unicode_responder(self):
+        segment = _segment(responder_id="ünïcode-nøde")
+        frame = decode_frame(encode_segment_frame(segment))
+        assert decode_reply_segment(frame.payload).responder_id == "ünïcode-nøde"
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seg_index=st.integers(min_value=0, max_value=0xFFFF),
+        n_data=st.integers(min_value=1, max_value=0xFFFF),
+        window=st.integers(min_value=0, max_value=255),
+        is_parity=st.booleans(),
+        sent=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        element=st.binary(min_size=48, max_size=48),
+    )
+    def test_roundtrip_property(self, seg_index, n_data, window, is_parity, sent, element):
+        segment = _segment(
+            seg_index=seg_index, n_data=n_data, window=window,
+            is_parity=is_parity, sent_at_ms=sent, element=element,
+        )
+        assert decode_reply_segment(encode_reply_segment(segment)) == segment
+
+
+class TestSegmentValidation:
+    @pytest.mark.parametrize("overrides,match", [
+        (dict(request_id=b"short"), "request id"),
+        (dict(responder_id="r" * 256), "responder"),
+        (dict(element=b"\x07" * 47), "element"),
+        (dict(element=b"\x07" * 49), "element"),
+        (dict(n_data=0), "n_data"),
+        (dict(seg_index=0x1_0000), "segment index"),
+        (dict(sent_at_ms=1 << 64), "sent_at_ms"),
+    ])
+    def test_encode_rejects_bad_fields(self, overrides, match):
+        with pytest.raises(SerializationError, match=match):
+            encode_reply_segment(_segment(**overrides))
+
+    def test_decode_rejects_every_truncation(self):
+        data = encode_reply_segment(_segment())
+        for cut in range(len(data)):
+            with pytest.raises(SerializationError):
+                decode_reply_segment(data[:cut])
+
+    def test_decode_rejects_trailing_bytes(self):
+        data = encode_reply_segment(_segment())
+        with pytest.raises(SerializationError, match="trailing"):
+            decode_reply_segment(data + b"\x00")
+
+    def test_decode_rejects_bad_magic(self):
+        data = encode_reply_segment(_segment())
+        with pytest.raises(SerializationError, match="magic"):
+            decode_reply_segment(b"XBRS" + data[4:])
+
+    def test_decode_rejects_unknown_flags(self):
+        data = bytearray(encode_reply_segment(_segment()))
+        flags_offset = 4 + 8 + 8 + 2 + 2 + 1  # magic+rid+sent+index+n_data+window
+        data[flags_offset] |= 0x82
+        with pytest.raises(SerializationError, match="flag"):
+            decode_reply_segment(bytes(data))
+
+    def test_decode_rejects_invalid_utf8_responder(self):
+        data = bytearray(encode_reply_segment(_segment()))
+        data[-49] = 0xFF  # first responder byte (element is the 48-byte tail)
+        with pytest.raises(SerializationError):
+            decode_reply_segment(bytes(data))

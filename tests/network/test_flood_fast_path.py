@@ -23,6 +23,7 @@ from repro.network.events import (
     FrameEvent,
     ReplyHopEvent,
     RetransmitEvent,
+    SegmentFlushEvent,
     TopologyRefreshEvent,
 )
 from repro.network.simulator import AdHocNetwork
@@ -91,5 +92,5 @@ class TestSingleCopyCompat:
         engine, _ = _line_engine()
         assert set(engine._handlers) == {
             BroadcastEvent, DeliveryEvent, FrameEvent, ReplyHopEvent,
-            RetransmitEvent, TopologyRefreshEvent,
+            RetransmitEvent, SegmentFlushEvent, TopologyRefreshEvent,
         }

@@ -1,0 +1,84 @@
+"""Scenario profiles: registry lookup, spec construction, override precedence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ScenarioSpec, SpecError
+from repro.network.profiles import (
+    BUILTIN_PROFILES,
+    available_profiles,
+    load_profile,
+)
+from repro.network.reliability import RELIABILITY_MODES
+
+
+class TestProfileRegistry:
+    def test_builtin_profiles_present(self):
+        required = {"city", "campus", "vehicular", "stadium-burst"}
+        assert required.issubset(set(BUILTIN_PROFILES))
+
+    def test_load_profile_returns_profile(self):
+        profile = load_profile("city")
+        assert profile.name == "city"
+        assert profile.settings["nodes"] == 2000
+        assert profile.settings["reliability"] == "window_fec"
+
+    def test_load_profile_unknown_raises(self):
+        with pytest.raises(ValueError):
+            load_profile("not-a-profile")
+
+    def test_unknown_profile_error_lists_the_choices(self):
+        with pytest.raises(ValueError, match="unknown scenario profile.*city"):
+            load_profile("metropolis")
+
+    def test_available_profiles_matches_registry(self):
+        assert available_profiles() == tuple(BUILTIN_PROFILES)
+
+    def test_settings_are_read_only(self):
+        profile = load_profile("campus")
+        with pytest.raises(TypeError):
+            profile.settings["nodes"] = 5  # type: ignore[index]
+
+    def test_every_profile_names_a_real_reliability_mode(self):
+        for profile in BUILTIN_PROFILES.values():
+            assert profile.settings["reliability"] in RELIABILITY_MODES
+
+
+class TestProfileSpecs:
+    def test_every_builtin_constructs_a_valid_spec(self):
+        for name in available_profiles():
+            spec = ScenarioSpec.from_profile(name, name=f"p-{name}")
+            assert spec.nodes == BUILTIN_PROFILES[name].settings["nodes"]
+            assert spec.reliability == BUILTIN_PROFILES[name].settings["reliability"]
+
+    def test_explicit_overrides_beat_profile_settings(self):
+        spec = ScenarioSpec.from_profile(
+            "city", name="tiny-city", nodes=40, episodes=2, reliability="simple"
+        )
+        assert spec.nodes == 40
+        assert spec.episodes == 2
+        assert spec.reliability == "simple"
+        # Untouched settings still come from the profile.
+        assert spec.loss_rate == BUILTIN_PROFILES["city"].settings["loss_rate"]
+
+    def test_from_dict_profile_key(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "v", "profile": "vehicular", "nodes": 30}
+        )
+        assert spec.profile == "vehicular"
+        assert spec.nodes == 30
+        assert spec.reliability == "stage"
+        assert spec.retransmit_timeout_ms == 400
+
+    def test_from_dict_unknown_profile_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="unknown scenario profile"):
+            ScenarioSpec.from_dict({"name": "x", "profile": "atlantis"})
+
+    def test_spec_validates_reliability_name(self):
+        with pytest.raises(SpecError, match="unknown reliability mode"):
+            ScenarioSpec(name="x", nodes=10, reliability="nope")
+
+    def test_spec_validates_retransmit_timeout(self):
+        with pytest.raises(SpecError, match="retransmit_timeout_ms"):
+            ScenarioSpec(name="x", nodes=10, retransmit_timeout_ms=0)

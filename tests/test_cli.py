@@ -194,6 +194,77 @@ class TestLossyChannelFlags:
         assert runs[0] == runs[1]
 
 
+class TestReliabilityFlags:
+    def test_reliability_flag_parsed(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).reliability == "simple"
+        args = parser.parse_args(["simulate", "--reliability", "window_fec"])
+        assert args.reliability == "window_fec"
+
+    def test_unknown_reliability_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--reliability", "carrier-pigeon"])
+
+    def test_retransmit_timeout_flag_parsed(self):
+        parser = build_parser()
+        assert parser.parse_args(["simulate"]).retransmit_timeout_ms == 1000
+        args = parser.parse_args(["simulate", "--retransmit-timeout-ms", "250"])
+        assert args.retransmit_timeout_ms == 250
+
+    def test_window_fec_runs_end_to_end(self, capsys):
+        assert main([
+            "simulate", "--nodes", "24", "--episodes", "3", "--seed", "5",
+            "--loss", "0.15", "--reliability", "window_fec",
+            "--channel-version", "2",
+        ]) == 0
+        assert "frames_sent" in capsys.readouterr().out
+
+    def test_reliability_flows_into_single_episode_path(self, capsys):
+        assert main([
+            "simulate", "--nodes", "20", "--seed", "5", "--loss", "0.15",
+            "--reliability", "window", "--retries", "2",
+            "--retransmit-timeout-ms", "200",
+        ]) == 0
+        assert "friending episode" in capsys.readouterr().out
+
+
+class TestProfiles:
+    def test_profiles_list(self, capsys):
+        assert main(["profiles", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("city", "campus", "vehicular", "stadium-burst"):
+            assert name in out
+        assert "window_fec" in out
+
+    def test_profiles_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profiles"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--profile", "atlantis"])
+
+    def test_simulate_profile_run(self, capsys):
+        assert main([
+            "simulate", "--profile", "campus", "--nodes", "40", "--episodes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile run: campus" in out
+        assert "reliability" in out
+
+    def test_simulate_profile_overrides_reliability(self, capsys):
+        assert main([
+            "simulate", "--profile", "campus", "--nodes", "40", "--episodes", "2",
+            "--reliability", "stage", "--retries", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+
+    def test_profile_rejects_profile_top(self, capsys):
+        assert main(["simulate", "--profile", "campus", "--profile-top", "5"]) == 2
+        assert "--profile-top" in capsys.readouterr().err
+
+
 class TestExperiments:
     SPEC = {
         "name": "cli-tiny",
