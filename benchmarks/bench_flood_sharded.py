@@ -1,0 +1,163 @@
+"""Region-sharded flood throughput: the 10k city, and a 1M-node metro.
+
+The spatial-sharding counterpart of ``bench_flood_plane.py``: the same
+committed ``examples/specs/lossy_city.json`` flood (10k nodes, loss 0.1,
+v2 counter-mode plane) run once sequentially (``regions = 1``) and once
+through the region-sharded runtime (``regions = 4``, one forked worker
+per contiguous x-stripe).  Sharding is a pure mechanism change — the
+genealogy-key merge in ``network/regions.py`` makes the region count
+invisible in every recorded byte — so the arm pins the exact v2 flood
+goldens on *both* runs and reports sharded frames/wall-sec next to the
+sequential number.
+
+The scaling floor is **disarmed by default** (like
+``PARALLEL_SPEEDUP_FLOOR``): spatial sharding cannot beat one queue on a
+single-core host, and byte-identity is the property that must hold
+everywhere.  Set ``SHARDED_SPEEDUP_FLOOR`` (sharded fps / sequential
+fps) on hosts where cores are guaranteed.
+
+With ``METRO_1M=1`` the script also runs the committed 1M-node metro
+spec (``examples/specs/metro_1m.json``: static placement, mean degree
+~8, TTL-bounded local floods) through its regions ∈ {1, 4} sweep and
+emits one record per point — scale datapoints for the trajectory, not
+regression gates.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_flood_sharded.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.experiments import ScenarioSpec, load_plan, run_scenario
+
+SPECS_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+SPEC_PATH = SPECS_DIR / "lossy_city.json"
+METRO_SPEC_PATH = SPECS_DIR / "metro_1m.json"
+LOSS_RATE = 0.1
+ROUNDS = int(os.environ.get("FLOOD_BENCH_ROUNDS", "3"))
+SHARDED_REGIONS = int(os.environ.get("SHARDED_REGIONS", "4"))
+# Disarmed by default: a 1-core container cannot scale a spatial shard.
+SHARDED_SPEEDUP_FLOOR = float(os.environ.get("SHARDED_SPEEDUP_FLOOR", "0"))
+
+# The v2-plane goldens of (seed=42, loss=0.1) on lossy_city.json — the
+# same constants bench_flood_plane.py pins sequentially.  The sharded
+# run must reproduce them exactly at every region count.
+EXPECTED_FRAMES_V2 = 29_461
+EXPECTED_MATCHES_V2 = 104
+
+
+def _city_spec(regions: int) -> ScenarioSpec:
+    plan = load_plan(SPEC_PATH)
+    for spec in plan.specs:
+        if spec.loss_rate == LOSS_RATE:
+            return ScenarioSpec.from_dict(
+                {**spec.as_dict(), "channel_version": 2, "regions": regions}
+            )
+    raise AssertionError(f"lossy_city.json sweep has no loss_rate={LOSS_RATE} point")
+
+
+def _measure(spec: ScenarioSpec, rounds: int = ROUNDS):
+    """Best-of-*rounds* run of *spec* with gc parked: (best_fps, record)."""
+    best_fps = 0.0
+    record_run = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            rec = run_scenario(spec)
+            fps = rec["frames_sent"] / rec["wall_seconds"]
+            if fps > best_fps:
+                best_fps, record_run = fps, rec
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best_fps, record_run
+
+
+def test_flood_plane_sharded_city():
+    """10k lossy city, v2 plane, regions 1 vs 4: identical bytes, one record."""
+    seq_fps, seq_run = _measure(_city_spec(regions=1))
+    sharded_fps, sharded_run = _measure(_city_spec(regions=SHARDED_REGIONS))
+
+    # Byte-identity first: the region count must not move a single frame.
+    for label, run in (("sequential", seq_run), ("sharded", sharded_run)):
+        assert run["frames_sent"] == EXPECTED_FRAMES_V2, (
+            f"{label} frame count drifted: {run['frames_sent']} != "
+            f"{EXPECTED_FRAMES_V2} (a fate or merge-order semantic changed)"
+        )
+        assert run["matches"] == EXPECTED_MATCHES_V2, (
+            f"{label} match set drifted: {run['matches']} != {EXPECTED_MATCHES_V2}"
+        )
+
+    speedup = sharded_fps / seq_fps
+    record = {
+        "bench": "flood_plane_sharded",
+        "spec": "lossy_city.json",
+        "nodes": seq_run["nodes"],
+        "episodes": seq_run["episodes"],
+        "loss_rate": LOSS_RATE,
+        "channel_version": 2,
+        "regions": SHARDED_REGIONS,
+        "rounds": ROUNDS,
+        "frames_sent": sharded_run["frames_sent"],
+        "matches": sharded_run["matches"],
+        "sequential_frames_per_wall_sec": round(seq_fps),
+        "frames_per_wall_sec": round(sharded_fps),
+        "speedup_vs_sequential": round(speedup, 2),
+        "floor": SHARDED_SPEEDUP_FLOOR or None,
+        "cpus": os.cpu_count(),
+    }
+    print()
+    print("PERF_RECORD " + json.dumps(record))
+    if SHARDED_SPEEDUP_FLOOR:
+        assert speedup >= SHARDED_SPEEDUP_FLOOR, (
+            f"sharded speedup {speedup:.2f}x < {SHARDED_SPEEDUP_FLOOR}x floor "
+            f"({sharded_fps:.0f} vs sequential {seq_fps:.0f} frames/wall-sec "
+            f"on {os.cpu_count()} cores)"
+        )
+
+
+def run_metro_1m():  # pragma: no cover -- explicit bench runs only
+    """1M-node metro sweep (regions 1 and 4): one round per point,
+    records only — completion at scale is the claim, not a wall floor."""
+    plan = load_plan(METRO_SPEC_PATH)
+    fps_by_regions: dict[int, float] = {}
+    for spec in plan.specs:
+        assert spec.nodes == 1_000_000
+        best_fps, run = _measure(spec, rounds=1)
+        assert run["warnings"] == [], run["warnings"]
+        assert run["matches"] > 0
+        fps_by_regions[spec.regions] = best_fps
+        record = {
+            "bench": "metro_1m",
+            "spec": "metro_1m.json",
+            "nodes": spec.nodes,
+            "episodes": run["episodes"],
+            "loss_rate": spec.loss_rate,
+            "channel_version": spec.channel_version,
+            "regions": spec.regions,
+            "mean_degree": run["mean_degree"],
+            "largest_component_fraction": run["largest_component_fraction"],
+            "frames_sent": run["frames_sent"],
+            "matches": run["matches"],
+            "topology_seconds": run["topology_seconds"],
+            "wall_seconds": run["wall_seconds"],
+            "frames_per_wall_sec": round(best_fps),
+            "cpus": os.cpu_count(),
+        }
+        if 1 in fps_by_regions and spec.regions > 1:
+            record["speedup_vs_sequential"] = round(
+                best_fps / fps_by_regions[1], 2
+            )
+        print()
+        print("PERF_RECORD " + json.dumps(record))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_flood_plane_sharded_city()
+    if os.environ.get("METRO_1M") == "1":
+        run_metro_1m()

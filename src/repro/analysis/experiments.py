@@ -45,6 +45,7 @@ from repro.network.channel_model import CHANNEL_VERSIONS, ChannelModel
 from repro.network.engine import DEFAULT_RETRANSMIT_TIMEOUT_MS, FriendingEngine
 from repro.network.mobility import RandomWaypoint, StaticPlacement
 from repro.network.profiles import load_profile
+from repro.network.regions import RegionShardedEngine
 from repro.network.reliability import load_reliability_mode
 from repro.network.simulator import AdHocNetwork
 
@@ -68,9 +69,9 @@ _SWEEPABLE = (
     "nodes", "protocol", "episodes", "arrival_rate_per_s", "mobility",
     "radio_radius", "refresh_interval_ms", "communities",
     "tags_per_community", "seed", "until_ms", "backend", "workers",
-    "loss_rate", "dup_rate", "reorder_rate", "corrupt_rate", "jitter_ms",
-    "retries", "channel_version", "reliability", "retransmit_timeout_ms",
-    "profile",
+    "regions", "loss_rate", "dup_rate", "reorder_rate", "corrupt_rate",
+    "jitter_ms", "retries", "channel_version", "reliability",
+    "retransmit_timeout_ms", "profile",
 )
 
 
@@ -129,6 +130,14 @@ class ScenarioSpec:
         one event queue; ``> 1`` shards episodes across processes via
         :meth:`~repro.network.engine.FriendingEngine.run_parallel`
         (incompatible with ``refresh_interval_ms``).
+    regions:
+        Spatial shards for the engine.  ``1`` (default) keeps the single
+        calendar queue; ``> 1`` partitions the city into that many
+        contiguous regions and runs the flood through
+        :class:`~repro.network.regions.RegionShardedEngine` — results
+        are byte-identical to ``regions=1`` by construction, so this is
+        a pure performance knob.  Incompatible with ``workers > 1``
+        (pick one sharding axis).
     loss_rate / dup_rate / reorder_rate / corrupt_rate / jitter_ms:
         The per-hop :class:`~repro.network.channel_model.ChannelModel`
         every frame passes through: probability that a transmitted frame
@@ -183,6 +192,7 @@ class ScenarioSpec:
     until_ms: int | None = None
     backend: str = "tables"
     workers: int = 1
+    regions: int = 1
     loss_rate: float = 0.0
     dup_rate: float = 0.0
     reorder_rate: float = 0.0
@@ -265,6 +275,13 @@ class ScenarioSpec:
             )
         if not isinstance(self.workers, int) or self.workers < 1:
             raise SpecError(f"workers must be an integer >= 1, got {self.workers!r}")
+        if not isinstance(self.regions, int) or self.regions < 1:
+            raise SpecError(f"regions must be an integer >= 1, got {self.regions!r}")
+        if self.workers > 1 and self.regions > 1:
+            raise SpecError(
+                "workers > 1 shards episodes and regions > 1 shards the city; "
+                "the two sharding axes are mutually exclusive -- pick one"
+            )
         for rate_field in ("loss_rate", "dup_rate", "reorder_rate", "corrupt_rate"):
             value = getattr(self, rate_field)
             if not isinstance(value, (int, float)) or not 0 <= value <= 1:
@@ -565,23 +582,26 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         version=spec.channel_version,
     )
     network = AdHocNetwork(adjacency, participants, channel=channel)
+    engine_kwargs: dict[str, Any] = dict(
+        retries=spec.retries,
+        retransmit_timeout_ms=spec.retransmit_timeout_ms,
+        reliability=spec.reliability,
+    )
     if spec.refresh_interval_ms is not None:
-        engine = FriendingEngine(
-            network,
+        engine_kwargs.update(
             mobility=mobility,
             radio_radius=spec.radio_radius,
             refresh_interval_ms=spec.refresh_interval_ms,
-            retries=spec.retries,
-            retransmit_timeout_ms=spec.retransmit_timeout_ms,
-            reliability=spec.reliability,
+        )
+    if spec.regions > 1:
+        engine = RegionShardedEngine(
+            network,
+            positions=mobility.positions(),
+            regions=spec.regions,
+            **engine_kwargs,
         )
     else:
-        engine = FriendingEngine(
-            network,
-            retries=spec.retries,
-            retransmit_timeout_ms=spec.retransmit_timeout_ms,
-            reliability=spec.reliability,
-        )
+        engine = FriendingEngine(network, **engine_kwargs)
 
     with use_backend(spec.backend):
         start = time.perf_counter()
@@ -606,6 +626,7 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "mobility": spec.mobility,
         "backend": spec.backend,
         "workers": spec.workers,
+        "regions": spec.regions,
         "loss_rate": spec.loss_rate,
         "dup_rate": spec.dup_rate,
         "reorder_rate": spec.reorder_rate,
@@ -663,6 +684,7 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         ("protocol", "proto"),
         ("mobility", "mobility"),
         ("backend", "backend"),
+        ("regions", "regions"),
         ("loss_rate", "loss"),
         ("channel_version", "chan-v"),
         ("reliability", "mode"),

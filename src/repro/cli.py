@@ -35,6 +35,7 @@ from repro.dataset.weibo import WeiboGenerator
 from repro.network.channel_model import ChannelModel
 from repro.network.engine import DEFAULT_RETRANSMIT_TIMEOUT_MS, FriendingEngine
 from repro.network.profiles import BUILTIN_PROFILES, available_profiles
+from repro.network.regions import RegionShardedEngine
 from repro.network.reliability import available_reliability_modes
 from repro.network.simulator import AdHocNetwork
 from repro.network.topology import random_geometric_topology
@@ -79,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--workers", type=int, default=1,
         help="shard episodes across N processes (default: 1 = one event queue)",
+    )
+    simulate.add_argument(
+        "--regions", type=int, default=1,
+        help="shard the city into N contiguous regions (default: 1 = one "
+             "calendar queue); byte-identical results, mutually exclusive "
+             "with --workers > 1 (docs/performance.md)",
     )
     simulate.add_argument(
         "--loss", type=float, default=0.0, metavar="P",
@@ -276,6 +283,7 @@ _SIMULATE_SPEC_FLAGS = {
     "episodes": ("episodes", 1),
     "backend": ("backend", "tables"),
     "workers": ("workers", 1),
+    "regions": ("regions", 1),
     "loss": ("loss_rate", 0.0),
     "dup": ("dup_rate", 0.0),
     "reorder": ("reorder_rate", 0.0),
@@ -325,6 +333,13 @@ def _cmd_simulate(args) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.regions < 1:
+        print("error: --regions must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.regions > 1:
+        print("error: --workers shards episodes and --regions shards the city; "
+              "the two are mutually exclusive", file=sys.stderr)
+        return 2
     if args.profile is not None:
         if args.profile_top:
             print("error: --profile-top is not supported with --profile "
@@ -372,7 +387,9 @@ def _run_simulate(args, channel: ChannelModel) -> int:
     users = WeiboGenerator(
         n_users=args.nodes, tag_vocabulary=1_000, seed=args.seed
     ).generate()
-    adjacency, _ = random_geometric_topology(args.nodes, args.radius, seed=args.seed)
+    adjacency, positions = random_geometric_topology(
+        args.nodes, args.radius, seed=args.seed
+    )
     nodes = list(adjacency)
     episodes = max(1, args.episodes)
     if episodes > len(nodes):
@@ -397,7 +414,7 @@ def _run_simulate(args, channel: ChannelModel) -> int:
             rng=random.Random(args.seed * 1000 + episode),
         )
 
-    if episodes == 1:
+    if episodes == 1 and args.regions == 1:
         participants = {}
         for node, user in zip(nodes, users):
             participants[node] = Participant(
@@ -436,16 +453,25 @@ def _run_simulate(args, channel: ChannelModel) -> int:
         initiator_node = nodes[(i * stride) % len(nodes)]
         target = users[(i * stride + len(users) // 2) % len(users)]
         launches.append((initiator_node, initiator_for(target, episode=i)))
-    result = FriendingEngine(
-        network, retries=args.retries,
+    engine_kwargs = dict(
+        retries=args.retries,
         retransmit_timeout_ms=args.retransmit_timeout_ms,
         reliability=args.reliability,
-    ).run_staggered(launches, arrival_ms=args.arrival_ms, workers=args.workers)
+    )
+    if args.regions > 1:
+        engine = RegionShardedEngine(
+            network, positions=positions, regions=args.regions, **engine_kwargs
+        )
+    else:
+        engine = FriendingEngine(network, **engine_kwargs)
+    result = engine.run_staggered(
+        launches, arrival_ms=args.arrival_ms, workers=args.workers
+    )
 
     print(render_table(
         f"concurrent friending (n={args.nodes}, episodes={episodes}, "
         f"arrival={args.arrival_ms}ms, protocol {args.protocol}, "
-        f"backend={args.backend}, workers={args.workers})",
+        f"backend={args.backend}, workers={args.workers}, regions={args.regions})",
         ["metric", "value"],
         [[k, v] for k, v in result.aggregate.as_dict().items() if v],
     ))

@@ -375,6 +375,16 @@ class FriendingEngine:
 
     def run(self, specs: list[EpisodeSpec], *, until_ms: int | None = None) -> EngineResult:
         """Run every episode to completion (or *until_ms*) in one queue."""
+        first_start = self._setup_run(specs, until_ms)
+        self._queue.run(until_ms=until_ms)
+        return self._collect_results(first_start)
+
+    def _make_queue(self, first_start: int):
+        """Build the run's event queue (seam for the region-sharded engine)."""
+        return EventQueue(first_start)
+
+    def _setup_run(self, specs: list[EpisodeSpec], until_ms: int | None) -> int:
+        """Validate specs, build episode state, schedule every root event."""
         if not specs:
             raise ValueError("need at least one episode")
         for spec in specs:
@@ -382,7 +392,7 @@ class FriendingEngine:
                 raise ValueError(f"unknown initiator node {spec.initiator_node!r}")
 
         first_start = min(spec.start_ms for spec in specs)
-        queue = self._queue = EventQueue(first_start)
+        self._queue = self._make_queue(first_start)
         self._episodes = [_Episode(spec, i, self.wire) for i, spec in enumerate(specs)]
         self.topology_refreshes = 0
         self._pending_episode_events = 0
@@ -425,9 +435,10 @@ class FriendingEngine:
 
         if self.mobility is not None:
             self._schedule_refreshes(first_start, until_ms)
+        return first_start
 
-        queue.run(until_ms=until_ms)
-
+    def _collect_results(self, first_start: int) -> EngineResult:
+        """Assemble the :class:`EngineResult` after the queue has drained."""
         episodes = [
             EpisodeResult(
                 episode=ep.index,
@@ -446,7 +457,7 @@ class FriendingEngine:
         return EngineResult(
             episodes=episodes,
             aggregate=self._aggregate(episodes, first_start, last_episode_event),
-            completed_at_ms=queue.now_ms,
+            completed_at_ms=self._queue.now_ms,
             topology_refreshes=self.topology_refreshes,
         )
 
@@ -954,7 +965,20 @@ class FriendingEngine:
                 ),
             )
         if record is not None:
-            episode.seg_sent[responder] = (via, hops, record)
+            self._record_segments(episode, responder, via, hops, record)
+
+    def _record_segments(
+        self, episode: _Episode, responder: str, via: str, hops: int,
+        record: dict[int, bytes],
+    ) -> None:
+        """Retain the sender-side segment record for selective waves.
+
+        Seam for the region-sharded engine: there the responder and the
+        initiator endpoint may live on different shard workers, so the
+        record travels home as a :class:`SegmentRecordEvent` instead of a
+        direct write (:mod:`repro.network.regions`).
+        """
+        episode.seg_sent[responder] = (via, hops, record)
 
     def _on_reply_hop(self, event: ReplyHopEvent) -> None:
         episode = self._episodes[event.episode]

@@ -1,0 +1,191 @@
+"""Pluggable cell-assignment backends for the spatial grid rebucket path.
+
+A mid-run mobility refresh re-buckets **only the nodes that moved**
+(:meth:`repro.network.topology.SpatialGrid.move_many`), and the first
+thing that loop does per node is the cell map
+``(floor(x / cell_size), floor(y / cell_size))``.  At metro scale a
+refresh can move tens of thousands of nodes at once, so the cell map is
+worth batching: this module provides the computation behind a seam with
+the same registry idiom as :mod:`repro.network.channel_backend`
+(``available`` / ``get`` / ``set`` / ``use`` / ``current`` plus
+:func:`select_grid_backend` for callers that want the recorded fallback
+instead of a hard error).
+
+``pure`` (default)
+    One list comprehension over ``math.floor``: exactly the scalar
+    expression :meth:`SpatialGrid._cell_of` uses, so the seam is a
+    no-op refactor for environments without numpy.
+
+``numpy`` (optional)
+    ``np.floor`` over float64 lanes.  IEEE-754 double division and
+    floor are bit-identical to CPython's ``x / cs`` and
+    ``math.floor``, so the two backends can never disagree on a cell —
+    pinned by the equivalence property in
+    ``tests/network/test_grid_backend.py``.  When numpy is missing the
+    module records why (:func:`numpy_unavailable_reason`) and
+    :func:`select_grid_backend` falls back to ``pure`` with that
+    reason, so tier-1 environments never require numpy.
+
+Backends return cells in input order; nothing here touches grid
+buckets, so the insertion-order determinism contract of
+:class:`~repro.network.topology.SpatialGrid` is untouched by backend
+choice.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from contextlib import contextmanager
+
+__all__ = [
+    "GridBackend",
+    "NumpyGridBackend",
+    "PureGridBackend",
+    "available_grid_backends",
+    "current_grid_backend",
+    "get_grid_backend",
+    "numpy_unavailable_reason",
+    "select_grid_backend",
+    "set_grid_backend",
+    "use_grid_backend",
+]
+
+DEFAULT_GRID_BACKEND = "pure"
+
+try:
+    import numpy as _np
+
+    _NUMPY_ERROR: str | None = None
+except ImportError as exc:  # pragma: no cover -- the numpy-free CI job
+    _np = None
+    _NUMPY_ERROR = f"{type(exc).__name__}: {exc}"
+
+
+class GridBackend:
+    """Interface every cell-assignment backend implements.
+
+    ``assign_cells`` maps coordinate pairs to integer grid cells
+    ``(floor(x / cell_size), floor(y / cell_size))``, in input order.
+    Backends are stateless, so one instance can be shared freely.
+    """
+
+    name: str = "abstract"
+
+    def assign_cells(
+        self, coords: Sequence[tuple[float, float]], cell_size: float
+    ) -> list[tuple[int, int]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PureGridBackend(GridBackend):
+    """Scalar ``math.floor`` loop: the reference cell map."""
+
+    name = "pure"
+
+    def assign_cells(
+        self, coords: Sequence[tuple[float, float]], cell_size: float
+    ) -> list[tuple[int, int]]:
+        floor = math.floor
+        return [
+            (int(floor(x / cell_size)), int(floor(y / cell_size)))
+            for x, y in coords
+        ]
+
+
+class NumpyGridBackend(GridBackend):
+    """``np.floor`` over float64 lanes; bit-identical to ``pure``.
+
+    Division and floor on IEEE-754 doubles are exact operations of the
+    same rounding mode in both CPython and numpy, so every lane lands in
+    the same cell the scalar loop would pick.
+    """
+
+    name = "numpy"
+
+    def assign_cells(
+        self, coords: Sequence[tuple[float, float]], cell_size: float
+    ) -> list[tuple[int, int]]:
+        np = _np
+        if not coords:
+            return []
+        arr = np.asarray(coords, dtype=np.float64)
+        cells = np.floor(arr / cell_size).astype(np.int64)
+        return list(zip(cells[:, 0].tolist(), cells[:, 1].tolist()))
+
+
+# -- registry ---------------------------------------------------------------
+
+_BACKENDS: dict[str, GridBackend] = {PureGridBackend.name: PureGridBackend()}
+if _np is not None:
+    _BACKENDS[NumpyGridBackend.name] = NumpyGridBackend()
+_current: GridBackend = _BACKENDS[DEFAULT_GRID_BACKEND]
+
+
+def available_grid_backends() -> tuple[str, ...]:
+    """Names of the registered grid backends (stable order)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def numpy_unavailable_reason() -> str | None:
+    """Why the ``numpy`` backend is absent, or ``None`` when registered."""
+    return None if "numpy" in _BACKENDS else _NUMPY_ERROR
+
+
+def get_grid_backend(name: str) -> GridBackend:
+    """Look up a backend by name; raises ``ValueError`` on unknown names."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        reason = numpy_unavailable_reason()
+        hint = f" (numpy backend unavailable: {reason})" if name == "numpy" and reason else ""
+        raise ValueError(
+            f"unknown grid backend {name!r}; "
+            f"available: {', '.join(available_grid_backends())}{hint}"
+        ) from None
+
+
+def select_grid_backend(name: str) -> tuple[GridBackend, str | None]:
+    """Resolve *name*, falling back to ``pure`` with a recorded reason.
+
+    Returns ``(backend, None)`` on an exact hit; a request for the
+    optional ``numpy`` backend in a numpy-free environment returns the
+    ``pure`` backend plus the reason string, so tooling can persist the
+    fallback instead of failing.  Genuinely unknown names still raise.
+    """
+    if name == "numpy" and "numpy" not in _BACKENDS:
+        reason = numpy_unavailable_reason() or "numpy import failed"
+        return (
+            _BACKENDS[DEFAULT_GRID_BACKEND],
+            f"numpy grid backend unavailable ({reason}); using pure",
+        )
+    return get_grid_backend(name), None
+
+
+def current_grid_backend() -> GridBackend:
+    """The backend batch cell assignment currently routes through."""
+    return _current
+
+
+def set_grid_backend(name_or_backend: str | GridBackend) -> GridBackend:
+    """Select the process-wide grid backend; returns the previous one."""
+    global _current
+    previous = _current
+    if isinstance(name_or_backend, GridBackend):
+        _current = name_or_backend
+    else:
+        _current = get_grid_backend(name_or_backend)
+    return previous
+
+
+@contextmanager
+def use_grid_backend(name_or_backend: str | GridBackend):
+    """Temporarily select a grid backend (benchmarks, A/B tests)."""
+    previous = set_grid_backend(name_or_backend)
+    try:
+        yield _current
+    finally:
+        set_grid_backend(previous)

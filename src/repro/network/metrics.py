@@ -79,7 +79,16 @@ class NetworkMetrics:
         return self.bytes_broadcast + self.bytes_unicast
 
     def merge(self, other: "NetworkMetrics") -> None:
-        """Accumulate *other* into this instance (engine-level aggregation)."""
+        """Accumulate *other* into this instance (engine-level aggregation).
+
+        Every counter is owned by exactly one accumulator at a time — the
+        engine's per-episode split and the region-sharded runtime's
+        per-worker metrics both rely on each increment landing in exactly
+        one operand, so merging in any grouping sums to the same totals.
+        ``reply_latency_ms`` is order-sensitive: callers merge shards in
+        a canonical order (episode order, region index order) so the
+        concatenated list is reproducible.
+        """
         self.broadcasts += other.broadcasts
         self.unicasts += other.unicasts
         self.bytes_broadcast += other.bytes_broadcast

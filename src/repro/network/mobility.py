@@ -96,10 +96,15 @@ class _GridTopologyMixin:
         assert adjacency is not None
         # Re-bucket only the moved nodes, remembering which cell
         # neighbourhoods the moves disturbed (both ends of each move).
+        # The batch path routes the cell map through the active grid
+        # backend (vectorised under numpy); node order is the original
+        # insertion order so bucket contents stay deterministic.
+        moves = [
+            (node, *positions[node])
+            for node in sorted(self._moved, key=self._order.__getitem__)
+        ]
         disturbed_cells: set[tuple[int, int]] = set()
-        for node in self._moved:
-            x, y = positions[node]
-            old_cell, new_cell = grid.move(node, x, y)
+        for old_cell, new_cell in grid.move_many(moves):
             disturbed_cells.add(old_cell)
             disturbed_cells.add(new_cell)
         # Any node whose neighbour list can have changed lives in a 3×3

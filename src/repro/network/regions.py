@@ -1,0 +1,811 @@
+"""Region-sharded city runtime: partition the metro, not the episodes.
+
+``run_parallel`` shards *episodes* across cores; this module shards the
+*city*.  A :class:`RegionPartition` cuts the unit square into contiguous
+x-stripes (balanced on the node population), and the
+:class:`RegionShardedEngine` runs one calendar queue per region, each
+owning exactly the events of its resident nodes.  Boundary-crossing
+frames travel between shards through per-epoch outboxes and are merged
+deterministically, so the drain order -- and therefore every byte of the
+result -- is independent of worker interleaving.
+
+Why this can be byte-identical at all
+-------------------------------------
+Two properties carry the whole design:
+
+1. **Channel purity** (PR 4): every per-link fate is a pure function of
+   ``(seed, flow, link, seq)``.  No hidden RNG stream threads through the
+   event order, so executing the same events in a different global
+   interleaving draws the same fates.
+2. **Genealogy keys**: every event carries a key
+   ``K = (sched_time, K_parent, (sub, child))`` -- the time its parent
+   executed, the parent's own key, and the child's position among its
+   siblings (``sub`` is the receiver slot inside a split delivery batch,
+   ``child`` a per-receiver counter).  Root events scheduled at setup get
+   ``K = (first_start, (), (0, i))`` in setup order.  By induction,
+   lexicographic ``(fire_time, K)`` order over all events equals the
+   sequential queue's ``(fire_time, schedule_seq)`` order exactly: a
+   parent that executed earlier (smaller time, or equal time and smaller
+   key) scheduled its children earlier, and the empty root parent tuple
+   sorts before every runtime parent.  Each worker drains its queue in
+   ``(fire_time, K)`` order, so each worker's slice of the execution is
+   the sequential order restricted to that worker.
+
+What still has to be synchronised is *when* a worker may run: a worker
+may only advance through the window ``[T, T + L)`` (``T`` the global
+earliest pending event, ``L = min(hop_latency_ms,
+processing_latency_ms)``), because every cross-region event is created
+at least ``L`` after its parent -- deliveries arrive one hop of latency
+(plus non-negative jitter) after a broadcast, and reply/record hand-offs
+leave at processing latency.  At each window barrier the outboxes are
+exchanged and merged into the destination queues in sorted
+``(fire_time, K)`` order.  Within one region every event-order-sensitive
+piece of state is local: per-node session tables and rate limiters
+belong to the node's region, the initiator endpoint state (replies,
+segment reassembly) to the episode's home region (the region of its
+initiator node), and per-episode metrics are commutative counters.  The
+one sender-side structure read at the home -- the ``window`` mode's
+segment record -- travels as an explicit
+:class:`~repro.network.events.SegmentRecordEvent`.
+
+Node re-homing
+--------------
+Mobility can march a node across a stripe boundary.  Refreshes execute
+as coordinator *barriers*: all workers drain up to the refresh's
+``(time, K)`` position, outboxes flush, the mobility model steps and the
+topology rewires (exactly the sequential handler), and then every node
+is re-assigned to the stripe its new position falls in.  Re-homing a
+node hands over everything it owns without perturbing any ordering: its
+per-node state travels with the shared/forked ``Node`` object (session
+rows included -- see :meth:`repro.network.sessions.SessionTable.export_rows`
+for the explicit hand-off form), and its pending calendar entries move
+queue-to-queue with their ``(fire_time, K)`` keys intact, split
+delivery batches included.  Because ``(fire_time, K)`` is a *global*
+order, an entry is drained at the same point of the execution whichever
+queue it sits in.
+
+Transports
+----------
+``inline``
+    One process, R queues, the coordinator loop in this module.  The
+    reference implementation: supports mobility (re-homing), shares the
+    caller's network/initiator objects like :meth:`FriendingEngine.run`.
+``process``
+    R forked workers (copy-on-write network, no big pickles), pipes
+    carrying drain/push commands and outboxes, per-worker episode copies
+    merged at the end (each metrics counter increments in exactly one
+    worker).  Mobility is rejected, like ``run_parallel`` -- a refresh
+    is a cross-shard side effect with state hand-off; use ``inline``.
+``auto``
+    ``process`` when fork is available and no mobility model is
+    configured, else ``inline``.
+
+Both transports are pinned byte-identical to the sequential engine by
+``tests/network/test_engine_sharded.py`` (lossy 10k city, channel v1/v2,
+all four reliability modes, mid-flood re-homing).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.exceptions import SerializationError
+from repro.core.wire import FT_REQUEST
+from repro.network.engine import EngineResult, EpisodeResult, EpisodeSpec, FriendingEngine
+from repro.network.events import (
+    BroadcastEvent,
+    DeliveryEvent,
+    FrameEvent,
+    SegmentRecordEvent,
+    TopologyRefreshEvent,
+)
+from repro.network.metrics import NetworkMetrics
+from repro.network.simulator import AdHocNetwork
+
+__all__ = ["RegionPartition", "RegionShardedEngine", "RegionDeliveryEvent"]
+
+_TRANSPORTS = ("auto", "inline", "process")
+
+
+class RegionPartition:
+    """Contiguous x-stripe partition of the unit square.
+
+    Stripe boundaries are placed at x-quantiles of the node population,
+    so an even density gets near-equal populations per region.  A node's
+    region is a pure function of its x coordinate
+    (:meth:`region_of`), which is what makes re-homing natural: motion
+    changes the coordinate, the coordinate names the owner.
+
+    ``cuts`` is the sorted tuple of R-1 stripe boundaries; region ``r``
+    owns ``cuts[r-1] <= x < cuts[r]`` (with virtual cuts at -inf/+inf).
+    A node exactly on a cut belongs to the stripe above it, so every
+    position maps to exactly one region.  Duplicate x coordinates can
+    leave a stripe empty; that is allowed (an empty region simply never
+    owns events).
+    """
+
+    __slots__ = ("regions", "cuts")
+
+    def __init__(self, regions: int, cuts: tuple[float, ...]):
+        if regions < 1:
+            raise ValueError("regions must be >= 1")
+        if len(cuts) != regions - 1:
+            raise ValueError(f"{regions} regions need {regions - 1} cuts, got {len(cuts)}")
+        if any(b < a for a, b in zip(cuts, cuts[1:])):
+            raise ValueError("cuts must be sorted")
+        self.regions = regions
+        self.cuts = tuple(cuts)
+
+    @classmethod
+    def from_positions(
+        cls, positions: dict[str, tuple[float, float]], regions: int
+    ) -> "RegionPartition":
+        """Balanced stripes: boundaries at x-quantiles of *positions*."""
+        if regions < 1:
+            raise ValueError("regions must be >= 1")
+        if not positions and regions > 1:
+            raise ValueError("cannot partition an empty city into multiple regions")
+        xs = sorted(x for x, _ in positions.values())
+        n = len(xs)
+        cuts = tuple(xs[min(n - 1, (n * r) // regions)] for r in range(1, regions))
+        return cls(regions, cuts)
+
+    def region_of(self, x: float) -> int:
+        """The region owning x coordinate *x* (bisect on the cuts)."""
+        return bisect_right(self.cuts, x)
+
+    def assign(self, positions: dict[str, tuple[float, float]]) -> dict[str, int]:
+        """node id -> owning region, for every node in *positions*."""
+        cuts = self.cuts
+        return {node: bisect_right(cuts, p[0]) for node, p in positions.items()}
+
+    def counts(self, positions: dict[str, tuple[float, float]]) -> list[int]:
+        """Population per region (balance introspection/tests)."""
+        out = [0] * self.regions
+        for node, p in positions.items():
+            out[bisect_right(self.cuts, p[0])] += 1
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class RegionDeliveryEvent:
+    """One region's slice of a split :class:`DeliveryEvent`.
+
+    ``positions`` carries each receiver's slot index in the *original*
+    unsplit batch: children scheduled while handling receiver ``p`` are
+    keyed ``(p, j)``, so the children of sibling slices -- which share
+    the parent key but live in different queues -- interleave exactly as
+    the sequential single-batch processing order did.
+    """
+
+    episode: int
+    from_node: str
+    deliveries: tuple[tuple[str, Any], ...]
+    positions: tuple[int, ...]
+
+
+class _ShardClock:
+    """Stand-in for the event queue: handlers only read ``now_ms``."""
+
+    __slots__ = ("now_ms",)
+
+    def __init__(self, start_ms: int):
+        self.now_ms = start_ms
+
+
+def _entry_key(entry):
+    return (entry[1], entry[2])
+
+
+def _shard_worker_main(engine: "RegionShardedEngine", region: int, conn) -> None:
+    """Forked worker loop: drain/push/finish commands over one pipe."""
+    queue = engine._region_queues[region]
+    while True:
+        msg = conn.recv()
+        cmd = msg[0]
+        if cmd == "drain":
+            engine._outbox = []
+            last = engine._drain_region(region, msg[1])
+            head = (queue[0][0], queue[0][1]) if queue else None
+            conn.send((engine._outbox, head, last))
+        elif cmd == "push":
+            engine._adopt_entries(region, msg[1])
+        else:  # "finish"
+            conn.send(engine._finish_payload(region))
+            conn.close()
+            return
+
+
+class RegionShardedEngine(FriendingEngine):
+    """A :class:`FriendingEngine` whose city is sharded into regions.
+
+    Parameters beyond the base engine's:
+
+    positions:
+        node id -> (x, y) for every network node, the coordinates the
+        topology was built from; the partition is cut from these.
+    regions:
+        Stripe count.  ``regions=1`` is exactly the sequential engine.
+    partition:
+        Optional pre-built :class:`RegionPartition` (defaults to
+        balanced stripes from *positions*).
+    transport:
+        ``"auto"`` (default), ``"inline"`` or ``"process"`` -- see the
+        module docstring.
+
+    With ``regions > 1`` the engine additionally requires
+    ``min(hop_latency_ms, processing_latency_ms) >= 1`` (the
+    conservative epoch lookahead) and rejects a ``frame_tap`` (tap call
+    order is interleaving-dependent).
+    """
+
+    def __init__(
+        self,
+        network: AdHocNetwork,
+        *,
+        positions: dict[str, tuple[float, float]],
+        regions: int,
+        partition: RegionPartition | None = None,
+        transport: str = "auto",
+        **kwargs,
+    ):
+        super().__init__(network, **kwargs)
+        if not isinstance(regions, int) or regions < 1:
+            raise ValueError("regions must be a positive integer")
+        missing = set(network.nodes) - set(positions)
+        if missing:
+            raise ValueError(
+                f"positions missing for {len(missing)} nodes, e.g. {sorted(missing)[:3]}"
+            )
+        if transport not in _TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; choose from {_TRANSPORTS}")
+        if regions > 1:
+            lookahead = min(network.hop_latency_ms, network.processing_latency_ms)
+            if lookahead < 1:
+                raise ValueError(
+                    "region sharding needs hop_latency_ms and processing_latency_ms "
+                    ">= 1: the conservative window is their minimum"
+                )
+            if self.frame_tap is not None:
+                raise ValueError(
+                    "frame_tap call order is interleaving-dependent; "
+                    "capture frames with a sequential run"
+                )
+        self.regions = regions
+        self.transport = transport
+        self.partition = (
+            partition
+            if partition is not None
+            else RegionPartition.from_positions(positions, regions)
+        )
+        if self.partition.regions != regions:
+            raise ValueError("partition.regions does not match regions")
+        self._initial_positions = dict(positions)
+        self._handlers[RegionDeliveryEvent] = self._on_region_delivery
+        self._handlers[SegmentRecordEvent] = self._on_segment_record
+        # Per-run shard state (rebuilt by _make_queue).
+        self._region_queues: list[list] = []
+        self._region_seq: list[int] = []
+        self._outbox: list[tuple[int, int, tuple, Any]] = []
+        self._node_region: dict[str, int] = {}
+        self._current_region: int | None = None
+        self._current_key: tuple = ()
+        self._sub_idx = 0
+        self._child_n = 0
+        self._next_refresh: tuple[int, tuple, int] | None = None
+
+    # -- run orchestration ---------------------------------------------------
+
+    def run(self, specs: list[EpisodeSpec], *, until_ms: int | None = None) -> EngineResult:
+        if self.regions == 1:
+            return super().run(specs, until_ms=until_ms)
+        transport = self._resolve_transport()
+        if transport == "process":
+            return self._run_process(specs, until_ms)
+        first_start = self._setup_run(specs, until_ms)
+        self._route_outbox()
+        self._queue.now_ms = self._coordinate_inline(until_ms)
+        return self._collect_results(first_start)
+
+    def _resolve_transport(self) -> str:
+        fork_ok = "fork" in multiprocessing.get_all_start_methods()
+        if self.transport == "process":
+            if self.mobility is not None:
+                raise ValueError(
+                    "the process transport does not support mid-run topology "
+                    "refresh (cross-shard state hand-off); use transport='inline'"
+                )
+            if not fork_ok:
+                raise ValueError("the process transport needs fork-based multiprocessing")
+            return "process"
+        if self.transport == "inline":
+            return "inline"
+        return "process" if self.mobility is None and fork_ok else "inline"
+
+    def _make_queue(self, first_start: int):
+        if self.regions == 1:
+            return super()._make_queue(first_start)
+        regions = self.regions
+        self._region_queues = [[] for _ in range(regions)]
+        self._region_seq = [0] * regions
+        self._outbox = []
+        self._node_region = self.partition.assign(self._initial_positions)
+        self._current_region = None
+        self._current_key = ()
+        self._sub_idx = 0
+        self._child_n = 0
+        self._next_refresh = None
+        return _ShardClock(first_start)
+
+    def _lookahead(self) -> int:
+        return min(self.network.hop_latency_ms, self.network.processing_latency_ms)
+
+    def _coordinate_inline(self, until_ms: int | None) -> int:
+        """Drive the epoch loop over the in-process region queues.
+
+        Returns the timestamp of the last executed event (the sequential
+        queue's final ``now_ms``).
+        """
+        lookahead = self._lookahead()
+        queues = self._region_queues
+        regions = self.regions
+        completed = self._queue.now_ms
+        while True:
+            head = None
+            for queue in queues:
+                if queue:
+                    key = (queue[0][0], queue[0][1])
+                    if head is None or key < head:
+                        head = key
+            refresh = self._next_refresh
+            if refresh is not None:
+                refresh_pos = (refresh[0], refresh[1])
+                if head is None or refresh_pos < head:
+                    if until_ms is not None and refresh[0] > until_ms:
+                        break
+                    completed = max(completed, refresh[0])
+                    self._refresh_barrier()
+                    continue
+            if head is None:
+                break
+            if until_ms is not None and head[0] > until_ms:
+                break
+            bound = (head[0] + lookahead, ())
+            if refresh is not None and refresh_pos < bound:
+                bound = refresh_pos
+            if until_ms is not None and (until_ms + 1, ()) < bound:
+                bound = (until_ms + 1, ())
+            for region in range(regions):
+                last = self._drain_region(region, bound)
+                if last is not None and last > completed:
+                    completed = last
+            self._route_outbox()
+        return completed
+
+    # -- the shard worker (shared by both transports) ------------------------
+
+    def _drain_region(self, region: int, bound: tuple) -> int | None:
+        """Run *region*'s events strictly below *bound* = ``(time, K)``.
+
+        ``(t, K) < (limit, ())`` is equivalent to ``t < limit`` (the
+        empty tuple sorts below every key), so plain window edges and
+        refresh positions use one comparison form.  Returns the last
+        executed timestamp, or None if nothing was due.
+        """
+        queue = self._region_queues[region]
+        clock = self._queue
+        handlers = self._handlers
+        last = None
+        self._current_region = region
+        while queue:
+            entry = queue[0]
+            if (entry[0], entry[1]) >= bound:
+                break
+            heapq.heappop(queue)
+            time_ms, key, _, event = entry
+            clock.now_ms = last = time_ms
+            self._current_key = key
+            self._sub_idx = 0
+            self._child_n = 0
+            handlers[type(event)](event)
+        return last
+
+    def _adopt_entries(self, region: int, entries: list[tuple[int, tuple, Any]]) -> None:
+        """Merge routed entries into *region*'s queue, deterministically.
+
+        Entries are pushed in sorted ``(time, K)`` order so the local
+        tie-break sequence extends the global total order.
+        """
+        entries.sort(key=lambda e: (e[0], e[1]))
+        queue = self._region_queues[region]
+        seq = self._region_seq[region]
+        for time_ms, key, event in entries:
+            heapq.heappush(queue, (time_ms, key, seq, event))
+            seq += 1
+        self._region_seq[region] = seq
+
+    def _route_outbox(self) -> None:
+        """Deliver every outbox entry to its destination region queue."""
+        box = self._outbox
+        if not box:
+            return
+        self._outbox = []
+        box.sort(key=_entry_key)
+        by_dest: dict[int, list] = {}
+        for dest, time_ms, key, event in box:
+            by_dest.setdefault(dest, []).append((time_ms, key, event))
+        for dest, entries in by_dest.items():
+            self._adopt_entries(dest, entries)
+
+    # -- event scheduling (genealogy keys + routing) -------------------------
+
+    def _schedule(self, delay_ms: int, event) -> None:
+        if self.regions == 1:  # delegated run: the base queue owns order
+            super()._schedule(delay_ms, event)
+            return
+        now = self._queue.now_ms
+        key = (now, self._current_key, (self._sub_idx, self._child_n))
+        self._child_n += 1
+        cls = type(event)
+        if cls is DeliveryEvent:
+            self._split_delivery(now + delay_ms, key, event)
+            return
+        if cls is BroadcastEvent or cls is FrameEvent:
+            dest = self._node_region[event.node]
+        else:
+            # Reply hops, retransmission timers, segment flushes and
+            # segment records all execute at the episode's home: the
+            # region its initiator node currently lives in.
+            dest = self._node_region[self._episodes[event.episode].spec.initiator_node]
+        self._push(dest, now + delay_ms, key, event)
+
+    def _split_delivery(self, time_ms: int, key: tuple, event: DeliveryEvent) -> None:
+        """Split one delivery batch into per-region slices sharing *key*."""
+        node_region = self._node_region
+        parts: dict[int, tuple[list, list]] = {}
+        for position, pair in enumerate(event.deliveries):
+            dest = node_region[pair[0]]
+            part = parts.get(dest)
+            if part is None:
+                part = parts[dest] = ([], [])
+            part[0].append(pair)
+            part[1].append(position)
+        for dest, (pairs, positions) in parts.items():
+            self._push(
+                dest, time_ms, key,
+                RegionDeliveryEvent(event.episode, event.from_node,
+                                    tuple(pairs), tuple(positions)),
+            )
+
+    def _push(self, dest: int, time_ms: int, key: tuple, event) -> None:
+        if dest == self._current_region:
+            seq = self._region_seq[dest]
+            self._region_seq[dest] = seq + 1
+            heapq.heappush(self._region_queues[dest], (time_ms, key, seq, event))
+        else:
+            self._outbox.append((dest, time_ms, key, event))
+
+    def _schedule_refresh_event(self, delay_ms: int, event: TopologyRefreshEvent) -> None:
+        if self.regions == 1:
+            super()._schedule_refresh_event(delay_ms, event)
+            return
+        now = self._queue.now_ms
+        key = (now, self._current_key, (self._sub_idx, self._child_n))
+        self._child_n += 1
+        self._next_refresh = (now + delay_ms, key, event.interval_ms)
+
+    def _record_segments(self, episode, responder, via, hops, record) -> None:
+        if self.regions == 1:
+            super()._record_segments(episode, responder, via, hops, record)
+            return
+        # Ship the sender-side segment record to the episode home as an
+        # explicit event (see SegmentRecordEvent): provably unobservable
+        # before any reader, identical under both transports.
+        self._schedule(
+            self.network.processing_latency_ms,
+            SegmentRecordEvent(episode.index, responder, via, hops, record),
+        )
+
+    # -- handlers ------------------------------------------------------------
+
+    def _on_segment_record(self, event: SegmentRecordEvent) -> None:
+        self._episodes[event.episode].seg_sent[event.responder] = (
+            event.via, event.hops, event.record,
+        )
+
+    def _on_region_delivery(self, event: RegionDeliveryEvent) -> None:
+        """One region's slice of a delivery batch.
+
+        Body mirrors :meth:`FriendingEngine._on_delivery`, additionally
+        tracking each receiver's original batch slot so child keys
+        ``(slot, j)`` interleave exactly like the unsplit processing
+        order.  (Receiver processing order *within* one instant is
+        otherwise free: receivers are distinct nodes, metrics commute,
+        and reply ordering is decided downstream by the child keys.)
+        """
+        episode = self._episodes[event.episode]
+        episode.last_event_ms = self._queue.now_ms
+        metrics = episode.metrics
+        nodes = self.network.nodes
+        from_node = event.from_node
+        last_data: object = None
+        frame = None
+        package = None
+        rid = b""
+        seq = 0
+        for position, (node_id, data) in zip(event.positions, event.deliveries):
+            self._sub_idx = position
+            self._child_n = 0
+            if data is not last_data:
+                last_data = data
+                try:
+                    frame = self._decode(data)
+                    if frame.ftype != FT_REQUEST:
+                        raise SerializationError(
+                            f"unexpected frame type {frame.ftype} on flood"
+                        )
+                    package = self._request_package(frame)
+                except SerializationError:
+                    frame = None
+                else:
+                    rid = package.request_id
+                    seq = frame.seq
+            if frame is None:
+                metrics.frames_rejected += 1
+                continue
+            node = nodes[node_id]
+            session = node.sessions.lookup(rid)
+            if session is not None and seq <= session.last_seq:
+                metrics.dropped_duplicate += 1
+                continue
+            self._handle_request_copy(
+                episode, node, node_id, from_node, frame, package, session, data
+            )
+
+    # -- refresh barrier + re-homing -----------------------------------------
+
+    def _refresh_barrier(self) -> None:
+        """Execute one topology refresh at its exact sequential position.
+
+        Every worker has drained to the refresh's ``(time, K)`` and the
+        outboxes are empty, so the global state is exactly the
+        sequential engine's state when its refresh callback fires.
+        """
+        refresh_at, refresh_key, interval_ms = self._next_refresh
+        self._next_refresh = None
+        self._queue.now_ms = refresh_at
+        self._current_region = None
+        self._current_key = refresh_key
+        self._sub_idx = 0
+        self._child_n = 0
+        # The sequential handler gates re-arming on in-flight episode
+        # events; recount them from the queues (SegmentRecordEvents are
+        # shard bookkeeping that the sequential engine never schedules).
+        self._pending_episode_events = sum(
+            1
+            for queue in self._region_queues
+            for entry in queue
+            if type(entry[3]) is not SegmentRecordEvent
+        )
+        FriendingEngine._on_topology_refresh(self, TopologyRefreshEvent(interval_ms))
+        self._rehome()
+
+    def _rehome(self) -> None:
+        """Re-assign moved nodes to their new stripes and hand state off.
+
+        A node's per-node state (session rows, limiter history) lives on
+        the shared ``Node`` object and needs no copying inline; what must
+        move is event ownership: the node's pending calendar entries --
+        broadcasts it will send, delivery slices addressed to it, and,
+        when the node initiates episodes, the episodes' endpoint events.
+        Entries keep their ``(time, K)`` keys, so the global drain order
+        is untouched; delivery slices are re-split with their original
+        batch slots intact.
+        """
+        positions = self.mobility.positions()
+        node_region = self._node_region
+        region_of = self.partition.region_of
+        moved: set[str] = set()
+        for node, (x, _) in positions.items():
+            region = region_of(x)
+            if node_region[node] != region:
+                node_region[node] = region
+                moved.add(node)
+        if not moved:
+            return
+        moved_episodes = {
+            episode.index
+            for episode in self._episodes
+            if episode.spec.initiator_node in moved
+        }
+        for region in range(self.regions):
+            queue = self._region_queues[region]
+            if not queue:
+                continue
+            keep = []
+            changed = False
+            for entry in queue:
+                time_ms, key, seq, event = entry
+                cls = type(event)
+                if cls is RegionDeliveryEvent:
+                    if any(pair[0] in moved for pair in event.deliveries):
+                        changed = True
+                        parts: dict[int, tuple[list, list]] = {}
+                        for position, pair in zip(event.positions, event.deliveries):
+                            dest = node_region[pair[0]]
+                            part = parts.get(dest)
+                            if part is None:
+                                part = parts[dest] = ([], [])
+                            part[0].append(pair)
+                            part[1].append(position)
+                        for dest, (pairs, pos) in parts.items():
+                            slice_event = RegionDeliveryEvent(
+                                event.episode, event.from_node,
+                                tuple(pairs), tuple(pos),
+                            )
+                            if dest == region:
+                                keep.append((time_ms, key, seq, slice_event))
+                            else:
+                                self._outbox.append((dest, time_ms, key, slice_event))
+                        continue
+                elif cls is BroadcastEvent or cls is FrameEvent:
+                    dest = node_region[event.node]
+                    if dest != region:
+                        changed = True
+                        self._outbox.append((dest, time_ms, key, event))
+                        continue
+                elif event.episode in moved_episodes:
+                    dest = node_region[
+                        self._episodes[event.episode].spec.initiator_node
+                    ]
+                    if dest != region:
+                        changed = True
+                        self._outbox.append((dest, time_ms, key, event))
+                        continue
+                keep.append(entry)
+            if changed:
+                heapq.heapify(keep)
+                self._region_queues[region] = keep
+        self._route_outbox()
+
+    # -- process transport ---------------------------------------------------
+
+    def _run_process(self, specs: list[EpisodeSpec], until_ms: int | None) -> EngineResult:
+        """Fork one worker per region and coordinate them over pipes.
+
+        Workers inherit the fully scheduled queues copy-on-write, so no
+        network or episode state is pickled at launch; only outbox
+        entries and the drain protocol cross the pipes.  Episode state
+        mutates on worker-side copies (like ``run_parallel``): results
+        must be read from the returned :class:`EpisodeResult`\\ s, and
+        the caller's initiator objects are untouched.
+        """
+        ctx = multiprocessing.get_context("fork")
+        first_start = self._setup_run(specs, until_ms)
+        self._route_outbox()
+        lookahead = self._lookahead()
+        regions = self.regions
+        queues = self._region_queues
+        heads: list[tuple | None] = [
+            (queue[0][0], queue[0][1]) if queue else None for queue in queues
+        ]
+        pipes = []
+        workers = []
+        try:
+            for region in range(regions):
+                parent_conn, child_conn = ctx.Pipe()
+                worker = ctx.Process(
+                    target=_shard_worker_main, args=(self, region, child_conn),
+                    daemon=True,
+                )
+                worker.start()
+                child_conn.close()
+                pipes.append(parent_conn)
+                workers.append(worker)
+            completed = first_start
+            while True:
+                head = min((h for h in heads if h is not None), default=None)
+                if head is None:
+                    break
+                if until_ms is not None and head[0] > until_ms:
+                    break
+                bound = (head[0] + lookahead, ())
+                if until_ms is not None and (until_ms + 1, ()) < bound:
+                    bound = (until_ms + 1, ())
+                active = [
+                    region for region in range(regions)
+                    if heads[region] is not None and heads[region] < bound
+                ]
+                for region in active:
+                    pipes[region].send(("drain", bound))
+                routed: dict[int, list] = {}
+                for region in active:
+                    outbox, new_head, last = pipes[region].recv()
+                    heads[region] = new_head
+                    if last is not None and last > completed:
+                        completed = last
+                    for dest, time_ms, key, event in outbox:
+                        routed.setdefault(dest, []).append((time_ms, key, event))
+                for dest, entries in routed.items():
+                    entries.sort(key=lambda e: (e[0], e[1]))
+                    pipes[dest].send(("push", entries))
+                    incoming = (entries[0][0], entries[0][1])
+                    if heads[dest] is None or incoming < heads[dest]:
+                        heads[dest] = incoming
+            for region in range(regions):
+                pipes[region].send(("finish",))
+            payloads = [pipes[region].recv() for region in range(regions)]
+        finally:
+            for pipe in pipes:
+                pipe.close()
+            for worker in workers:
+                worker.join(timeout=30)
+                if worker.is_alive():  # pragma: no cover -- defensive teardown
+                    worker.terminate()
+                    worker.join()
+        return self._merge_process_results(payloads, first_start, completed)
+
+    def _finish_payload(self, region: int):
+        """Worker-side result shipment: metrics always, endpoint if home."""
+        payload = []
+        node_region = self._node_region
+        for episode in self._episodes:
+            home = node_region[episode.spec.initiator_node] == region
+            payload.append((
+                episode.metrics,
+                episode.last_event_ms,
+                episode.replies if home else None,
+                episode.spec.initiator if home else None,
+            ))
+        return payload
+
+    def _merge_process_results(
+        self, payloads, first_start: int, completed: int
+    ) -> EngineResult:
+        """Coordinator-side merge of per-worker episode copies.
+
+        Every metrics counter increments in exactly one worker (events
+        are owned), so summing per-episode metrics across workers in
+        region order reconstructs the sequential counters; the reply
+        latency list is non-empty only at the home.  Endpoint state
+        (initiator, replies) comes from the home worker; the last event
+        timestamp is the max across workers (each worker's is the max of
+        its own slice).
+        """
+        episodes = []
+        for episode in self._episodes:
+            index = episode.index
+            metrics = NetworkMetrics()
+            last_event = episode.spec.start_ms
+            initiator = None
+            replies: list = []
+            for payload in payloads:
+                worker_metrics, worker_last, worker_replies, worker_initiator = (
+                    payload[index]
+                )
+                metrics.merge(worker_metrics)
+                if worker_last > last_event:
+                    last_event = worker_last
+                if worker_initiator is not None:
+                    initiator = worker_initiator
+                    replies = worker_replies
+            episodes.append(EpisodeResult(
+                episode=index,
+                initiator_node=episode.spec.initiator_node,
+                initiator=initiator,
+                started_at_ms=episode.spec.start_ms,
+                completed_at_ms=last_event,
+                metrics=metrics,
+                replies=replies,
+            ))
+        last_episode_event = max(ep.completed_at_ms for ep in episodes)
+        return EngineResult(
+            episodes=episodes,
+            aggregate=self._aggregate(episodes, first_start, last_episode_event),
+            completed_at_ms=completed,
+            topology_refreshes=0,
+        )

@@ -1,0 +1,208 @@
+"""Region sharding: RegionShardedEngine == FriendingEngine, byte for byte.
+
+The spatial analogue of ``test_engine_parallel.py``: the channel
+determinism contract (every per-link fate is a pure function of
+``(seed, flow, link, seq)``) plus the genealogy-key merge discipline in
+``network/regions.py`` mean the region count is invisible in every
+result -- frames, matches, per-episode metrics, completion times.  The
+matrix here pins that across both channel fate planes, all four
+reliability modes, multiple region counts and both shard transports;
+the slow 10k-city golden run re-pins the exact PR-4 flood constants
+through the sharded path.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant
+from repro.network.channel_model import ChannelModel
+from repro.network.engine import FriendingEngine
+from repro.network.mobility import RandomWaypoint
+from repro.network.regions import RegionShardedEngine
+from repro.network.simulator import AdHocNetwork
+from repro.network.topology import city_topology
+
+N_NODES = 400
+N_EPISODES = 6
+
+LOSSY = dict(drop_rate=0.1, dup_rate=0.05, reorder_rate=0.1,
+             corrupt_rate=0.05, jitter_ms=3, seed=5)
+
+
+def _build(version: int = 1):
+    adjacency, positions = city_topology(N_NODES, radius=0.08, seed=42)
+    nodes = list(adjacency)
+    participants = {
+        node: Participant(
+            Profile(
+                [f"c{i % N_EPISODES}:t{j}" for j in range(3)] + [f"noise:{node}"],
+                user_id=node, normalized=True,
+            ),
+            rng=random.Random(3000 + i),
+        )
+        for i, node in enumerate(nodes)
+    }
+    launches = [
+        (
+            nodes[episode * (N_NODES // N_EPISODES)],
+            Initiator(
+                RequestProfile(
+                    necessary=[f"c{episode}:t0"],
+                    optional=[f"c{episode}:t1", f"c{episode}:t2"],
+                    beta=1, normalized=True,
+                ),
+                protocol=2, rng=random.Random(7000 + episode),
+            ),
+        )
+        for episode in range(N_EPISODES)
+    ]
+    channel = ChannelModel(**LOSSY, version=version)
+    return AdHocNetwork(adjacency, participants, channel=channel), positions, launches
+
+
+def _fingerprints(result) -> list[tuple]:
+    return [
+        (
+            ep.episode, ep.initiator_node, ep.started_at_ms, ep.completed_at_ms,
+            ep.matched_ids,
+            [(m.responder_id, m.similarity, m.y, m.session_key) for m in ep.matches],
+            [r.elements for r in ep.replies],
+            tuple(sorted(ep.metrics.as_dict().items())),
+        )
+        for ep in result.episodes
+    ]
+
+
+def _run(*, regions: int, version: int, reliability: str, transport: str = "inline"):
+    network, positions, launches = _build(version)
+    kwargs = dict(retries=2, retransmit_timeout_ms=200, reliability=reliability)
+    if regions == 1:
+        engine = FriendingEngine(network, **kwargs)
+    else:
+        engine = RegionShardedEngine(
+            network, positions=positions, regions=regions, transport=transport,
+            **kwargs,
+        )
+    return engine.run_staggered(launches, arrival_ms=7)
+
+
+class TestShardedEqualsSequential:
+    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize(
+        "reliability", ["simple", "stage", "window", "window_fec"]
+    )
+    def test_all_modes_both_planes(self, version, reliability):
+        sequential = _run(regions=1, version=version, reliability=reliability)
+        assert sequential.aggregate.matches > 0  # scenario is non-trivial
+        for regions in (2, 3):
+            sharded = _run(
+                regions=regions, version=version, reliability=reliability
+            )
+            assert _fingerprints(sequential) == _fingerprints(sharded)
+            assert sequential.aggregate.as_dict() == sharded.aggregate.as_dict()
+            assert sequential.completed_at_ms == sharded.completed_at_ms
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_process_transport(self, version):
+        """Fork-based workers produce the same bytes as the inline merge."""
+        sequential = _run(regions=1, version=version, reliability="window")
+        sharded = _run(
+            regions=3, version=version, reliability="window", transport="process"
+        )
+        assert _fingerprints(sequential) == _fingerprints(sharded)
+        assert sequential.aggregate.as_dict() == sharded.aggregate.as_dict()
+
+    def test_regions_one_delegates_to_sequential_engine(self):
+        network, positions, launches = _build()
+        result = RegionShardedEngine(
+            network, positions=positions, regions=1
+        ).run_staggered(launches, arrival_ms=7)
+        network, positions, launches = _build()
+        sequential = FriendingEngine(network).run_staggered(launches, arrival_ms=7)
+        assert _fingerprints(sequential) == _fingerprints(result)
+
+
+class TestShardedMobility:
+    def test_rehoming_identity_random_waypoint(self):
+        """Mid-flood refreshes with real mobility: nodes wander across
+        stripe cuts and are re-homed without perturbing a single byte."""
+        results = {}
+        for regions in (1, 3):
+            mobility = RandomWaypoint(
+                [f"n{i}" for i in range(300)], seed=9,
+                min_speed=0.05, max_speed=0.1,
+            )
+            adjacency = mobility.snapshot_topology(0.12)
+            participants = {
+                node: Participant(
+                    Profile(["tag:a", f"noise:{node}"], user_id=node, normalized=True),
+                    rng=random.Random(600 + i),
+                )
+                for i, node in enumerate(adjacency)
+            }
+            network = AdHocNetwork(
+                adjacency, participants, channel=ChannelModel(**LOSSY)
+            )
+            launches = [
+                ("n0", Initiator(RequestProfile.exact(["tag:a"], normalized=True),
+                                 protocol=2, rng=random.Random(31))),
+                ("n150", Initiator(RequestProfile.exact(["tag:a"], normalized=True),
+                                   protocol=2, rng=random.Random(32))),
+            ]
+            kwargs = dict(
+                mobility=mobility, radio_radius=0.12, refresh_interval_ms=40,
+                retries=2, retransmit_timeout_ms=300,
+            )
+            if regions == 1:
+                engine = FriendingEngine(network, **kwargs)
+            else:
+                engine = RegionShardedEngine(
+                    network, positions=mobility.positions(), regions=regions,
+                    **kwargs,
+                )
+            results[regions] = engine.run_staggered(launches, arrival_ms=20)
+
+        assert results[1].topology_refreshes > 0
+        assert results[1].topology_refreshes == results[3].topology_refreshes
+        assert _fingerprints(results[1]) == _fingerprints(results[3])
+        assert results[1].aggregate.as_dict() == results[3].aggregate.as_dict()
+
+
+SPEC_10K = (
+    Path(__file__).resolve().parent.parent.parent
+    / "examples" / "specs" / "lossy_city.json"
+)
+
+
+@pytest.mark.slow
+class TestLossyCity10kGolden:
+    """The PR-4 flood constants through the sharded path, both planes."""
+
+    def _record(self, *, regions: int, channel_version: int):
+        from repro.analysis.experiments import ScenarioSpec, load_plan, run_scenario
+
+        plan = load_plan(SPEC_10K)
+        (spec,) = [s for s in plan.specs if s.loss_rate == 0.1]
+        spec = ScenarioSpec.from_dict({
+            **spec.as_dict(),
+            "regions": regions,
+            "channel_version": channel_version,
+        })
+        return run_scenario(spec)
+
+    @pytest.mark.parametrize("regions", [2, 4])
+    def test_v1_golden(self, regions):
+        record = self._record(regions=regions, channel_version=1)
+        assert record["frames_sent"] == 30586
+        assert record["matches"] == 116
+
+    @pytest.mark.parametrize("regions", [2, 4])
+    def test_v2_golden(self, regions):
+        record = self._record(regions=regions, channel_version=2)
+        assert record["frames_sent"] == 29461
+        assert record["matches"] == 104

@@ -1,0 +1,152 @@
+"""Grid cell-assignment backends: registry, equivalence, rebucket identity."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.grid_backend import (
+    available_grid_backends,
+    current_grid_backend,
+    get_grid_backend,
+    numpy_unavailable_reason,
+    select_grid_backend,
+    set_grid_backend,
+    use_grid_backend,
+)
+from repro.network.mobility import RandomWaypoint
+from repro.network.topology import SpatialGrid, naive_adjacency
+
+coords_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+    ),
+    max_size=80,
+)
+
+
+def _needs_numpy():
+    return pytest.mark.skipif(
+        "numpy" not in available_grid_backends(),
+        reason="numpy grid backend not installed",
+    )
+
+
+class TestRegistry:
+    def test_pure_always_available_and_default(self):
+        assert "pure" in available_grid_backends()
+        assert current_grid_backend().name == "pure"
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="available"):
+            get_grid_backend("gpu")
+
+    def test_select_falls_back_with_reason_or_hits(self):
+        backend, reason = select_grid_backend("pure")
+        assert backend.name == "pure" and reason is None
+        if "numpy" in available_grid_backends():
+            backend, reason = select_grid_backend("numpy")
+            assert backend.name == "numpy" and reason is None
+            assert numpy_unavailable_reason() is None
+        else:
+            backend, reason = select_grid_backend("numpy")
+            assert backend.name == "pure"
+            assert "numpy" in reason
+
+    def test_use_restores_previous(self):
+        before = current_grid_backend()
+        with use_grid_backend("pure") as active:
+            assert current_grid_backend() is active
+        assert current_grid_backend() is before
+
+    def test_set_returns_previous(self):
+        previous = set_grid_backend("pure")
+        set_grid_backend(previous)
+        assert current_grid_backend() is previous
+
+
+@_needs_numpy()
+class TestBackendEquivalence:
+    @given(coords=coords_strategy, cell_size=st.floats(min_value=1e-3, max_value=2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_numpy_matches_pure_exactly(self, coords, cell_size):
+        pure = get_grid_backend("pure").assign_cells(coords, cell_size)
+        vec = get_grid_backend("numpy").assign_cells(coords, cell_size)
+        assert vec == pure
+
+
+class TestMoveMany:
+    def _grid(self, n: int = 20) -> SpatialGrid:
+        grid = SpatialGrid(0.1)
+        rng = random.Random(3)
+        for i in range(n):
+            grid.insert(f"n{i}", rng.random(), rng.random())
+        return grid
+
+    def test_matches_single_moves(self):
+        """Batch result and bucket state equal the single-move sequence."""
+        rng = random.Random(5)
+        moves = [(f"n{i}", rng.random(), rng.random()) for i in range(20)]
+        single = self._grid()
+        expected = [single.move(node, x, y) for node, x, y in moves]
+        for backend in available_grid_backends():
+            with use_grid_backend(backend):
+                batched = self._grid()
+                assert batched.move_many(moves) == expected
+                for i in range(20):
+                    node = f"n{i}"
+                    assert batched.cell_of(node) == single.cell_of(node)
+                    assert batched.position(node) == single.position(node)
+                    assert batched.neighbors_within(node) == single.neighbors_within(node)
+
+    def test_empty_batch(self):
+        grid = self._grid()
+        assert grid.move_many([]) == []
+
+    def test_preserves_bucket_insertion_order(self):
+        """Two nodes moved into one cell keep input order in the bucket."""
+        for backend in available_grid_backends():
+            with use_grid_backend(backend):
+                grid = SpatialGrid(1.0)
+                grid.insert("a", 0.1, 0.1)
+                grid.insert("b", 2.5, 0.1)
+                grid.insert("c", 4.5, 0.1)
+                grid.move_many([("c", 6.5, 0.1), ("b", 6.6, 0.1)])
+                cell = grid.cell_of("b")
+                assert grid.cell_of("c") == cell
+                assert list(grid._cells[cell]) == ["c", "b"]
+
+
+class TestMobilityIntegration:
+    @pytest.mark.parametrize("backend", sorted(available_grid_backends()))
+    def test_incremental_refresh_equals_naive(self, backend):
+        """The vectorised rebucket path pins exact adjacency equality --
+        including row order -- against the brute-force reference."""
+        with use_grid_backend(backend):
+            model = RandomWaypoint(
+                [f"n{i}" for i in range(250)], seed=17,
+                min_speed=0.02, max_speed=0.08,
+            )
+            for _ in range(6):
+                model.step(0.4)
+                snapshot = model.snapshot_topology(0.09)
+                assert snapshot == naive_adjacency(model.positions(), 0.09)
+
+    def test_backends_agree_on_topology_deltas(self):
+        if "numpy" not in available_grid_backends():
+            pytest.skip("numpy grid backend not installed")
+        deltas = {}
+        for backend in ("pure", "numpy"):
+            with use_grid_backend(backend):
+                model = RandomWaypoint([f"n{i}" for i in range(150)], seed=23)
+                model.snapshot_topology(0.1)
+                run = []
+                for _ in range(5):
+                    model.step(1.0)
+                    run.append(model.topology_delta(0.1))
+                deltas[backend] = run
+        assert deltas["pure"] == deltas["numpy"]

@@ -1,0 +1,49 @@
+"""1M-node metro run: the region-sharded runtime at the roadmap's scale.
+
+Runs the committed ``examples/specs/metro_1m.json`` sharded sweep point
+(``regions = 4``) end to end — 1M static nodes at mean degree ~8,
+TTL-bounded local floods, v2 counter-mode fates — and asserts it
+finishes inside a generous wall-clock budget with a healthy, connected
+outcome.  Locally the point takes a few minutes (topology build
+dominates; the floods themselves are local), so on top of the ``slow``
+marker the test only runs with ``METRO_1M=1`` — the same opt-in idiom
+as the 100k flood bench arm (``FLOOD_100K=1``).
+
+    METRO_1M=1 PYTHONPATH=src python -m pytest -q -m slow tests/network/test_metro_1m.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import load_plan, run_scenario
+
+SPEC = Path(__file__).resolve().parent.parent.parent / "examples" / "specs" / "metro_1m.json"
+WALL_BUDGET_S = 1800.0
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(os.environ.get("METRO_1M") != "1", reason="set METRO_1M=1 to run")
+def test_metro_1m_sharded_completes_within_budget():
+    plan = load_plan(SPEC)
+    (spec,) = [s for s in plan.specs if s.regions == 4]
+    assert spec.nodes == 1_000_000
+
+    start = time.perf_counter()
+    record = run_scenario(spec)
+    elapsed = time.perf_counter() - start
+
+    assert elapsed < WALL_BUDGET_S, (
+        f"1M-node metro run took {elapsed:.1f}s > {WALL_BUDGET_S}s budget"
+    )
+    # Healthy outcome: mean degree ~8 keeps a giant component holding
+    # nearly the whole metro, and the TTL-bounded floods find matches.
+    assert record["regions"] == 4
+    assert record["largest_component_fraction"] > 0.9
+    assert record["warnings"] == []
+    assert record["frames_sent"] > 1_000
+    assert record["matches"] > 0

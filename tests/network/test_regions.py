@@ -1,0 +1,283 @@
+"""Region partitioner properties, validation and mid-flood node re-homing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Profile, RequestProfile
+from repro.core.protocols import Initiator, Participant
+from repro.network.engine import FriendingEngine
+from repro.network.mobility import _GridTopologyMixin
+from repro.network.regions import RegionPartition, RegionShardedEngine
+from repro.network.simulator import AdHocNetwork
+
+
+def _positions(n: int, seed: int) -> dict[str, tuple[float, float]]:
+    rng = random.Random(seed)
+    return {f"n{i}": (rng.random(), rng.random()) for i in range(n)}
+
+
+positions_strategy = st.dictionaries(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=6),
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestPartitionProperties:
+    @given(positions=positions_strategy, regions=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_cover(self, positions, regions):
+        """Every node lands in exactly one region, every region id in range."""
+        partition = RegionPartition.from_positions(positions, regions)
+        assignment = partition.assign(positions)
+        assert set(assignment) == set(positions)
+        assert all(0 <= r < regions for r in assignment.values())
+        counts = partition.counts(positions)
+        assert len(counts) == regions
+        assert sum(counts) == len(positions)
+
+    @given(positions=positions_strategy, regions=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_regions_are_contiguous_stripes(self, positions, regions):
+        """region_of is monotone in x: each region is one x-interval."""
+        partition = RegionPartition.from_positions(positions, regions)
+        xs = sorted(x for x, _ in positions.values())
+        owners = [partition.region_of(x) for x in xs]
+        assert owners == sorted(owners)
+
+    @given(
+        positions=positions_strategy,
+        regions=st.integers(min_value=1, max_value=8),
+        x=st.floats(min_value=-1.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_coordinate_has_exactly_one_owner(self, positions, regions, x):
+        """Even coordinates outside the sampled population map to one region."""
+        partition = RegionPartition.from_positions(positions, regions)
+        assert 0 <= partition.region_of(x) < regions
+
+    def test_even_density_balances_population(self):
+        positions = _positions(1000, seed=7)
+        partition = RegionPartition.from_positions(positions, 4)
+        counts = partition.counts(positions)
+        assert all(200 <= c <= 300 for c in counts)
+
+
+class TestPartitionValidation:
+    def test_rejects_zero_regions(self):
+        with pytest.raises(ValueError, match="regions"):
+            RegionPartition(0, ())
+
+    def test_rejects_wrong_cut_count(self):
+        with pytest.raises(ValueError, match="cuts"):
+            RegionPartition(3, (0.5,))
+
+    def test_rejects_unsorted_cuts(self):
+        with pytest.raises(ValueError, match="sorted"):
+            RegionPartition(3, (0.7, 0.3))
+
+    def test_rejects_empty_city_multi_region(self):
+        with pytest.raises(ValueError, match="empty"):
+            RegionPartition.from_positions({}, 2)
+
+    def test_single_region_owns_everything(self):
+        partition = RegionPartition.from_positions(_positions(10, seed=1), 1)
+        assert partition.cuts == ()
+        assert partition.region_of(-5.0) == 0
+        assert partition.region_of(5.0) == 0
+
+
+class _MarchingNode(_GridTopologyMixin):
+    """Scripted mobility: one node marches +x a fixed stride per step.
+
+    Everything else stays put, so a refresh re-homes exactly that node
+    once its x coordinate crosses a stripe boundary.
+    """
+
+    def __init__(self, positions: dict[str, tuple[float, float]], marcher: str,
+                 stride: float):
+        self._positions = dict(positions)
+        self._marcher = marcher
+        self._stride = stride
+        self._init_topology_cache()
+
+    def positions(self) -> dict[str, tuple[float, float]]:
+        return dict(self._positions)
+
+    def step(self, dt_s: float) -> None:
+        x, y = self._positions[self._marcher]
+        self._positions[self._marcher] = (x + self._stride, y)
+        self._moved.add(self._marcher)
+
+
+def _boundary_city():
+    """A dense 2-D strip of nodes spanning the regions=2 stripe boundary."""
+    rng = random.Random(11)
+    positions = {}
+    i = 0
+    for col in range(10):
+        for row in range(6):
+            positions[f"n{i}"] = (
+                0.05 + col * 0.1 + rng.uniform(-0.02, 0.02),
+                0.2 + row * 0.12 + rng.uniform(-0.02, 0.02),
+            )
+            i += 1
+    return positions
+
+
+def _build_boundary_run(positions, marcher: str, stride: float):
+    mobility = _MarchingNode(positions, marcher, stride)
+    adjacency = mobility.snapshot_topology(0.2)
+    participants = {
+        node: Participant(
+            Profile(["tag:a", f"noise:{node}"], user_id=node, normalized=True),
+            rng=random.Random(500 + i),
+        )
+        for i, node in enumerate(adjacency)
+    }
+    network = AdHocNetwork(adjacency, participants)
+    launches = [
+        ("n0", Initiator(
+            RequestProfile.exact(["tag:a"], normalized=True),
+            protocol=2, rng=random.Random(77),
+        )),
+    ]
+    return mobility, network, launches
+
+
+def _fingerprints(result) -> list[tuple]:
+    return [
+        (
+            ep.episode, ep.initiator_node, ep.started_at_ms, ep.completed_at_ms,
+            ep.matched_ids,
+            [(m.responder_id, m.similarity, m.y, m.session_key) for m in ep.matches],
+            [r.elements for r in ep.replies],
+            tuple(sorted(ep.metrics.as_dict().items())),
+        )
+        for ep in result.episodes
+    ]
+
+
+class TestReHoming:
+    def test_marching_node_crosses_boundary_mid_flood(self):
+        """One node walks across the stripe cut mid-flood; results match
+        the sequential engine byte for byte and the node really moves."""
+        positions = _boundary_city()
+        partition = RegionPartition.from_positions(positions, 2)
+        # Pick a marcher just left of the cut, striding far enough to
+        # cross it on the first mobility step.
+        # A node exactly on the cut already belongs to the stripe above,
+        # so pick the rightmost node strictly below it.
+        marcher = max(
+            (n for n, (x, _) in positions.items() if x < partition.cuts[0]),
+            key=lambda n: positions[n][0],
+        )
+        stride = 0.3
+
+        mobility, network, launches = _build_boundary_run(positions, marcher, stride)
+        sequential = FriendingEngine(
+            network, mobility=mobility, radio_radius=0.2, refresh_interval_ms=5,
+            retries=1, retransmit_timeout_ms=40,
+        ).run_staggered(launches, arrival_ms=10)
+
+        mobility, network, launches = _build_boundary_run(positions, marcher, stride)
+        engine = RegionShardedEngine(
+            network, positions=positions, regions=2, partition=partition,
+            mobility=mobility, radio_radius=0.2, refresh_interval_ms=5,
+            retries=1, retransmit_timeout_ms=40,
+        )
+        sharded = engine.run_staggered(launches, arrival_ms=10)
+
+        # The flood did something and the marcher really changed owner.
+        assert sequential.aggregate.matches > 0
+        assert sequential.topology_refreshes > 0
+        before = partition.region_of(positions[marcher][0])
+        after = partition.region_of(mobility.positions()[marcher][0])
+        assert (before, after) == (0, 1)
+
+        assert _fingerprints(sequential) == _fingerprints(sharded)
+        assert sequential.aggregate.as_dict() == sharded.aggregate.as_dict()
+        assert sequential.topology_refreshes == sharded.topology_refreshes
+
+    def test_rehomed_initiator_keeps_episode_ownership(self):
+        """March the *initiator* across the cut: episode-homed events
+        (retransmit timers, reply hand-offs) must follow it."""
+        positions = _boundary_city()
+        partition = RegionPartition.from_positions(positions, 2)
+        # A node exactly on the cut already belongs to the stripe above,
+        # so pick the rightmost node strictly below it.
+        marcher = max(
+            (n for n, (x, _) in positions.items() if x < partition.cuts[0]),
+            key=lambda n: positions[n][0],
+        )
+        positions = dict(positions)
+        # Make the marcher the initiator by swapping ids.
+        positions["n0"], positions[marcher] = positions[marcher], positions["n0"]
+
+        mobility, network, launches = _build_boundary_run(positions, "n0", 0.3)
+        sequential = FriendingEngine(
+            network, mobility=mobility, radio_radius=0.2, refresh_interval_ms=5,
+            retries=2, retransmit_timeout_ms=30,
+        ).run_staggered(launches, arrival_ms=10)
+
+        mobility, network, launches = _build_boundary_run(positions, "n0", 0.3)
+        sharded = RegionShardedEngine(
+            network, positions=positions, regions=2, partition=partition,
+            mobility=mobility, radio_radius=0.2, refresh_interval_ms=5,
+            retries=2, retransmit_timeout_ms=30,
+        ).run_staggered(launches, arrival_ms=10)
+
+        assert sequential.topology_refreshes > 0
+        assert _fingerprints(sequential) == _fingerprints(sharded)
+        assert sequential.aggregate.as_dict() == sharded.aggregate.as_dict()
+
+
+class TestEngineValidation:
+    def _network(self):
+        positions = _positions(6, seed=3)
+        mobility_adjacency = {n: [m for m in positions if m != n] for n in positions}
+        return AdHocNetwork(
+            mobility_adjacency, {n: None for n in positions}
+        ), positions
+
+    def test_rejects_zero_regions(self):
+        network, positions = self._network()
+        with pytest.raises(ValueError, match="regions"):
+            RegionShardedEngine(network, positions=positions, regions=0)
+
+    def test_rejects_uncovered_nodes(self):
+        network, positions = self._network()
+        partial = dict(list(positions.items())[:-1])
+        with pytest.raises(ValueError, match="position"):
+            RegionShardedEngine(network, positions=partial, regions=2)
+
+    def test_rejects_unknown_transport(self):
+        network, positions = self._network()
+        with pytest.raises(ValueError, match="transport"):
+            RegionShardedEngine(
+                network, positions=positions, regions=2, transport="tcp"
+            )
+
+    def test_rejects_process_transport_with_mobility(self):
+        positions = _positions(6, seed=3)
+        mobility = _MarchingNode(positions, "n0", 0.1)
+        adjacency = mobility.snapshot_topology(0.5)
+        network = AdHocNetwork(adjacency, {n: None for n in adjacency})
+        engine = RegionShardedEngine(
+            network, positions=positions, regions=2, transport="process",
+            mobility=mobility, radio_radius=0.5, refresh_interval_ms=10,
+        )
+        with pytest.raises(ValueError, match="mobility|refresh"):
+            engine.run_staggered(
+                [("n0", Initiator(RequestProfile.exact(["tag:a"], normalized=True)))],
+                arrival_ms=5,
+            )

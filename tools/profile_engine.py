@@ -37,6 +37,7 @@ def profile_spec(spec, *, top: int, sort: str, out=sys.stdout) -> pstats.Stats:
     from repro.network.channel_model import ChannelModel
     from repro.network.engine import FriendingEngine
     from repro.network.mobility import RandomWaypoint, StaticPlacement
+    from repro.network.regions import RegionShardedEngine
     from repro.network.simulator import AdHocNetwork
 
     rng = random.Random(spec.seed)
@@ -59,16 +60,22 @@ def profile_spec(spec, *, top: int, sort: str, out=sys.stdout) -> pstats.Stats:
     # Mirror run_scenario's engine construction exactly, including the
     # mid-run topology-refresh wiring: the profile must describe the same
     # workload the experiment runner measures for this spec.
+    engine_kwargs = dict(retries=spec.retries)
     if spec.refresh_interval_ms is not None:
-        engine = FriendingEngine(
-            network,
+        engine_kwargs.update(
             mobility=mobility,
             radio_radius=spec.radio_radius,
             refresh_interval_ms=spec.refresh_interval_ms,
-            retries=spec.retries,
+        )
+    if spec.regions > 1:
+        engine = RegionShardedEngine(
+            network,
+            positions=mobility.positions(),
+            regions=spec.regions,
+            **engine_kwargs,
         )
     else:
-        engine = FriendingEngine(network, retries=spec.retries)
+        engine = FriendingEngine(network, **engine_kwargs)
 
     profiler = cProfile.Profile()
     gc_was_enabled = gc.isenabled()
@@ -117,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
              "2 = counter-mode); the docs' before/after profiles are "
              "--loss 0.1 with each version in turn",
     )
+    parser.add_argument(
+        "--regions", type=int, default=None,
+        help="override the spec's region count (> 1 profiles the "
+             "region-sharded engine; byte-identical workload)",
+    )
     parser.add_argument("--top", type=int, default=25, help="rows to print (default 25)")
     parser.add_argument(
         "--sort", choices=("tottime", "cumulative", "calls"), default="tottime"
@@ -144,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
             overrides["episodes"] = args.episodes
         if args.channel_version is not None:
             overrides["channel_version"] = args.channel_version
+        if args.regions is not None:
+            overrides["regions"] = args.regions
         if overrides:
             spec = ScenarioSpec.from_dict({**spec.as_dict(), **overrides})
     except SpecError as exc:
