@@ -42,7 +42,18 @@ from repro.core.protocols import Initiator, Participant, Reply
 from repro.crypto.backend import available_backends, use_backend
 from repro.network.channel_backend import current_channel_backend
 from repro.network.channel_model import CHANNEL_VERSIONS, ChannelModel
-from repro.network.engine import DEFAULT_RETRANSMIT_TIMEOUT_MS, FriendingEngine
+from repro.network.churn import (
+    SCENARIO_CHURN_SLEEP_MS,
+    ChurnModel,
+    ChurnRunner,
+    ChurnSpec,
+)
+from repro.network.engine import (
+    DEFAULT_RETRANSMIT_TIMEOUT_MS,
+    EpisodeSpec,
+    FriendingEngine,
+)
+from repro.network.faults import compile_campaign, load_fault_plan
 from repro.network.mobility import RandomWaypoint, StaticPlacement
 from repro.network.profiles import load_profile
 from repro.network.regions import RegionShardedEngine
@@ -53,6 +64,8 @@ __all__ = [
     "SpecError",
     "ScenarioSpec",
     "ExperimentPlan",
+    "churn_horizon",
+    "churn_runner_for",
     "load_plan",
     "run_scenario",
     "run_plan",
@@ -71,7 +84,8 @@ _SWEEPABLE = (
     "tags_per_community", "seed", "until_ms", "backend", "workers",
     "regions", "loss_rate", "dup_rate", "reorder_rate", "corrupt_rate",
     "jitter_ms", "retries", "channel_version", "reliability",
-    "retransmit_timeout_ms", "profile",
+    "retransmit_timeout_ms", "profile", "churn_rate", "churn_crash_rate",
+    "fault_plan",
 )
 
 
@@ -175,6 +189,25 @@ class ScenarioSpec:
         (:mod:`repro.network.profiles`).  The profile's settings become
         the spec's defaults; any field given explicitly wins.  Recorded
         for provenance.
+    churn_rate / churn_crash_rate:
+        Open-world churn, in events per simulated second.  ``churn_rate``
+        splits evenly into arrivals and graceful departures;
+        ``churn_crash_rate`` adds crashes (volatile state lost).  Any
+        non-zero value routes the run through the engine's incremental
+        ``begin``/``step`` plane driven by a
+        :class:`~repro.network.churn.ChurnRunner`; departed nodes wake
+        after :data:`~repro.network.churn.SCENARIO_CHURN_SLEEP_MS`.  The
+        schedule is a counter-mode function of ``(seed, spec)`` alone, so
+        churn-enabled runs stay reproducible and sharded == sequential.
+        Zero (the default) keeps the closed-world ``run_staggered`` path
+        byte for byte.  Incompatible with ``refresh_interval_ms`` and
+        ``workers > 1``.
+    fault_plan:
+        Optional name of a registered fault campaign
+        (:mod:`repro.network.faults`): timed initiator crashes,
+        blackouts, session-table pressure or region-worker restarts
+        applied at fractions of the run horizon.  Implies the open-world
+        path like churn does.
     """
 
     name: str = "scenario"
@@ -203,6 +236,9 @@ class ScenarioSpec:
     retransmit_timeout_ms: int = DEFAULT_RETRANSMIT_TIMEOUT_MS
     reliability: str = "simple"
     profile: str | None = None
+    churn_rate: float = 0.0
+    churn_crash_rate: float = 0.0
+    fault_plan: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -329,6 +365,49 @@ class ScenarioSpec:
                 "workers > 1 shards episodes across processes and cannot apply "
                 "mid-run topology refreshes; drop refresh_interval_ms or use workers=1"
             )
+        for churn_field in ("churn_rate", "churn_crash_rate"):
+            value = getattr(self, churn_field)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise SpecError(
+                    f"{churn_field} must be a non-negative number "
+                    f"(events per simulated second), got {value!r}"
+                )
+        try:
+            self.churn_spec()  # re-validate through ChurnSpec's own bounds
+        except ValueError as exc:
+            raise SpecError(str(exc)) from None
+        if self.fault_plan is not None:
+            try:
+                load_fault_plan(self.fault_plan)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+        if self.open_world:
+            if self.refresh_interval_ms is not None:
+                raise SpecError(
+                    "churn/fault runs drive the open-world engine plane, which "
+                    "is exclusive with mid-run topology refreshes; drop "
+                    "refresh_interval_ms or the churn/fault fields"
+                )
+            if self.workers > 1:
+                raise SpecError(
+                    "churn/fault runs need one live engine to join/crash nodes "
+                    "in; workers > 1 shards episodes across processes -- use "
+                    "workers=1 (regions > 1 is fine)"
+                )
+
+    @property
+    def open_world(self) -> bool:
+        """True when the run must go through the begin/step churn plane."""
+        return bool(self.churn_rate or self.churn_crash_rate or self.fault_plan)
+
+    def churn_spec(self) -> ChurnSpec:
+        """The :class:`~repro.network.churn.ChurnSpec` this scenario implies."""
+        return ChurnSpec(
+            join_rate_per_s=self.churn_rate / 2,
+            leave_rate_per_s=self.churn_rate / 2,
+            crash_rate_per_s=self.churn_crash_rate,
+            sleep_ms=SCENARIO_CHURN_SLEEP_MS,
+        )
 
     @property
     def arrival_ms(self) -> int:
@@ -535,16 +614,27 @@ def _build_population(spec: ScenarioSpec, rng: random.Random):
     return node_ids, participants, launches, attacker_counts
 
 
-def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
-    """Run one scenario end to end and return its JSON record.
+@dataclass
+class _PreparedScenario:
+    """Everything :func:`run_scenario` builds before the engine runs.
 
-    The record carries the same measurement keys as
-    ``benchmarks/bench_engine_throughput.py`` (``nodes``, ``episodes``,
-    ``wall_seconds``, ``episodes_per_wall_sec``, ``episodes_per_sim_sec``,
-    ``sim_duration_ms``, ``matches``, ``latency_p50_ms``,
-    ``latency_p95_ms``, ``total_bytes``) plus scenario provenance,
-    including the crypto ``backend`` and ``workers`` the run measured.
+    Factored out so tests (and the soak harness) can drive the identical
+    population/topology/engine through the open-world ``begin``/``step``
+    plane directly.
     """
+
+    mobility: Any
+    engine: FriendingEngine
+    launches: list[tuple[str, Initiator]]
+    attacker_counts: dict[str, int]
+    mean_degree: float
+    component_fraction: float
+    warnings: list[str]
+    topology_seconds: float
+
+
+def _prepare_scenario(spec: ScenarioSpec) -> _PreparedScenario:
+    """Build the population, topology, channel and engine for *spec*."""
     rng = random.Random(spec.seed)
     node_ids, participants, launches, attacker_counts = _build_population(spec, rng)
 
@@ -602,15 +692,109 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         )
     else:
         engine = FriendingEngine(network, **engine_kwargs)
+    return _PreparedScenario(
+        mobility=mobility,
+        engine=engine,
+        launches=launches,
+        attacker_counts=attacker_counts,
+        mean_degree=mean_degree,
+        component_fraction=component_fraction,
+        warnings=warnings,
+        topology_seconds=topology_seconds,
+    )
+
+
+def _joiner_participant_factory(spec: ScenarioSpec):
+    """Participants for churn arrivals: same community scheme, own seeds."""
+
+    def factory(node_id: str, joiner_index: int) -> Participant:
+        community = joiner_index % spec.communities
+        tags = [f"c{community}:tag{j}" for j in range(spec.tags_per_community)]
+        return Participant(
+            Profile(tags + [f"noise:{node_id}"], user_id=node_id, normalized=True),
+            rng=random.Random(spec.seed * 7919 + joiner_index),
+        )
+
+    return factory
+
+
+def churn_horizon(spec: ScenarioSpec, engine: FriendingEngine) -> int:
+    """The churn/fault window of a run: ``until_ms`` or the episodes' close.
+
+    Called after ``begin()``: with no explicit ``until_ms`` the horizon is
+    the natural close of the admitted episodes (their validity expiry).
+    """
+    return spec.until_ms if spec.until_ms is not None else engine.open_horizon_ms()
+
+
+def churn_runner_for(
+    spec: ScenarioSpec, prepared: _PreparedScenario, horizon_ms: int
+) -> ChurnRunner:
+    """The :class:`~repro.network.churn.ChurnRunner` a spec's run uses.
+
+    Shared by :func:`run_scenario`, the soak harness and the golden tests
+    so every surface applies the identical churn/fault schedule.
+    """
+    faults = []
+    if spec.fault_plan is not None:
+        faults = compile_campaign(load_fault_plan(spec.fault_plan), 0, horizon_ms)
+    return ChurnRunner(
+        prepared.engine,
+        ChurnModel(spec.churn_spec(), spec.seed),
+        positions=prepared.mobility.positions(),
+        radio_radius=spec.radio_radius,
+        participant_factory=_joiner_participant_factory(spec),
+        faults=faults,
+    )
+
+
+def _run_open_world(spec: ScenarioSpec, prepared: _PreparedScenario):
+    """Drive the prepared engine through begin/step under churn and faults.
+
+    After the horizon the run drains to completion -- degraded episodes
+    settle, they never wedge the queue.
+    """
+    engine = prepared.engine
+    engine.begin([
+        EpisodeSpec(initiator_node=node, initiator=initiator,
+                    start_ms=i * spec.arrival_ms)
+        for i, (node, initiator) in enumerate(prepared.launches)
+    ])
+    horizon = churn_horizon(spec, engine)
+    churn_runner_for(spec, prepared, horizon).drive(0, horizon)
+    return engine.finish()
+
+
+def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
+    """Run one scenario end to end and return its JSON record.
+
+    The record carries the same measurement keys as
+    ``benchmarks/bench_engine_throughput.py`` (``nodes``, ``episodes``,
+    ``wall_seconds``, ``episodes_per_wall_sec``, ``episodes_per_sim_sec``,
+    ``sim_duration_ms``, ``matches``, ``latency_p50_ms``,
+    ``latency_p95_ms``, ``total_bytes``) plus scenario provenance,
+    including the crypto ``backend`` and ``workers`` the run measured.
+    """
+    prepared = _prepare_scenario(spec)
+    engine = prepared.engine
+    launches = prepared.launches
+    attacker_counts = prepared.attacker_counts
+    mean_degree = prepared.mean_degree
+    component_fraction = prepared.component_fraction
+    warnings = prepared.warnings
+    topology_seconds = prepared.topology_seconds
 
     with use_backend(spec.backend):
         start = time.perf_counter()
-        result = engine.run_staggered(
-            launches,
-            arrival_ms=spec.arrival_ms,
-            until_ms=spec.until_ms,
-            workers=spec.workers,
-        )
+        if spec.open_world:
+            result = _run_open_world(spec, prepared)
+        else:
+            result = engine.run_staggered(
+                launches,
+                arrival_ms=spec.arrival_ms,
+                until_ms=spec.until_ms,
+                workers=spec.workers,
+            )
         wall_s = time.perf_counter() - start
 
     agg = result.aggregate
@@ -673,6 +857,15 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
         "fec_recovered": agg.total.fec_recovered,
         "sessions_overflow": agg.total.sessions_overflow,
         "topology_refreshes": result.topology_refreshes,
+        "churn_rate": spec.churn_rate,
+        "churn_crash_rate": spec.churn_crash_rate,
+        "fault_plan": spec.fault_plan,
+        "nodes_joined": agg.total.nodes_joined,
+        "nodes_left": agg.total.nodes_left,
+        "nodes_crashed": agg.total.nodes_crashed,
+        "orphaned_replies": agg.total.orphaned_replies,
+        "degraded_episodes": agg.total.degraded_episodes,
+        "region_restarts": result.region_restarts,
     }
 
 
@@ -689,6 +882,10 @@ def render_markdown_report(plan_name: str, records: list[dict[str, Any]]) -> str
         ("channel_version", "chan-v"),
         ("reliability", "mode"),
         ("retries", "retries"),
+        ("churn_rate", "churn"),
+        ("fault_plan", "faults"),
+        ("nodes_crashed", "crashed"),
+        ("degraded_episodes", "degraded"),
         ("episodes", "episodes"),
         ("matches", "matches"),
         ("match_rate", "match-rate"),

@@ -138,6 +138,24 @@ def build_parser() -> argparse.ArgumentParser:
              "drawn fates, faster; see docs/wire_format.md)",
     )
     simulate.add_argument(
+        "--churn-rate", type=float, default=0.0, metavar="R",
+        help="open-world churn in events per simulated second, split evenly "
+             "between arrivals and graceful departures; any non-zero value "
+             "routes the run through the engine's incremental begin/step "
+             "plane (default: 0 = closed world; docs/robustness.md)",
+    )
+    simulate.add_argument(
+        "--churn-crash-rate", type=float, default=0.0, metavar="R",
+        help="crash rate in events per simulated second on top of "
+             "--churn-rate; crashed nodes lose volatile state (default: 0)",
+    )
+    simulate.add_argument(
+        "--fault-plan", default=None, metavar="NAME",
+        help="named fault campaign to inject (initiator crashes, blackouts, "
+             "session pressure, region restarts); unknown names list the "
+             "registered campaigns (docs/robustness.md)",
+    )
+    simulate.add_argument(
         "--profile-top", type=int, default=0, metavar="N",
         help="run under cProfile and print the top-N functions by internal "
              "time after the tables (0 = off; tools/profile_engine.py offers "
@@ -293,6 +311,9 @@ _SIMULATE_SPEC_FLAGS = {
     "retransmit_timeout_ms": ("retransmit_timeout_ms", DEFAULT_RETRANSMIT_TIMEOUT_MS),
     "reliability": ("reliability", "simple"),
     "channel_version": ("channel_version", 1),
+    "churn_rate": ("churn_rate", 0.0),
+    "churn_crash_rate": ("churn_crash_rate", 0.0),
+    "fault_plan": ("fault_plan", None),
 }
 
 
@@ -309,23 +330,58 @@ def _run_simulate_profile(args) -> int:
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_table(
-        f"profile run: {args.profile}",
-        ["metric", "value"],
-        [
-            [key, record[key]]
-            for key in (
-                "nodes", "episodes", "protocol", "mobility", "reliability",
-                "retries", "retransmit_timeout_ms", "loss_rate",
-                "channel_version", "matches", "match_rate", "frames_sent",
-                "frames_dropped", "retransmissions", "selective_retx",
-                "fec_recovered", "frame_bytes", "latency_p50_ms",
-                "latency_p95_ms", "wall_seconds",
-            )
-        ],
-    ))
+    _print_scenario_record(f"profile run: {args.profile}", record)
+    return 0
+
+
+def _print_scenario_record(title: str, record) -> None:
+    keys = [
+        "nodes", "episodes", "protocol", "mobility", "reliability",
+        "retries", "retransmit_timeout_ms", "loss_rate",
+        "channel_version", "matches", "match_rate", "frames_sent",
+        "frames_dropped", "retransmissions", "selective_retx",
+        "fec_recovered", "frame_bytes", "latency_p50_ms",
+        "latency_p95_ms", "wall_seconds",
+    ]
+    if record["churn_rate"] or record["churn_crash_rate"] or record["fault_plan"]:
+        keys += [
+            "churn_rate", "churn_crash_rate", "fault_plan", "nodes_joined",
+            "nodes_left", "nodes_crashed", "orphaned_replies",
+            "degraded_episodes", "region_restarts",
+        ]
+    print(render_table(title, ["metric", "value"], [[k, record[k]] for k in keys]))
     for warning in record["warnings"]:
         print(f"warning: {warning}")
+
+
+def _run_simulate_churn(args) -> int:
+    """Ad-hoc ``simulate --churn-rate/--fault-plan``: open-world run.
+
+    Churn needs the experiment runner's engine plumbing (positions for
+    joiner placement, the churn runner, degradation counters), so the
+    ad-hoc flags are folded into a ScenarioSpec instead of the bare
+    simulate topology.
+    """
+    overrides = {
+        spec_field: getattr(args, attr)
+        for attr, (spec_field, _) in _SIMULATE_SPEC_FLAGS.items()
+    }
+    overrides["episodes"] = max(1, overrides.get("episodes", 1))
+    try:
+        spec = ScenarioSpec(
+            name="simulate",
+            arrival_rate_per_s=1000 / max(1, args.arrival_ms),
+            **overrides,
+        )
+        record = run_scenario(spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_scenario_record(
+        f"open-world run (churn {spec.churn_rate}/s, crash "
+        f"{spec.churn_crash_rate}/s, faults {spec.fault_plan or 'none'})",
+        record,
+    )
     return 0
 
 
@@ -346,6 +402,12 @@ def _cmd_simulate(args) -> int:
                   "(use tools/profile_engine.py)", file=sys.stderr)
             return 2
         return _run_simulate_profile(args)
+    if args.churn_rate or args.churn_crash_rate or args.fault_plan is not None:
+        if args.profile_top:
+            print("error: --profile-top is not supported with churn/fault "
+                  "flags (use tools/profile_engine.py)", file=sys.stderr)
+            return 2
+        return _run_simulate_churn(args)
     try:
         channel = ChannelModel(
             drop_rate=args.loss, dup_rate=args.dup, reorder_rate=args.reorder,

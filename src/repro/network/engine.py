@@ -55,6 +55,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from itertools import islice
 
 from repro.core.exceptions import SerializationError
 from repro.core.protocols import Initiator, MatchRecord, Reply
@@ -100,9 +101,42 @@ from repro.network.simulator import (
 )
 
 __all__ = ["EpisodeSpec", "EpisodeResult", "EngineResult", "FriendingEngine",
-           "DEFAULT_RETRANSMIT_TIMEOUT_MS"]
+           "DEFAULT_RETRANSMIT_TIMEOUT_MS", "DEFAULT_DECODE_CACHE_CAP",
+           "DEFAULT_REJECT_CACHE_CAP"]
 
 DEFAULT_RETRANSMIT_TIMEOUT_MS = 1_000
+
+# Decode-cache bounds (docs/robustness.md).  Closed-world runs -- the 10k
+# lossy-city goldens included -- stay far below the default caps, so bounding
+# never evicts there and every golden is byte-identical by construction; an
+# open-world soak is what the caps exist for.
+DEFAULT_DECODE_CACHE_CAP = 1 << 16
+DEFAULT_REJECT_CACHE_CAP = 1 << 10
+
+
+class _BoundedCache(dict):
+    """A dict with an LRU-style size cap (insertion-age eviction).
+
+    Lookups stay native ``dict.get`` -- zero hit-path cost.  When an insert
+    finds the cache full, the oldest quarter is evicted in one sweep:
+    flood-workload keys (request datagrams, reply frames) age with their
+    episodes, so insertion age tracks recency closely enough that per-hit
+    reordering would buy nothing and cost the hot path plenty.
+    """
+
+    __slots__ = ("cap",)
+
+    def __init__(self, cap: int):
+        if cap < 4:
+            raise ValueError("cache cap must be >= 4")
+        super().__init__()
+        self.cap = cap
+
+    def put(self, key, value) -> None:
+        if len(self) >= self.cap:
+            for stale in list(islice(iter(self), self.cap // 4)):
+                del self[stale]
+        self[key] = value
 
 
 @dataclass(frozen=True)
@@ -148,6 +182,7 @@ class EngineResult:
     aggregate: AggregateMetrics
     completed_at_ms: int
     topology_refreshes: int = 0
+    region_restarts: int = 0
 
 
 class _SegmentState:
@@ -168,7 +203,7 @@ class _Episode:
 
     __slots__ = ("spec", "index", "package", "package_bytes", "rid", "flow",
                  "frame", "metrics", "replies", "last_event_ms",
-                 "seen_responders", "seg_rx", "seg_sent")
+                 "seen_responders", "seg_rx", "seg_sent", "degraded")
 
     def __init__(self, spec: EpisodeSpec, index: int, wire: bool):
         self.spec = spec
@@ -197,6 +232,10 @@ class _Episode:
         # data-segment frames (what a selective wave re-sends).
         self.seg_rx: dict[str, _SegmentState] = {}
         self.seg_sent: dict[str, tuple[str, int, dict[int, bytes]]] = {}
+        # Set once (never cleared) when the initiator departs or crashes
+        # mid-episode: the endpoint stops accepting, replies in flight are
+        # counted as orphaned, and retransmit timers die quietly.
+        self.degraded = False
 
 
 def _run_episode_shard(
@@ -293,6 +332,8 @@ class FriendingEngine:
         reliability: str | ReliabilityMode = "simple",
         frame_tap=None,
         wire: bool = True,
+        decode_cache_cap: int = DEFAULT_DECODE_CACHE_CAP,
+        reject_cache_cap: int = DEFAULT_REJECT_CACHE_CAP,
     ):
         if (mobility is None) != (refresh_interval_ms is None):
             raise ValueError("mobility and refresh_interval_ms must be given together")
@@ -328,13 +369,28 @@ class FriendingEngine:
         self.retransmit_timeout_ms = retransmit_timeout_ms
         self.frame_tap = frame_tap
         self.wire = wire
+        if decode_cache_cap < 4 or reject_cache_cap < 4:
+            raise ValueError("decode/reject cache caps must be >= 4")
+        self.decode_cache_cap = decode_cache_cap
+        self.reject_cache_cap = reject_cache_cap
         self.topology_refreshes = 0
-        self._episodes: list[_Episode] = []
+        self.region_restarts = 0
+        self._episodes: list[_Episode | None] = []
         self._queue: EventQueue | None = None
         self._pending_episode_events = 0
         self._refresh_horizon_ms = 0
-        self._package_cache: dict[bytes, RequestPackage] = {}
-        self._frame_cache: dict[bytes, Frame] = {}
+        self._package_cache = _BoundedCache(decode_cache_cap)
+        self._frame_cache = _BoundedCache(decode_cache_cap)
+        self._reject_cache = _BoundedCache(reject_cache_cap)
+        # Open-world churn state (begin()/step()/inject()): departed node
+        # ids, per-episode in-flight event counts (the retirement gate),
+        # retired episode results, and run-level churn accounting.
+        self._open_world = False
+        self._first_start = 0
+        self._departed: set[str] = set()
+        self._pending_by_episode: dict[int, int] = {}
+        self._retired: dict[int, EpisodeResult] = {}
+        self.churn_metrics = NetworkMetrics()
         # Event dispatch jump table: one dict lookup on the exact event
         # type replaces the old isinstance chain on the hot path.  The
         # engine only ever schedules these concrete types.
@@ -383,6 +439,63 @@ class FriendingEngine:
         """Build the run's event queue (seam for the region-sharded engine)."""
         return EventQueue(first_start)
 
+    def _reset_run_state(self, first_start: int) -> None:
+        """Fresh per-run state: queue, caches, counters, churn accounting."""
+        self._queue = self._make_queue(first_start)
+        self.topology_refreshes = 0
+        self.region_restarts = 0
+        self._pending_episode_events = 0
+        self._package_cache = _BoundedCache(self.decode_cache_cap)
+        self._frame_cache = _BoundedCache(self.decode_cache_cap)
+        self._reject_cache = _BoundedCache(self.reject_cache_cap)
+        self._open_world = False
+        self._first_start = first_start
+        self._departed = set()
+        self._pending_by_episode = {}
+        self._retired = {}
+        self.churn_metrics = NetworkMetrics()
+
+    def _admit_episode(self, episode: _Episode, origin_ms: int) -> None:
+        """Open the origin session and schedule one episode's root events.
+
+        *origin_ms* is the queue's zero point for the delays: the run's
+        ``first_start`` during setup, the current clock for an
+        :meth:`inject`.  The call order (session, broadcast, wave-1 timer,
+        segment flush) is byte-frozen -- closed-world goldens depend on it.
+        """
+        # The initiator's own node never re-processes its own request:
+        # its session exists from the start (hops 0, no parent).
+        origin = self.network.nodes[episode.spec.initiator_node]
+        origin.sessions.open(
+            episode.rid, parent=None, hops=0,
+            expires_ms=episode.package.expiry_ms,
+            now_ms=episode.spec.start_ms,
+        )
+        self._schedule(
+            episode.spec.start_ms - origin_ms,
+            BroadcastEvent(episode.index, episode.spec.initiator_node,
+                           episode.frame),
+        )
+        if self.retries > 0 and self.reliability.waves:
+            # Wave 1 fires one base timeout after the initial broadcast
+            # in every mode (backoff**0 == 1), so ``simple`` schedules
+            # the exact pre-strategy value.
+            self._schedule(
+                episode.spec.start_ms - origin_ms
+                + self.reliability.wave_delay_ms(1, self.retransmit_timeout_ms),
+                RetransmitEvent(episode.index, attempt=1),
+            )
+        if self.reliability.segmented:
+            # Reply-window close: deliver partial segment sets for
+            # responders whose replies never completed.  The window
+            # check in ``handle_reply`` is strict (>), so a flush at
+            # exactly the boundary is still accepted.
+            self._schedule(
+                episode.spec.start_ms - origin_ms
+                + episode.spec.initiator.reply_window_ms,
+                SegmentFlushEvent(episode.index),
+            )
+
     def _setup_run(self, specs: list[EpisodeSpec], until_ms: int | None) -> int:
         """Validate specs, build episode state, schedule every root event."""
         if not specs:
@@ -392,73 +505,290 @@ class FriendingEngine:
                 raise ValueError(f"unknown initiator node {spec.initiator_node!r}")
 
         first_start = min(spec.start_ms for spec in specs)
-        self._queue = self._make_queue(first_start)
+        self._reset_run_state(first_start)
         self._episodes = [_Episode(spec, i, self.wire) for i, spec in enumerate(specs)]
-        self.topology_refreshes = 0
-        self._pending_episode_events = 0
-        self._package_cache = {}
-        self._frame_cache = {}
 
         for episode in self._episodes:
-            # The initiator's own node never re-processes its own request:
-            # its session exists from the start (hops 0, no parent).
-            origin = self.network.nodes[episode.spec.initiator_node]
-            origin.sessions.open(
-                episode.rid, parent=None, hops=0,
-                expires_ms=episode.package.expiry_ms,
-                now_ms=episode.spec.start_ms,
-            )
-            self._schedule(
-                episode.spec.start_ms - first_start,
-                BroadcastEvent(episode.index, episode.spec.initiator_node,
-                               episode.frame),
-            )
-            if self.retries > 0 and self.reliability.waves:
-                # Wave 1 fires one base timeout after the initial broadcast
-                # in every mode (backoff**0 == 1), so ``simple`` schedules
-                # the exact pre-strategy value.
-                self._schedule(
-                    episode.spec.start_ms - first_start
-                    + self.reliability.wave_delay_ms(1, self.retransmit_timeout_ms),
-                    RetransmitEvent(episode.index, attempt=1),
-                )
-            if self.reliability.segmented:
-                # Reply-window close: deliver partial segment sets for
-                # responders whose replies never completed.  The window
-                # check in ``handle_reply`` is strict (>), so a flush at
-                # exactly the boundary is still accepted.
-                self._schedule(
-                    episode.spec.start_ms - first_start
-                    + episode.spec.initiator.reply_window_ms,
-                    SegmentFlushEvent(episode.index),
-                )
+            self._admit_episode(episode, first_start)
 
         if self.mobility is not None:
             self._schedule_refreshes(first_start, until_ms)
         return first_start
 
+    # -- open-world lifecycle (begin / step / inject / churn) ----------------
+
+    def begin(self, specs: list[EpisodeSpec] | tuple[EpisodeSpec, ...] = (),
+              *, start_ms: int = 0) -> None:
+        """Enter open-world mode: admit *specs* (possibly none) and stop.
+
+        Nothing executes until :meth:`step`; episodes and nodes can then be
+        injected at any simulated time (:meth:`inject`, :meth:`join_node`,
+        :meth:`leave_node`, :meth:`crash_node`) and the run ends with
+        :meth:`finish`.  The closed-world :meth:`run` path is untouched --
+        with zero churn actions, ``begin + step...+ finish`` is
+        byte-identical to ``run`` (pinned by
+        ``tests/network/test_engine_step.py``).
+
+        Open-world mode drives its own population dynamics through churn,
+        so a mobility model (whose refresh timer assumes a run-to-drain
+        queue) is rejected.
+        """
+        if self.mobility is not None:
+            raise ValueError(
+                "open-world stepping does not support a mobility model; "
+                "churn supplies the population dynamics"
+            )
+        specs = list(specs)
+        for spec in specs:
+            if spec.initiator_node not in self.network.nodes:
+                raise ValueError(f"unknown initiator node {spec.initiator_node!r}")
+        first_start = start_ms
+        if specs:
+            first_start = min(first_start, min(spec.start_ms for spec in specs))
+        self._reset_run_state(first_start)
+        self._episodes = []
+        self._open_world = True
+        # Admissions here use the ordinary setup root context (exactly like
+        # _setup_run); only mid-run inject() needs the special root keys of
+        # the region-sharded engine.
+        for i, spec in enumerate(specs):
+            episode = _Episode(spec, i, self.wire)
+            self._episodes.append(episode)
+            self._admit_episode(episode, first_start)
+
+    def step(self, until_ms: int | None = None) -> int:
+        """Execute events up to *until_ms* (inclusive); return the count.
+
+        Settled episodes (no in-flight events, start time reached) are
+        retired on the way out: their results are finalized and their
+        flood state -- reply-dedup sets, segment reassembly buffers,
+        sender-side segment records -- is freed, which is what bounds an
+        hours-long soak.
+        """
+        if not self._open_world:
+            raise RuntimeError("step() requires begin() first")
+        executed = self._queue.run(until_ms=until_ms)
+        self._retire_settled()
+        return executed
+
+    def finish(self) -> EngineResult:
+        """Drain every remaining event and assemble the final result."""
+        if not self._open_world:
+            raise RuntimeError("finish() requires begin() first")
+        self.step(None)
+        result = self._collect_results(self._first_start)
+        self._open_world = False
+        return result
+
+    def inject(self, spec: EpisodeSpec) -> int:
+        """Admit a new episode mid-run; returns its episode index.
+
+        ``spec.start_ms`` must not be in the simulated past, and the
+        initiator node must be present (joined and not departed).
+        """
+        if not self._open_world:
+            raise RuntimeError("inject() requires begin() first")
+        if spec.initiator_node not in self.network.nodes:
+            raise ValueError(f"unknown initiator node {spec.initiator_node!r}")
+        if spec.initiator_node in self._departed:
+            raise ValueError(f"initiator node {spec.initiator_node!r} has departed")
+        now_ms = self._queue.now_ms
+        if spec.start_ms < now_ms:
+            raise ValueError(
+                f"cannot inject an episode starting at {spec.start_ms} ms: "
+                f"the clock is already at {now_ms} ms"
+            )
+        episode = _Episode(spec, len(self._episodes), self.wire)
+        self._episodes.append(episode)
+        self._begin_roots()
+        self._admit_episode(episode, now_ms)
+        self._end_roots()
+        return episode.index
+
+    def join_node(self, node_id: str, participant=None,
+                  neighbours: list[str] | tuple[str, ...] = (), *,
+                  position: tuple[float, float] | None = None):
+        """A node arrives (brand new) or wakes (previously departed).
+
+        A waking node keeps whatever session state survived its sleep (a
+        crash wiped it already).  *position* is required by the
+        region-sharded engine to home the joiner; the sequential engine
+        accepts and ignores it, so churn drivers call both identically.
+        """
+        if not self._open_world:
+            raise RuntimeError("join_node() requires begin() first")
+        network = self.network
+        if node_id in network.nodes:
+            if node_id not in self._departed:
+                raise ValueError(f"node {node_id!r} is already present")
+            self._departed.discard(node_id)
+            network.attach_node(node_id, neighbours)
+        else:
+            # A brand-new id -- or a forgotten one being reused, which
+            # re-enters as a fresh arrival.
+            self._departed.discard(node_id)
+            network.add_node(node_id, participant, neighbours)
+        self.churn_metrics.nodes_joined += 1
+        self._note_joined(node_id, position)
+
+    def leave_node(self, node_id: str, *, crash: bool = False) -> None:
+        """A node departs: detached from the mesh, deliveries to it dropped.
+
+        With ``crash=True`` the node also loses its volatile state (session
+        table, rate limiter).  Episodes whose initiator departs are marked
+        degraded: their endpoints stop accepting (later replies count as
+        ``orphaned_replies``) and their retransmit timers die quietly, so
+        the drain always completes.
+        """
+        if not self._open_world:
+            raise RuntimeError("leave_node() requires begin() first")
+        if node_id not in self.network.nodes:
+            raise ValueError(f"unknown node {node_id!r}")
+        if node_id in self._departed:
+            raise ValueError(f"node {node_id!r} has already departed")
+        self.network.detach_node(node_id)
+        self._departed.add(node_id)
+        if crash:
+            self.network.reset_node_state(node_id)
+            self.churn_metrics.nodes_crashed += 1
+        else:
+            self.churn_metrics.nodes_left += 1
+        for episode in self._episodes:
+            if episode is not None and not episode.degraded \
+                    and episode.spec.initiator_node == node_id:
+                episode.degraded = True
+                episode.metrics.degraded_episodes += 1
+                # Free the endpoint's reassembly state now; the flush event
+                # (if any) finds nothing to deliver.
+                episode.seg_rx.clear()
+                episode.seg_sent.clear()
+
+    def crash_node(self, node_id: str) -> None:
+        """A node dies abruptly: departure plus session-state loss."""
+        self.leave_node(node_id, crash=True)
+
+    def forget_node(self, node_id: str) -> None:
+        """Free a permanently-departed node's remaining state entirely.
+
+        Only valid after the node departed.  The id stays in the
+        departed set, so late deliveries and injections keep refusing
+        it; what goes away is the Node shell (participant, session
+        table, limiter history).  Callers that might wake the node
+        later -- a crash with a sleep window booked -- must NOT forget
+        it; the churn runner only forgets graceful leavers, for which
+        it never books a wake.
+        """
+        if node_id not in self._departed:
+            raise ValueError(f"node {node_id!r} has not departed")
+        self.network.forget_node(node_id)
+
+    def restart_region(self, region: int) -> int:
+        """Sequential engines have no region workers to kill: a no-op.
+
+        The region-sharded engine overrides this with a real
+        kill-and-recover (:meth:`repro.network.regions.RegionShardedEngine.
+        restart_region`); fault campaigns call it unconditionally.
+        """
+        return 0
+
+    def _note_joined(self, node_id: str, position) -> None:
+        """Seam: the region-sharded engine homes the joiner by position."""
+
+    def _begin_roots(self) -> None:
+        """Seam: the region-sharded engine opens an injection root context."""
+
+    def _end_roots(self) -> None:
+        """Seam: the region-sharded engine closes it and routes the outbox."""
+
+    # -- open-world introspection -------------------------------------------
+
+    @property
+    def departed_nodes(self) -> frozenset[str]:
+        return frozenset(self._departed)
+
+    def live_episode_count(self) -> int:
+        return sum(1 for episode in self._episodes if episode is not None)
+
+    def retired_count(self) -> int:
+        return len(self._retired)
+
+    def episode_initiator_node(self, index: int) -> str | None:
+        """Initiator node id of a live episode (None once retired)."""
+        episode = self._episodes[index]
+        return None if episode is None else episode.spec.initiator_node
+
+    def open_horizon_ms(self) -> int:
+        """Latest request-validity deadline across live episodes."""
+        deadlines = [ep.package.expiry_ms for ep in self._episodes if ep is not None]
+        return max(deadlines, default=self._queue.now_ms if self._queue else 0)
+
+    def wedged_episodes(self, grace_ms: int = 60_000) -> list[int]:
+        """Live episodes still holding events long past their validity window.
+
+        An episode with in-flight events *within* its window is just in
+        flight; one still pending *grace_ms* past expiry has a stuck timer
+        or an orphaned event chain -- the soak harness asserts this list is
+        empty.  (A fully drained queue can never leave a wedge: zero
+        pending events retires the episode.)
+        """
+        now_ms = self._queue.now_ms
+        pending = self._pending_by_episode
+        return [
+            episode.index
+            for episode in self._episodes
+            if episode is not None
+            and pending.get(episode.index, 0) > 0
+            and now_ms > episode.package.expiry_ms + grace_ms
+        ]
+
+    def _retire_settled(self) -> None:
+        """Finalize and free every episode with zero in-flight events.
+
+        Event genealogy is closed per episode (every event an episode's
+        handler schedules belongs to that episode), so a zero pending
+        count is a proof the episode can never be touched again.
+        """
+        pending = self._pending_by_episode
+        episodes = self._episodes
+        for idx, episode in enumerate(episodes):
+            if episode is None:
+                continue
+            if pending.get(idx, 0) == 0:
+                self._retired[idx] = self._episode_result(episode)
+                episodes[idx] = None
+                pending.pop(idx, None)
+
+    @staticmethod
+    def _episode_result(episode: _Episode) -> EpisodeResult:
+        return EpisodeResult(
+            episode=episode.index,
+            initiator_node=episode.spec.initiator_node,
+            initiator=episode.spec.initiator,
+            started_at_ms=episode.spec.start_ms,
+            completed_at_ms=episode.last_event_ms,
+            metrics=episode.metrics,
+            replies=episode.replies,
+        )
+
     def _collect_results(self, first_start: int) -> EngineResult:
         """Assemble the :class:`EngineResult` after the queue has drained."""
+        retired = self._retired
         episodes = [
-            EpisodeResult(
-                episode=ep.index,
-                initiator_node=ep.spec.initiator_node,
-                initiator=ep.spec.initiator,
-                started_at_ms=ep.spec.start_ms,
-                completed_at_ms=ep.last_event_ms,
-                metrics=ep.metrics,
-                replies=ep.replies,
-            )
-            for ep in self._episodes
+            retired[idx] if ep is None else self._episode_result(ep)
+            for idx, ep in enumerate(self._episodes)
         ]
         # Aggregate throughput runs to the last *episode* event: trailing
         # topology-refresh ticks keep the queue alive but do no episode work.
-        last_episode_event = max(ep.last_event_ms for ep in self._episodes)
+        last_episode_event = max(
+            (ep.completed_at_ms for ep in episodes), default=first_start
+        )
         return EngineResult(
             episodes=episodes,
-            aggregate=self._aggregate(episodes, first_start, last_episode_event),
+            aggregate=self._aggregate(episodes, first_start, last_episode_event,
+                                      extra=self.churn_metrics),
             completed_at_ms=self._queue.now_ms,
             topology_refreshes=self.topology_refreshes,
+            region_restarts=self.region_restarts,
         )
 
     def run_parallel(
@@ -554,17 +884,23 @@ class FriendingEngine:
         same frame object to every neighbour and a relay's reframe output
         is value-identical across relays of the same (ttl, wave), so each
         distinct datagram pays the CRC walk once per run.  Corrupt
-        datagrams are deliberately *not* cached -- each corruption is a
-        unique random bit flip delivered exactly once, so caching it
-        would retain the dead bytes for the whole run and never hit.
-        The cache lives for one :meth:`run`.
+        datagrams go to a separate *negative* cache: link-layer duplicates
+        of a corrupted copy re-reject without re-walking the CRC, and the
+        bound keeps dead bytes from accumulating.  Both caches are
+        size-capped (:class:`_BoundedCache`) and live for one run.
         """
         if isinstance(data, Frame):  # object-passing baseline
             return data
         frame = self._frame_cache.get(data)
         if frame is None:
-            frame = decode_frame(data)
-            self._frame_cache[data] = frame
+            if data in self._reject_cache:
+                raise SerializationError("datagram previously rejected (cached)")
+            try:
+                frame = decode_frame(data)
+            except SerializationError:
+                self._reject_cache.put(data, True)
+                raise
+            self._frame_cache.put(data, frame)
         return frame
 
     def _request_package(self, frame: Frame) -> RequestPackage:
@@ -580,7 +916,7 @@ class FriendingEngine:
         package = self._package_cache.get(frame.payload)
         if package is None:
             package = RequestPackage.decode(frame.payload)
-            self._package_cache[frame.payload] = package
+            self._package_cache.put(frame.payload, package)
         return package
 
     def _reframe(self, frame, *, ttl: int | None = None, seq: int | None = None):
@@ -632,16 +968,24 @@ class FriendingEngine:
             raise TypeError(f"unknown event {event!r}")
         if cls is not TopologyRefreshEvent:
             self._pending_episode_events -= 1
+            if self._open_world:
+                self._pending_by_episode[event.episode] -= 1
         handler(event)
 
     def _schedule(self, delay_ms: int, event) -> None:
         """Queue an episode event (counted against the refresh horizon).
 
-        Without a mobility model there is no refresh timer to gate, so the
-        in-flight counter is dead weight: events then go straight to their
-        handler, skipping the dispatch hop entirely.
+        Without a mobility model or open-world stepping the in-flight
+        counters are dead weight: events then go straight to their
+        handler, skipping the dispatch hop entirely.  Open-world mode
+        additionally counts per episode -- the retirement gate.
         """
-        if self.mobility is not None:
+        if self._open_world:
+            self._pending_episode_events += 1
+            pending = self._pending_by_episode
+            pending[event.episode] = pending.get(event.episode, 0) + 1
+            self._queue.schedule(delay_ms, self._dispatch, event)
+        elif self.mobility is not None:
             self._pending_episode_events += 1
             self._queue.schedule(delay_ms, self._dispatch, event)
         else:
@@ -664,6 +1008,10 @@ class FriendingEngine:
         old copy-at-a-time path exactly.
         """
         episode = self._episodes[event.episode]
+        if self._departed and event.node in self._departed:
+            # The transmitter left or crashed before this (re)broadcast
+            # fired: nothing goes on the air.
+            return
         node = self.network.nodes[event.node]
         metrics = episode.metrics
         metrics.broadcasts += 1
@@ -731,12 +1079,17 @@ class FriendingEngine:
         metrics = episode.metrics
         nodes = self.network.nodes
         from_node = event.from_node
+        departed = self._departed
         last_data: object = None
         frame = None
         package = None
         rid = b""
         seq = 0
         for node_id, data in event.deliveries:
+            if departed and node_id in departed:
+                # The receiver left or crashed while this copy was on the
+                # air: the radio copy reaches nobody.
+                continue
             if data is not last_data:
                 last_data = data
                 try:
@@ -1011,6 +1364,11 @@ class FriendingEngine:
 
     def _deliver_reply(self, episode: _Episode, event: ReplyHopEvent) -> None:
         """Initiator endpoint: validate, dedupe, and hand up one reply frame."""
+        if episode.degraded:
+            # The initiator departed mid-episode: the endpoint is gone, so
+            # the reply falls on the floor -- counted, never matched.
+            episode.metrics.orphaned_replies += 1
+            return
         try:
             frame = self._decode(event.frame)
             if frame.ftype == FT_REPLY_SEG:
@@ -1135,6 +1493,8 @@ class FriendingEngine:
         initiator's window check would refuse anything later anyway.
         """
         episode = self._episodes[event.episode]
+        if episode.degraded:
+            return
         delivered = False
         for responder in sorted(episode.seg_rx):
             state = episode.seg_rx[responder]
@@ -1149,6 +1509,8 @@ class FriendingEngine:
 
     def _on_retransmit(self, event: RetransmitEvent) -> None:
         episode = self._episodes[event.episode]
+        if episode.degraded:
+            return  # the initiator is gone: the wave timer dies quietly
         mode = self.reliability
         if mode.selective_retx:
             self._on_selective_wave(episode, event)
@@ -1285,9 +1647,14 @@ class FriendingEngine:
 
     @staticmethod
     def _aggregate(
-        episodes: list[EpisodeResult], first_start: int, end_ms: int
+        episodes: list[EpisodeResult], first_start: int, end_ms: int,
+        extra: NetworkMetrics | None = None,
     ) -> AggregateMetrics:
         total = NetworkMetrics()
+        if extra is not None:
+            # Run-level churn accounting (joins/leaves/crashes are not
+            # owned by any single episode); all-zero in closed-world runs.
+            total.merge(extra)
         for episode in episodes:
             total.merge(episode.metrics)
         return AggregateMetrics(

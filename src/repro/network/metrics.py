@@ -47,6 +47,15 @@ class NetworkMetrics:
     ``retransmissions``), and ``fec_recovered`` counts 48-byte reply
     elements the initiator reconstructed from XOR parity in
     ``window_fec`` mode instead of ever receiving.
+
+    The open-world churn plane adds five degradation counters.
+    ``nodes_joined`` / ``nodes_left`` / ``nodes_crashed`` count live
+    population changes during a run (a crash is a departure that also
+    loses the node's session table and rate-limiter state).
+    ``degraded_episodes`` marks episodes whose initiator departed before
+    the episode settled (at most 1 per episode), and ``orphaned_replies``
+    counts reply or segment frames that arrived at such a departed
+    initiator and were discarded instead of matched.
     """
 
     broadcasts: int = 0
@@ -71,6 +80,11 @@ class NetworkMetrics:
     selective_retx: int = 0
     fec_recovered: int = 0
     sessions_overflow: int = 0
+    nodes_joined: int = 0
+    nodes_left: int = 0
+    nodes_crashed: int = 0
+    orphaned_replies: int = 0
+    degraded_episodes: int = 0
     reply_latency_ms: list[int] = field(default_factory=list)
 
     @property
@@ -111,6 +125,11 @@ class NetworkMetrics:
         self.selective_retx += other.selective_retx
         self.fec_recovered += other.fec_recovered
         self.sessions_overflow += other.sessions_overflow
+        self.nodes_joined += other.nodes_joined
+        self.nodes_left += other.nodes_left
+        self.nodes_crashed += other.nodes_crashed
+        self.orphaned_replies += other.orphaned_replies
+        self.degraded_episodes += other.degraded_episodes
         self.reply_latency_ms.extend(other.reply_latency_ms)
 
     def as_dict(self) -> dict[str, float]:
@@ -139,6 +158,11 @@ class NetworkMetrics:
             "selective_retx": self.selective_retx,
             "fec_recovered": self.fec_recovered,
             "sessions_overflow": self.sessions_overflow,
+            "nodes_joined": self.nodes_joined,
+            "nodes_left": self.nodes_left,
+            "nodes_crashed": self.nodes_crashed,
+            "orphaned_replies": self.orphaned_replies,
+            "degraded_episodes": self.degraded_episodes,
             "mean_reply_latency_ms": (
                 sum(self.reply_latency_ms) / len(self.reply_latency_ms)
                 if self.reply_latency_ms

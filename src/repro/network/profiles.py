@@ -15,10 +15,12 @@ The bundles themselves are opinionated sketches of the paper's deployment
 settings: ``city`` (dense urban pedestrians on a lossy channel, parity
 recovery), ``campus`` (small static quad, near-clean channel, single-shot),
 ``vehicular`` (fast-churn topology, heavy loss and jitter, patient
-escalating re-floods) and ``stadium-burst`` (a packed static crowd where
+escalating re-floods), ``stadium-burst`` (a packed static crowd where
 duplication and reordering, not range, are the enemy; selective segment
-retransmission).  Every bundle must construct a valid ``ScenarioSpec``
-on its own -- a test pins that.
+retransmission) and ``churn-city`` (the lossy city under open-world churn:
+nodes join, leave and crash mid-flood through the engine's begin/step
+plane).  Every bundle must construct a valid ``ScenarioSpec`` on its own
+-- a test pins that.
 """
 
 from __future__ import annotations
@@ -124,6 +126,27 @@ BUILTIN_PROFILES: dict[str, ScenarioProfile] = {
             reliability="window",
             retries=2,
             retransmit_timeout_ms=600,
+        ),
+        _profile(
+            "churn-city",
+            "lossy city under open-world churn: arrivals, departures and "
+            "crashes mid-flood, parity-recovered replies",
+            nodes=1500,
+            episodes=8,
+            protocol=2,
+            mobility="static",
+            radio_radius=0.035,
+            arrival_rate_per_s=20.0,
+            loss_rate=0.1,
+            dup_rate=0.05,
+            reorder_rate=0.1,
+            corrupt_rate=0.05,
+            jitter_ms=3,
+            channel_version=2,
+            reliability="window_fec",
+            retries=0,
+            churn_rate=4.0,
+            churn_crash_rate=0.5,
         ),
     )
 }

@@ -297,6 +297,11 @@ class RegionShardedEngine(FriendingEngine):
         self._sub_idx = 0
         self._child_n = 0
         self._next_refresh: tuple[int, tuple, int] | None = None
+        # Open-world stepping: the injected-root key context (see
+        # _begin_roots) and the per-step executed-event counter.
+        self._root_ctx_ms: int | None = None
+        self._root_child_n = 0
+        self._step_executed = 0
 
     # -- run orchestration ---------------------------------------------------
 
@@ -310,6 +315,108 @@ class RegionShardedEngine(FriendingEngine):
         self._route_outbox()
         self._queue.now_ms = self._coordinate_inline(until_ms)
         return self._collect_results(first_start)
+
+    # -- open-world lifecycle (inline transport) -----------------------------
+
+    def begin(self, specs=(), *, start_ms: int = 0) -> None:
+        """Open-world entry: like the base, plus shard routing.
+
+        Stepping drives the in-process coordinator loop, so the forked
+        ``process`` transport is rejected (``auto`` silently uses inline).
+        Setup admissions ride the ordinary ``_setup_run`` root context and
+        land in the outbox; routing them completes the closed-world-
+        identical starting state.
+        """
+        if self.regions > 1 and self.transport == "process":
+            raise ValueError(
+                "open-world stepping drives the inline coordinator; "
+                "transport='process' supports run() only"
+            )
+        super().begin(specs, start_ms=start_ms)
+        if self.regions > 1:
+            self._route_outbox()
+
+    def step(self, until_ms: int | None = None) -> int:
+        if self.regions == 1:
+            return super().step(until_ms)
+        if not self._open_world:
+            raise RuntimeError("step() requires begin() first")
+        self._step_executed = 0
+        self._route_outbox()
+        completed = self._coordinate_inline(until_ms)
+        self._queue.now_ms = completed
+        self._retire_settled()
+        return self._step_executed
+
+    def _begin_roots(self) -> None:
+        """Open the mid-run injection root context (regions > 1).
+
+        Injected roots get genealogy key ``(L, (inf,), (0, n))`` where
+        ``L`` is the last executed timestamp and ``n`` a per-``L`` counter.
+        The ``(inf,)`` parent is the linchpin: every event already in the
+        queues was scheduled by a parent that executed at ``t_p <= L``
+        (key ``(t_p, K_p, ...)`` with ``K_p`` a finite tuple or ``()``),
+        so it sorts *before* the injection -- matching its smaller
+        sequential schedule seq -- while events scheduled by parents
+        executing after the injection boundary carry ``t_p > L`` and sort
+        *after* it, again matching sequential order.  Same-boundary
+        injections stay ordered by ``n``.
+        """
+        if self.regions == 1:
+            return
+        now = self._queue.now_ms
+        if self._root_ctx_ms != now:
+            self._root_ctx_ms = now
+            self._root_child_n = 0
+        self._current_region = None
+        self._current_key = (float("inf"),)
+        self._sub_idx = 0
+        self._child_n = self._root_child_n
+
+    def _end_roots(self) -> None:
+        if self.regions == 1:
+            return
+        self._root_child_n = self._child_n
+        self._current_key = ()
+        self._route_outbox()
+
+    def _note_joined(self, node_id: str, position) -> None:
+        """Home a joining (or waking) node in the stripe its position names."""
+        if self.regions == 1:
+            return
+        if position is None:
+            raise ValueError(
+                "regions > 1 needs the joining node's (x, y) position "
+                "to home it in a stripe"
+            )
+        self._node_region[node_id] = self.partition.region_of(position[0])
+
+    def restart_region(self, region: int) -> int:
+        """Kill and recover one region worker: rebuild its queue from scratch.
+
+        Models a shard-worker death where the durable state (the exported
+        calendar entries with their genealogy keys) survives and the
+        worker restarts from it.  Genealogy keys give a *global* total
+        order with the local seq only breaking (t, K) ties between
+        sibling delivery slices, so a rebuild that re-adopts the exported
+        entries in their previous drain order is provably
+        order-preserving: the run continues byte-identically (pinned by
+        ``tests/network/test_faults.py``).  Returns the number of entries
+        recovered; regions == 1 has no workers to kill (returns 0).
+        """
+        if self.regions == 1:
+            return 0
+        if not 0 <= region < self.regions:
+            raise ValueError(f"region must be in [0, {self.regions}), got {region}")
+        queue = self._region_queues[region]
+        # Sorting the raw heap entries (time, key, seq, event) reproduces
+        # the exact previous pop order, seq ties included.
+        entries = [(t, k, e) for t, k, _, e in sorted(queue, key=lambda en: en[:3])]
+        self._region_queues[region] = []
+        self._region_seq[region] = 0
+        self._adopt_entries(region, entries)
+        self.region_restarts += 1
+        return len(entries)
 
     def _resolve_transport(self) -> str:
         fork_ok = "fork" in multiprocessing.get_all_start_methods()
@@ -339,6 +446,9 @@ class RegionShardedEngine(FriendingEngine):
         self._sub_idx = 0
         self._child_n = 0
         self._next_refresh = None
+        self._root_ctx_ms = None
+        self._root_child_n = 0
+        self._step_executed = 0
         return _ShardClock(first_start)
 
     def _lookahead(self) -> int:
@@ -399,6 +509,7 @@ class RegionShardedEngine(FriendingEngine):
         queue = self._region_queues[region]
         clock = self._queue
         handlers = self._handlers
+        open_world = self._open_world
         last = None
         self._current_region = region
         while queue:
@@ -411,6 +522,10 @@ class RegionShardedEngine(FriendingEngine):
             self._current_key = key
             self._sub_idx = 0
             self._child_n = 0
+            if open_world:
+                self._step_executed += 1
+                self._pending_episode_events -= 1
+                self._pending_by_episode[event.episode] -= 1
             handlers[type(event)](event)
         return last
 
@@ -482,6 +597,14 @@ class RegionShardedEngine(FriendingEngine):
             )
 
     def _push(self, dest: int, time_ms: int, key: tuple, event) -> None:
+        if self._open_world:
+            # Every scheduled entry passes through here exactly once
+            # (delivery slices count individually); _drain_region is the
+            # matching decrement.  None of the shard event types lack an
+            # episode field.
+            self._pending_episode_events += 1
+            pending = self._pending_by_episode
+            pending[event.episode] = pending.get(event.episode, 0) + 1
         if dest == self._current_region:
             seq = self._region_seq[dest]
             self._region_seq[dest] = seq + 1
@@ -532,6 +655,7 @@ class RegionShardedEngine(FriendingEngine):
         metrics = episode.metrics
         nodes = self.network.nodes
         from_node = event.from_node
+        departed = self._departed
         last_data: object = None
         frame = None
         package = None
@@ -540,6 +664,10 @@ class RegionShardedEngine(FriendingEngine):
         for position, (node_id, data) in zip(event.positions, event.deliveries):
             self._sub_idx = position
             self._child_n = 0
+            if departed and node_id in departed:
+                # Mirrors the sequential loop: a departed receiver gets
+                # nothing (and schedules nothing, keeping keys aligned).
+                continue
             if data is not last_data:
                 last_data = data
                 try:

@@ -60,6 +60,19 @@ class RateLimiter:
         events.append(now_ms)
         return True
 
+    def prune(self, now_ms: int) -> int:
+        """Drop per-peer histories that are empty or wholly outside the window.
+
+        Under open-world churn a long-lived node meets an unbounded stream
+        of transient peers; without pruning the per-peer dict keys (not the
+        bounded deques) are the leak.  Returns the number of peers dropped.
+        """
+        cutoff = now_ms - self.window_ms
+        stale = [peer for peer, events in self._history.items() if not events or events[-1] < cutoff]
+        for peer in stale:
+            del self._history[peer]
+        return len(stale)
+
 
 class Node:
     """One radio node: identity, links, and per-request session state.
@@ -158,6 +171,11 @@ class AdHocNetwork:
         self.processing_latency_ms = processing_latency_ms
         self.rng = rng or random.Random()
         self.channel = channel if channel is not None else PerfectChannel()
+        # Templates reused when churn adds or crash-resets nodes mid-run.
+        self._rate_limit_max = rate_limit.max_events if rate_limit else 50
+        self._rate_limit_window = rate_limit.window_ms if rate_limit else 10_000
+        self._session_limit = session_limit
+        self._session_overflow = session_overflow
         self.nodes = {
             node: Node(
                 node,
@@ -188,6 +206,118 @@ class AdHocNetwork:
         for node_id, neigh in adjacency.items():
             self.nodes[node_id].neighbours = [sys.intern(n) for n in neigh]
         self.adjacency.update({n: list(v) for n, v in adjacency.items()})
+
+    def _fresh_limiter(self) -> RateLimiter:
+        return RateLimiter(max_events=self._rate_limit_max, window_ms=self._rate_limit_window)
+
+    def _link_both_ways(self, node_id: str, neighbours: list[str]) -> None:
+        unknown = [n for n in neighbours if n not in self.nodes]
+        if unknown:
+            raise ValueError(f"neighbours reference unknown nodes: {sorted(unknown)}")
+        node = self.nodes[node_id]
+        node.neighbours = neighbours
+        self.adjacency[node_id] = list(neighbours)
+        for peer_id in neighbours:
+            peer = self.nodes[peer_id]
+            if node_id not in peer.neighbours:
+                peer.neighbours.append(node_id)
+                self.adjacency[peer_id] = list(peer.neighbours)
+
+    def add_node(
+        self,
+        node_id: str,
+        participant: Participant | None = None,
+        neighbours: list[str] | tuple[str, ...] = (),
+    ) -> Node:
+        """Create a brand-new node mid-run and wire it symmetrically.
+
+        The open-world churn plane uses this for arrivals; joiners are
+        appended to each neighbour's list, which keeps broadcast receiver
+        order deterministic given a deterministic arrival schedule.
+        """
+        node_id = sys.intern(node_id)
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already exists")
+        node = Node(
+            node_id,
+            participant,
+            [],
+            limiter=self._fresh_limiter(),
+            session_limit=self._session_limit,
+            session_overflow=self._session_overflow,
+        )
+        self.nodes[node_id] = node
+        self.adjacency[node_id] = []
+        self._link_both_ways(node_id, [sys.intern(n) for n in neighbours])
+        return node
+
+    def attach_node(self, node_id: str, neighbours: list[str] | tuple[str, ...]) -> None:
+        """Rewire an existing (previously detached) node back into the mesh."""
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id!r}")
+        self._link_both_ways(sys.intern(node_id), [sys.intern(n) for n in neighbours])
+
+    def detach_node(self, node_id: str) -> None:
+        """Remove a node from the radio mesh without deleting its state.
+
+        The Node object (sessions, limiter) survives so a sleeping node can
+        wake with its flood state intact; a *crash* additionally calls
+        :meth:`reset_node_state`.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"unknown node {node_id!r}")
+        for peer_id in node.neighbours:
+            peer = self.nodes[peer_id]
+            try:
+                peer.neighbours.remove(node_id)
+            except ValueError:
+                pass
+            self.adjacency[peer_id] = list(peer.neighbours)
+        node.neighbours = []
+        self.adjacency[node_id] = []
+
+    def reset_node_state(self, node_id: str) -> None:
+        """Lose a node's volatile state (crash semantics): sessions + limiter."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"unknown node {node_id!r}")
+        node.sessions = SessionTable(self._session_limit, self._session_overflow)
+        node.limiter = self._fresh_limiter()
+
+    def forget_node(self, node_id: str) -> None:
+        """Delete a departed node outright (permanent-leave semantics).
+
+        :meth:`detach_node` keeps the Node object so a sleeper can wake
+        with its state intact.  When the caller knows the departure is
+        permanent, that shell (participant, session table, limiter
+        history) is dead weight -- over hours of sim time under churn it
+        is the dominant leak.  The node must already be detached.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"unknown node {node_id!r}")
+        if node.neighbours:
+            raise ValueError(f"node {node_id!r} is still attached")
+        del self.nodes[node_id]
+        del self.adjacency[node_id]
+
+    def prune_rate_limiters(self, now_ms: int) -> int:
+        """Prune every node's per-peer limiter history (soak housekeeping)."""
+        return sum(node.limiter.prune(now_ms) for node in self.nodes.values())
+
+    def evict_expired_sessions(self, now_ms: int) -> int:
+        """Sweep expired sessions from every node (soak housekeeping).
+
+        Eviction normally rides on ``open()``; a node that stops seeing
+        fresh requests keeps its dead sessions indefinitely, which reads
+        as a leak over hours of sim time.  The sweep uses the same
+        expiry boundary as the on-access path, so it is semantically
+        invisible.
+        """
+        return sum(
+            node.sessions.evict_expired(now_ms) for node in self.nodes.values()
+        )
 
     def run_friending(
         self,

@@ -1,0 +1,42 @@
+"""SOAK-gated smoke arm of the long-running soak harness.
+
+Runs :mod:`tools.soak` in-process for a small stretch of sim-time (a
+couple of sim-minutes instead of hours) and asserts the survival
+invariants the full soak enforces: every injected episode retires, no
+wedges, bounded caches, and tracemalloc growth after warm-up stays tiny.
+The full-length run stays an operator/CI concern (``tools/soak.py
+--sim-hours 1``); this arm exists so CI can exercise the harness end to
+end without paying for an hour of sim-time.  Opt-in via ``SOAK=1`` —
+the same idiom as ``METRO_1M``/``FLOOD_100K``.
+
+    SOAK=1 PYTHONPATH=src python -m pytest -q tests/network/test_soak_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent.parent / "tools"))
+
+import soak  # noqa: E402
+
+
+@pytest.mark.skipif(os.environ.get("SOAK") != "1", reason="set SOAK=1 to run")
+def test_soak_smoke_holds_invariants():
+    args = soak.build_parser().parse_args([
+        "--sim-hours", "0.03",
+        "--nodes", "150",
+        "--inject-every-ms", "4000",
+        "--leak-limit-mb", "16",
+        "--rss-limit-mb", "512",
+    ])
+    record = soak.run_soak(args)
+    assert record["bench"] == "soak"
+    assert record["episodes_injected"] > 0
+    assert record["episodes_retired"] == record["episodes_injected"]
+    assert record["nodes_joined"] > 0 and record["nodes_left"] > 0
+    assert record["traced_growth_mb"] <= 16
